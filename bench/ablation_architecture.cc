@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Architecture ablations for the design choices DESIGN.md calls out:
+ *   A. DTU compute/communication overlap (paper Section IV-B)
+ *   B. switch broadcast vs sequential unicast
+ *   C. MAD-style scratchpad caching (HBM traffic factor)
+ *   D. radix-4 vs radix-2 NTT units
+ *   E. keyswitching digit count (dnum)
+ * Each section reports end-to-end ResNet-18 / OPT-6.7B time on an
+ * 8-card machine with only that knob changed.
+ */
+
+#include "bench_util.hh"
+
+#include "common/logging.hh"
+#include "sched/mapping.hh"
+
+using namespace hydra;
+using namespace hydra::bench;
+
+namespace {
+
+/** Wraps a network model, forcing transfers to block compute. */
+class NoOverlapNetwork : public NetworkModel
+{
+  public:
+    explicit NoOverlapNetwork(const NetworkModel& inner) : inner_(inner) {}
+
+    Tick
+    transferTime(uint64_t b, size_t s, size_t d) const override
+    {
+        return inner_.transferTime(b, s, d);
+    }
+
+    Tick
+    broadcastTime(uint64_t b, size_t s, size_t n) const override
+    {
+        return inner_.broadcastTime(b, s, n);
+    }
+
+    Tick setupLatency() const override { return inner_.setupLatency(); }
+    bool overlapsCompute() const override { return false; }
+
+    Tick
+    stepSyncLatency() const override
+    {
+        return inner_.stepSyncLatency();
+    }
+
+  private:
+    const NetworkModel& inner_;
+};
+
+/** Wraps a network model, replacing broadcast by sequential unicast. */
+class UnicastOnlyNetwork : public NetworkModel
+{
+  public:
+    explicit UnicastOnlyNetwork(const NetworkModel& inner)
+        : inner_(inner)
+    {
+    }
+
+    Tick
+    transferTime(uint64_t b, size_t s, size_t d) const override
+    {
+        return inner_.transferTime(b, s, d);
+    }
+
+    Tick
+    broadcastTime(uint64_t b, size_t s, size_t n) const override
+    {
+        // The sender serializes n-1 point-to-point transfers.
+        return static_cast<Tick>(n - 1) * inner_.transferTime(b, s, 0);
+    }
+
+    Tick setupLatency() const override { return inner_.setupLatency(); }
+    bool overlapsCompute() const override { return true; }
+
+    Tick
+    stepSyncLatency() const override
+    {
+        return inner_.stepSyncLatency();
+    }
+
+  private:
+    const NetworkModel& inner_;
+};
+
+double
+runWith(const PrototypeSpec& spec, const NetworkModel& net,
+        const WorkloadModel& wl)
+{
+    OpCostModel cost(spec.fpga, size_t{1} << 16, spec.dnum);
+    StepMapper mapper(cost, net, spec.cluster.totalCards(), wl.logSlots,
+                      spec.mapping);
+    ClusterExecutor executor(spec.cluster, net);
+    RunStats total;
+    for (const auto& step : wl.steps) {
+        Program prog = mapper.mapStep(step);
+        total.append(executor.run(prog), net.stepSyncLatency());
+    }
+    return ticksToSeconds(total.makespan);
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeaderBlock("Architecture ablations (Hydra-M, 8 cards)");
+
+    WorkloadModel r18 = makeResNet18();
+    WorkloadModel opt = makeOpt67B();
+    PrototypeSpec base = hydraMSpec();
+    SwitchedNetwork base_net(base.net, base.cluster);
+    double r18_base = runWith(base, base_net, r18);
+    double opt_base = runWith(base, base_net, opt);
+
+    TextTable t;
+    t.header({"Variant", "ResNet-18 s", "slowdown", "OPT-6.7B s",
+              "slowdown"});
+    t.addRow({"Hydra-M baseline", fmtF(r18_base, 2), fmtX(1.0),
+              fmtF(opt_base, 1), fmtX(1.0)});
+
+    {
+        NoOverlapNetwork net(base_net);
+        double a = runWith(base, net, r18);
+        double b = runWith(base, net, opt);
+        t.addRow({"A. no DTU overlap", fmtF(a, 2), fmtX(a / r18_base),
+                  fmtF(b, 1), fmtX(b / opt_base)});
+    }
+    {
+        UnicastOnlyNetwork net(base_net);
+        double a = runWith(base, net, r18);
+        double b = runWith(base, net, opt);
+        t.addRow({"B. no switch broadcast", fmtF(a, 2),
+                  fmtX(a / r18_base), fmtF(b, 1), fmtX(b / opt_base)});
+    }
+    for (double factor : {2.0, 3.0}) {
+        PrototypeSpec spec = hydraMSpec();
+        spec.fpga.hbmTrafficFactor = factor;
+        SwitchedNetwork net(spec.net, spec.cluster);
+        double a = runWith(spec, net, r18);
+        double b = runWith(spec, net, opt);
+        t.addRow({strf("C. HBM traffic x%.0f (no MAD cache)", factor),
+                  fmtF(a, 2), fmtX(a / r18_base), fmtF(b, 1),
+                  fmtX(b / opt_base)});
+    }
+    {
+        PrototypeSpec spec = hydraMSpec();
+        spec.fpga.nttRadix = 2;
+        SwitchedNetwork net(spec.net, spec.cluster);
+        double a = runWith(spec, net, r18);
+        double b = runWith(spec, net, opt);
+        t.addRow({"D. radix-2 NTT (vs radix-4)", fmtF(a, 2),
+                  fmtX(a / r18_base), fmtF(b, 1), fmtX(b / opt_base)});
+    }
+    {
+        PrototypeSpec spec = hydraMSpec();
+        spec.fpga.scratchpadBytes = 8ull << 20;
+        spec.fpga.scratchpadOverflowPenalty = 1.0;
+        SwitchedNetwork net(spec.net, spec.cluster);
+        double a = runWith(spec, net, r18);
+        double b = runWith(spec, net, opt);
+        t.addRow({"C'. 8 MiB scratchpad (capacity model)", fmtF(a, 2),
+                  fmtX(a / r18_base), fmtF(b, 1), fmtX(b / opt_base)});
+    }
+    for (size_t dnum : {1, 2, 8}) {
+        PrototypeSpec spec = hydraMSpec();
+        spec.dnum = dnum;
+        SwitchedNetwork net(spec.net, spec.cluster);
+        double a = runWith(spec, net, r18);
+        double b = runWith(spec, net, opt);
+        t.addRow({strf("E. dnum = %zu (vs 4)", dnum), fmtF(a, 2),
+                  fmtX(a / r18_base), fmtF(b, 1), fmtX(b / opt_base)});
+    }
+    t.print();
+
+    std::printf("\nReadings: the DTU and MAD-style caching are the two\n"
+                "largest single-card/overlap wins; broadcast matters most\n"
+                "for the CNN's Fig. 2 aggregation; radix-4 NTT nearly\n"
+                "halves the dominant CU's passes.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Table I: application-level parallelism of the four
+ * FHE-based DL models (min/max per-step parallelism per procedure) and
+ * the per-unit ciphertext operation mixes.
+ */
+
+#include "bench_util.hh"
+
+using namespace hydra;
+using namespace hydra::bench;
+
+int
+main()
+{
+    printHeaderBlock("Table I: parallelism of FHE-based DL inference");
+
+    auto models = allBenchmarks();
+
+    TextTable t;
+    t.header({"Layer", "ResNet-18", "ResNet-50", "BERT-base", "OPT-6.7B",
+              "Rot", "CMult", "PMult", "HAdd"});
+
+    struct RowSpec
+    {
+        const char* name;
+        ProcKind kind;
+        OpMix mix;
+    };
+    const RowSpec rows[] = {
+        {"ConvBN", ProcKind::ConvBN, convBnMix()},
+        {"Pooling", ProcKind::Pooling, poolingMix()},
+        {"FC", ProcKind::FC, fcMix()},
+        {"PCMM", ProcKind::PCMM, pcmmMix()},
+        {"CCMM", ProcKind::CCMM, ccmmMix()},
+        {"Non-linear", ProcKind::NonLinear, nonLinearMix()},
+    };
+
+    auto range = [](const WorkloadModel& m, ProcKind k) -> std::string {
+        auto [lo, hi] = m.parallelismRange(k);
+        if (hi == 0)
+            return "NA";
+        return std::to_string(lo) + " / " + std::to_string(hi);
+    };
+
+    for (const auto& r : rows) {
+        t.addRow({r.name, range(models[0], r.kind), range(models[1], r.kind),
+                  range(models[2], r.kind), range(models[3], r.kind),
+                  std::to_string(r.mix.rotations),
+                  std::to_string(r.mix.cmults),
+                  std::to_string(r.mix.pmults),
+                  std::to_string(r.mix.hadds)});
+    }
+    // Ciphertext row: bootstrap counts track the live ciphertexts.
+    t.addRow({"Ciphertext", range(models[0], ProcKind::Bootstrap),
+              range(models[1], ProcKind::Bootstrap),
+              range(models[2], ProcKind::Bootstrap),
+              range(models[3], ProcKind::Bootstrap), "-", "-", "-", "-"});
+    t.print();
+
+    TextTable s("\nPer-model step inventory");
+    s.header({"Model", "steps", "ConvBN", "NonLin", "Boot", "PCMM",
+              "CCMM"});
+    for (const auto& m : models) {
+        s.addRow({m.name, std::to_string(m.steps.size()),
+                  std::to_string(m.stepCount(ProcKind::ConvBN)),
+                  std::to_string(m.stepCount(ProcKind::NonLinear)),
+                  std::to_string(m.stepCount(ProcKind::Bootstrap)),
+                  std::to_string(m.stepCount(ProcKind::PCMM)),
+                  std::to_string(m.stepCount(ProcKind::CCMM))});
+    }
+    s.print();
+    return 0;
+}

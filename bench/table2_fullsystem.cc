@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces paper Table II: full-system execution time (seconds) of
+ * the four DL benchmarks on the ASIC references (published numbers),
+ * the FPGA baselines (simulated from their published parameters), and
+ * the three Hydra prototypes (simulated).
+ */
+
+#include "bench_util.hh"
+
+using namespace hydra;
+using namespace hydra::bench;
+
+int
+main()
+{
+    printHeaderBlock("Table II: full-system performance (seconds)");
+
+    TextTable t;
+    t.header({"Machine", "ResNet-18", "ResNet-50", "BERT-base",
+              "OPT-6.7B", "source"});
+
+    for (const auto& row : asicPerformanceTable()) {
+        t.addRow({row.name, fmtF(row.resnet18, 2), fmtF(row.resnet50, 2),
+                  fmtF(row.bert, 2), fmtF(row.opt, 2), "published"});
+    }
+    t.addSeparator();
+
+    std::vector<PrototypeSpec> specs;
+    specs.push_back(fabSSpec());
+    specs.push_back(poseidonSpec());
+    specs.push_back(fabMSpec());
+    specs.push_back(hydraSSpec());
+    specs.push_back(hydraMSpec());
+    specs.push_back(hydraLSpec());
+
+    std::vector<std::vector<double>> measured;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        if (i == 3)
+            t.addSeparator();
+        auto secs = runAllBenchmarks(specs[i]);
+        measured.push_back(secs);
+        t.addRow({specs[i].name, fmtF(secs[0], 2), fmtF(secs[1], 2),
+                  fmtF(secs[2], 2), fmtF(secs[3], 2), "simulated"});
+    }
+    t.print();
+
+    // Shape checks mirrored from the paper's highlights.
+    const auto& hydra_s = measured[3];
+    const auto& hydra_m = measured[4];
+    const auto& hydra_l = measured[5];
+    const auto& fab_s = measured[0];
+    const auto& fab_m = measured[2];
+    const auto& poseidon = measured[1];
+
+    TextTable k("\nKey ratios (paper: Section V-B)");
+    k.header({"Metric", "ResNet-18", "ResNet-50", "BERT-base",
+              "OPT-6.7B", "paper range"});
+    auto ratioRow = [&](const char* name, const std::vector<double>& num,
+                        const std::vector<double>& den,
+                        const char* expect) {
+        k.addRow({name, fmtX(num[0] / den[0]), fmtX(num[1] / den[1]),
+                  fmtX(num[2] / den[2]), fmtX(num[3] / den[3]), expect});
+    };
+    ratioRow("FAB-S / Hydra-S", fab_s, hydra_s, "2.8-3.1x");
+    ratioRow("Poseidon / Hydra-S", poseidon, hydra_s, "~1.3x");
+    ratioRow("FAB-M / Hydra-M", fab_m, hydra_m, "2.8-3.3x");
+    ratioRow("Hydra-S / Hydra-M", hydra_s, hydra_m, "6.3-7.5x");
+    ratioRow("Hydra-S / Hydra-L", hydra_s, hydra_l, "27.7-55.9x");
+    k.print();
+
+    return 0;
+}

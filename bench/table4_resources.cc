@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces paper Table IV: FPGA resource utilization of a single
+ * Hydra card on the Xilinx Alveo U280.
+ */
+
+#include "analysis/resources.hh"
+#include "bench_util.hh"
+
+using namespace hydra;
+using namespace hydra::bench;
+
+int
+main()
+{
+    printHeaderBlock("Table IV: FPGA resource utilization (single card)");
+
+    FpgaParams fpga;
+    ResourceUsage used = estimateResources(fpga);
+    ResourceUsage avail = u280Available();
+
+    TextTable t;
+    t.header({"Resource", "Utilized", "Available", "Utilization",
+              "paper"});
+    auto pct = [](double u, double a) { return fmtPct(u / a, 1); };
+    t.addRow({"LUTs (k)", fmtF(used.lutsK, 0), fmtF(avail.lutsK, 0),
+              pct(used.lutsK, avail.lutsK), "76.5%"});
+    t.addRow({"FFs (k)", fmtF(used.ffsK, 0), fmtF(avail.ffsK, 0),
+              pct(used.ffsK, avail.ffsK), "52.7%"});
+    t.addRow({"DSP", std::to_string(used.dsp), std::to_string(avail.dsp),
+              pct(used.dsp, avail.dsp), "96.5%"});
+    t.addRow({"BRAM", std::to_string(used.bram),
+              std::to_string(avail.bram), pct(used.bram, avail.bram),
+              "76.2%"});
+    t.addRow({"URAM", std::to_string(used.uram),
+              std::to_string(avail.uram), pct(used.uram, avail.uram),
+              "79.8%"});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces paper Table V: optimal (Radix, bs) choices of the
+ * bootstrapping DFT under the Eq. 1 performance model, per slot count
+ * and per prototype (multiplication-depth budget of 3 levels).
+ */
+
+#include "bench_util.hh"
+#include "model/dft_model.hh"
+
+using namespace hydra;
+using namespace hydra::bench;
+
+namespace {
+
+std::string
+planCell(const DftPlan& plan, bool radix)
+{
+    std::string out = "(";
+    for (size_t i = 0; i < plan.levels.size(); ++i) {
+        if (i)
+            out += ",";
+        out += std::to_string(radix ? plan.levels[i].radix
+                                    : plan.levels[i].bs);
+    }
+    return out + ")";
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeaderBlock(
+        "Table V: optimal Radix and bs per prototype (depth = 3)");
+
+    struct Proto
+    {
+        const char* name;
+        size_t cards;
+    };
+    const Proto protos[] = {{"Hydra-S", 1}, {"Hydra-M", 8},
+                            {"Hydra-L", 64}};
+
+    PrototypeSpec spec = hydraSSpec();
+    OpCostModel cost(spec.fpga, size_t{1} << 16, spec.dnum);
+    SwitchedNetwork net(NetParams{}, hydraL());
+    DftOpTimes times = DftOpTimes::fromCostModel(cost, net, 18);
+
+    TextTable t;
+    t.header({"logSlots", "S Radix", "S bs", "M Radix", "M bs",
+              "L Radix", "L bs"});
+    for (size_t log_slots = 12; log_slots <= 15; ++log_slots) {
+        std::vector<std::string> row = {std::to_string(log_slots)};
+        for (const auto& p : protos) {
+            DftPlan plan = optimizeDftPlan(3, log_slots, p.cards, times);
+            row.push_back(planCell(plan, true));
+            row.push_back(planCell(plan, false));
+        }
+        t.addRow(row);
+    }
+    t.print();
+
+    std::printf("\nPaper reference (Table V):\n"
+                "  12: S (16,16,16)/(4,4,4)  M (16,16,16)/(1,2,2)  "
+                "L (8,4,128)/(1,1,2)\n"
+                "  15: S (32,32,32)/(4,8,8)  M (32,16,64)/(2,2,4)  "
+                "L (8,32,128)/(1,1,2)\n"
+                "Shape: bs shrinks as cards grow; Hydra-L prefers\n"
+                "asymmetric radices with one large level.\n");
+
+    // Also show the modelled DFT time per prototype at logSlots = 15.
+    TextTable d("\nModelled single-DFT time (logSlots = 15)");
+    d.header({"Prototype", "plan", "time (ms)"});
+    for (const auto& p : protos) {
+        DftPlan plan = optimizeDftPlan(3, 15, p.cards, times);
+        d.addRow({p.name, plan.describe(),
+                  fmtF(dftTime(plan, p.cards, times) * 1e3, 2)});
+    }
+    d.print();
+    return 0;
+}

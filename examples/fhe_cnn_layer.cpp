@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A complete encrypted CNN layer, end to end and functional: 3x3
+ * ConvBN -> Chebyshev soft-ReLU -> 2x2 average pooling, computed on
+ * real ciphertexts and verified against the plaintext pipeline.
+ * This is the single-ciphertext building block that the Hydra
+ * scheduler distributes across cards (paper Fig. 1).
+ */
+
+#include <cstdio>
+
+#include "fhe/chebyshev.hh"
+#include "fhe/convolution.hh"
+#include "fhe/encryptor.hh"
+#include "fhe/keygen.hh"
+
+using namespace hydra;
+
+int
+main()
+{
+    CkksParams params;
+    params.n = 1 << 10; // 512 slots = 32 x 16 image
+    params.levels = 10;
+    CkksContext ctx(params);
+    std::printf("Context: %s\n", params.describe().c_str());
+
+    size_t h = 32, w = 16;
+    CkksEncoder encoder(ctx);
+
+    // Layer parameters: edge-detect-ish kernel with BN bias folded in.
+    ConvKernel kernel;
+    kernel.k = 3;
+    kernel.weights = {0.05, 0.10, 0.05, 0.10, 0.40, 0.10,
+                      0.05, 0.10, 0.05};
+    kernel.bias = -0.02;
+    ChebyshevPoly act = chebyshevFit(
+        [](double x) { return softRelu(x); }, 15, -1.0, 1.0);
+
+    // Keys: conv + pooling rotations.
+    std::vector<int> rotations = convRotations(w, 3);
+    for (int r : convRotations(w, 2))
+        rotations.push_back(r);
+    KeyGenerator keygen(ctx);
+    SecretKey sk = keygen.secretKey();
+    PublicKey pk = keygen.publicKey(sk);
+    EvalKey relin = keygen.relinKey(sk);
+    GaloisKeys galois = keygen.galoisKeys(sk, rotations);
+    Encryptor encryptor(ctx, pk);
+    Decryptor decryptor(ctx, sk);
+    Evaluator eval(ctx, encoder);
+    eval.setRelinKey(&relin);
+    eval.setGaloisKeys(&galois);
+    OpCounter counter;
+    eval.setCounter(&counter);
+
+    // Synthetic input "image".
+    Rng rng(2025);
+    std::vector<double> image(h * w);
+    for (size_t i = 0; i < image.size(); ++i)
+        image[i] = 0.4 * std::sin(0.11 * static_cast<double>(i)) +
+                   rng.uniformReal(-0.1, 0.1);
+
+    Ciphertext ct = encryptor.encrypt(
+        encoder.encode(image, params.scale(), ctx.levels()));
+    std::printf("input: %zux%zu image, level %zu\n", h, w, ct.level());
+
+    Ciphertext conv = conv2d(eval, ct, kernel, h, w);
+    Ciphertext activated = evalChebyshev(eval, conv, act);
+    Ciphertext pooled = avgPool(eval, activated, 2, h, w);
+    std::printf("output level %zu (consumed %zu)\n", pooled.level(),
+                ctx.levels() - pooled.level());
+    std::printf("ciphertext ops: %s\n", counter.summary().c_str());
+
+    // Plaintext reference.
+    auto ref = conv2dRef(image, kernel, h, w);
+    for (auto& x : ref)
+        x = act(x);
+    ref = avgPoolRef(ref, 2, h, w);
+
+    auto got = encoder.decode(decryptor.decrypt(pooled));
+    double worst = 0.0;
+    for (size_t j = 0; j < ref.size(); ++j)
+        worst = std::max(worst, std::abs(got[j].real() - ref[j]));
+    std::printf("max error vs plaintext pipeline: %.2e %s\n", worst,
+                worst < 5e-2 ? "(OK)" : "(TOO LARGE)");
+
+    // What the scheduler sees: the same layer as an op mix.
+    std::printf("\nAs scheduled by Hydra: this layer is one ConvBN unit\n"
+                "(Table I: 8 Rot, 2 PMult, 7 HAdd per multiplexed kernel\n"
+                "group) plus one Non-linear unit (8 CMult, 15 HAdd).\n");
+    return worst < 5e-2 ? 0 : 1;
+}

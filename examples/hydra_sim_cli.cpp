@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Command-line simulator driver: pick a machine and a workload, get
+ * the full report (per-procedure budget, comm overhead, energy).
+ *
+ * Usage:
+ *   hydra_sim_cli [--machine hydra-s|hydra-m|hydra-l|fab-s|fab-m|
+ *                  fab-l|poseidon]
+ *                 [--workload resnet18|resnet50|bert|opt|resnet20]
+ *                 [--cards N]          (custom Hydra with N cards)
+ *                 [--fused]            (Section IV-D preloading)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/energy.hh"
+#include "baselines/prototypes.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+using namespace hydra;
+
+namespace {
+
+PrototypeSpec
+machineByName(const std::string& name, size_t cards)
+{
+    if (cards) {
+        size_t servers = cards <= 8 ? 1 : (cards + 7) / 8;
+        size_t per = cards <= 8 ? cards : 8;
+        return hydraPrototype("Hydra-" + std::to_string(cards), servers,
+                              per);
+    }
+    if (name == "hydra-s")
+        return hydraSSpec();
+    if (name == "hydra-m")
+        return hydraMSpec();
+    if (name == "hydra-l")
+        return hydraLSpec();
+    if (name == "fab-s")
+        return fabSSpec();
+    if (name == "fab-m")
+        return fabMSpec();
+    if (name == "fab-l")
+        return fabLSpec();
+    if (name == "poseidon")
+        return poseidonSpec();
+    fatal("unknown machine '%s'", name.c_str());
+}
+
+WorkloadModel
+workloadByName(const std::string& name)
+{
+    if (name == "resnet18")
+        return makeResNet18();
+    if (name == "resnet50")
+        return makeResNet50();
+    if (name == "bert")
+        return makeBertBase();
+    if (name == "opt")
+        return makeOpt67B();
+    if (name == "resnet20")
+        return makeResNet20Cifar();
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string machine = "hydra-m";
+    std::string workload = "resnet18";
+    size_t cards = 0;
+    bool fused = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--machine")
+            machine = next();
+        else if (arg == "--workload")
+            workload = next();
+        else if (arg == "--cards")
+            cards = std::strtoul(next().c_str(), nullptr, 10);
+        else if (arg == "--fused")
+            fused = true;
+        else
+            fatal("unknown argument '%s' (see the file header)",
+                  arg.c_str());
+    }
+
+    PrototypeSpec spec = machineByName(machine, cards);
+    WorkloadModel wl = workloadByName(workload);
+    InferenceRunner runner(spec);
+
+    std::printf("machine : %s (%zu server(s) x %zu card(s))\n",
+                spec.name.c_str(), spec.cluster.servers,
+                spec.cluster.cardsPerServer);
+    std::printf("workload: %s (%zu steps)\n\n", wl.name.c_str(),
+                wl.steps.size());
+
+    if (fused) {
+        RunStats st = runner.runFused(wl);
+        std::printf("fused execution: %.3f s, comm overhead %.2f%%\n",
+                    ticksToSeconds(st.makespan),
+                    st.makespan ? 100.0 *
+                                      static_cast<double>(
+                                          st.commOverhead()) /
+                                      static_cast<double>(st.makespan)
+                                : 0.0);
+        return 0;
+    }
+
+    InferenceResult res = runner.run(wl);
+    std::printf("end to end: %.3f s, comm overhead %.2f%%, "
+                "%.2f GiB moved\n\n",
+                res.seconds(), res.commFraction() * 100,
+                static_cast<double>(res.total.netBytes) / (1 << 30));
+
+    TextTable t("per-procedure budget");
+    t.header({"procedure", "steps", "time (s)", "share", "comm%"});
+    for (size_t k = 0; k < kNumProcKinds; ++k) {
+        ProcKind kind = static_cast<ProcKind>(k);
+        Tick pt = res.procTime(kind);
+        if (!pt)
+            continue;
+        t.addRow({procName(kind), std::to_string(wl.stepCount(kind)),
+                  fmtF(ticksToSeconds(pt), 3),
+                  fmtPct(static_cast<double>(pt) /
+                             static_cast<double>(res.total.makespan),
+                         1),
+                  fmtPct(res.procCommFraction(kind), 1)});
+    }
+    t.print();
+
+    EnergyBreakdown e = computeEnergy(res.total, EnergyParams{},
+                                      spec.fpga,
+                                      spec.cluster.totalCards());
+    std::printf("\nenergy: %.1f J (HBM %.0f%%, NTT %.0f%%, NIC %.2f%%)\n",
+                e.total(), e.dynamicShare(e.hbmJ) * 100,
+                e.dynamicShare(e.cuJ[0]) * 100,
+                e.dynamicShare(e.nicJ) * 100);
+    return 0;
+}

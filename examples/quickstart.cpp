@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: encrypt a vector with the CKKS library, compute on it
+ * homomorphically, decrypt -- then model the very same operations on a
+ * single Hydra card and print the cycle-level cost.
+ */
+
+#include <cstdio>
+
+#include "arch/opcost.hh"
+#include "fhe/encryptor.hh"
+#include "fhe/evaluator.hh"
+#include "fhe/keygen.hh"
+
+using namespace hydra;
+
+int
+main()
+{
+    // --- 1. Functional CKKS ------------------------------------------
+    CkksParams params;
+    params.n = 1 << 12; // 2048 slots
+    params.levels = 6;
+    CkksContext ctx(params);
+    std::printf("Context: %s\n", params.describe().c_str());
+
+    CkksEncoder encoder(ctx);
+    KeyGenerator keygen(ctx);
+    SecretKey sk = keygen.secretKey();
+    PublicKey pk = keygen.publicKey(sk);
+    EvalKey relin = keygen.relinKey(sk);
+    GaloisKeys galois = keygen.galoisKeys(sk, {1, 4});
+
+    Encryptor encryptor(ctx, pk);
+    Decryptor decryptor(ctx, sk);
+    Evaluator eval(ctx, encoder);
+    eval.setRelinKey(&relin);
+    eval.setGaloisKeys(&galois);
+    OpCounter counter;
+    eval.setCounter(&counter);
+
+    // Encrypt [0.00, 0.01, 0.02, ...].
+    std::vector<double> v(ctx.slots());
+    for (size_t i = 0; i < v.size(); ++i)
+        v[i] = 0.01 * static_cast<double>(i % 100);
+    Ciphertext ct = encryptor.encrypt(
+        encoder.encode(v, params.scale(), ctx.levels()));
+
+    // (rotate(x, 1) + x)^2 * 0.25 -- a tiny sliding-window average.
+    Ciphertext shifted = eval.rotate(ct, 1);
+    Ciphertext sum = eval.add(ct, shifted);
+    Ciphertext sq = eval.rescale(eval.mulRelin(sum, sum));
+    Ciphertext out = eval.mulConstantRescale(sq, cplx(0.25, 0.0),
+                                             params.scale());
+
+    auto got = encoder.decode(decryptor.decrypt(out));
+    double worst = 0;
+    for (size_t i = 0; i + 1 < v.size(); ++i) {
+        double expect = 0.25 * (v[i] + v[i + 1]) * (v[i] + v[i + 1]);
+        worst = std::max(worst, std::abs(got[i].real() - expect));
+    }
+    std::printf("homomorphic sliding average: max error %.2e "
+                "(ops: %s)\n",
+                worst, counter.summary().c_str());
+
+    // --- 2. The same ops on the modelled Hydra card -------------------
+    OpCostModel model(FpgaParams{}, size_t{1} << 16, 4);
+    struct Row
+    {
+        const char* name;
+        HeOpType op;
+        size_t limbs;
+    };
+    const Row rows[] = {
+        {"Rotate", HeOpType::Rotate, 24},
+        {"HAdd", HeOpType::HAdd, 24},
+        {"CMult", HeOpType::CMult, 24},
+        {"Rescale", HeOpType::Rescale, 24},
+        {"PMult", HeOpType::PMult, 23},
+    };
+    std::printf("\nModelled Hydra card (N = 2^16, 512 lanes, 300 MHz):\n");
+    std::printf("%-10s %12s %12s %12s\n", "op", "cycles", "HBM MiB",
+                "latency us");
+    for (const Row& r : rows) {
+        OpCost c = model.cost(r.op, r.limbs);
+        std::printf("%-10s %12llu %12.1f %12.1f\n", r.name,
+                    static_cast<unsigned long long>(c.cycles),
+                    static_cast<double>(c.hbmBytes) / (1 << 20),
+                    ticksToSeconds(model.latency(c)) * 1e6);
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+#include "analysis/energy.hh"
+
+namespace hydra {
+
+double
+EnergyBreakdown::dynamicShare(double bucket) const
+{
+    double dynamic = computeJ() + hbmJ + nicJ;
+    return dynamic > 0 ? bucket / dynamic : 0.0;
+}
+
+EnergyBreakdown
+computeEnergy(const RunStats& stats, const EnergyParams& energy,
+              const FpgaParams& fpga, size_t cards)
+{
+    EnergyBreakdown out;
+    for (size_t i = 0; i < kNumCuTypes; ++i)
+        out.cuJ[i] = static_cast<double>(stats.totalCost.cuOps[i]) *
+                     energy.cuOpJ[i];
+    out.hbmJ = static_cast<double>(stats.totalCost.hbmBytes) *
+               fpga.hbmTrafficFactor * energy.hbmJPerByte;
+    out.nicJ = static_cast<double>(stats.netBytes) * energy.nicJPerByte;
+    out.staticJ = energy.staticWatts * ticksToSeconds(stats.makespan) *
+                  static_cast<double>(cards);
+    return out;
+}
+
+EnergyParams
+asicEnergyParams()
+{
+    // 7nm-standardized coefficients (RTL-derived in the paper); an
+    // ASIC implementation of the same datapath spends roughly 5x less
+    // per operation than the FPGA fabric and uses on-die SRAM-backed
+    // HBM PHYs.
+    EnergyParams p;
+    p.cuOpJ[static_cast<size_t>(CuType::Ntt)] = 3.5e-12;
+    p.cuOpJ[static_cast<size_t>(CuType::Mm)] = 3.0e-12;
+    p.cuOpJ[static_cast<size_t>(CuType::Ma)] = 0.4e-12;
+    p.cuOpJ[static_cast<size_t>(CuType::Aut)] = 0.8e-12;
+    p.hbmJPerByte = 4e-12 * 8;
+    p.nicJPerByte = 0.8e-12 * 8;
+    p.staticWatts = 8.0;
+    return p;
+}
+
+double
+edap(double energy_j, double delay_s, double area_mm2)
+{
+    // Table III units: kJ * s * m^2-normalized (scale constant chosen
+    // once so published and measured magnitudes align; the comparison
+    // metric is ratio-based, so the constant cancels).
+    constexpr double kScale = 1.3e-8;
+    return energy_j * delay_s * area_mm2 * kScale;
+}
+
+double
+hydraCardAreaMm2()
+{
+    // 512-lane datapath, four CUs + scratchpad + DTU at 7nm; in the
+    // same ballpark as single-chip FHE ASICs normalized per card.
+    return 160.0;
+}
+
+} // namespace hydra

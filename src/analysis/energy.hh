@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Energy accounting (paper Fig. 7) and EDAP efficiency (Table III).
+ */
+
+#ifndef HYDRA_ANALYSIS_ENERGY_HH
+#define HYDRA_ANALYSIS_ENERGY_HH
+
+#include <array>
+
+#include "sync/executor.hh"
+
+namespace hydra {
+
+/** Joules per component over one run. */
+struct EnergyBreakdown
+{
+    /** Per compute unit (NTT, MM, MA, AUT). */
+    std::array<double, kNumCuTypes> cuJ{};
+    double hbmJ = 0.0;
+    double nicJ = 0.0;
+    double staticJ = 0.0;
+
+    double
+    computeJ() const
+    {
+        double s = 0.0;
+        for (double j : cuJ)
+            s += j;
+        return s;
+    }
+
+    double total() const { return computeJ() + hbmJ + nicJ + staticJ; }
+
+    /** Fraction of dynamic (non-static) energy spent in one bucket. */
+    double dynamicShare(double bucket) const;
+};
+
+/**
+ * Derive the energy breakdown of a run.
+ * @param cards number of cards drawing static power for the makespan
+ */
+EnergyBreakdown computeEnergy(const RunStats& stats,
+                              const EnergyParams& energy,
+                              const FpgaParams& fpga, size_t cards);
+
+/** 7nm ASIC-standardized energy coefficients (Table III methodology). */
+EnergyParams asicEnergyParams();
+
+/**
+ * Energy-Delay-Area product in the paper's (normalized) Table III
+ * units.
+ * @param area_mm2 total silicon area of the machine
+ */
+double edap(double energy_j, double delay_s, double area_mm2);
+
+/** 7nm-standardized area of one Hydra card's logic, mm^2. */
+double hydraCardAreaMm2();
+
+} // namespace hydra
+
+#endif // HYDRA_ANALYSIS_ENERGY_HH

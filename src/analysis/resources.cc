@@ -1,0 +1,44 @@
+#include "analysis/resources.hh"
+
+#include <cmath>
+
+namespace hydra {
+
+ResourceUsage
+u280Available()
+{
+    return ResourceUsage{1304.0, 2607.0, 9024, 4032, 962};
+}
+
+ResourceUsage
+estimateResources(const FpgaParams& fpga)
+{
+    ResourceUsage r;
+    double lanes = static_cast<double>(fpga.lanes);
+    double log_radix = std::log2(static_cast<double>(fpga.nttRadix));
+
+    // DSP: each NTT lane carries a pipelined modular multiplier whose
+    // depth grows with the fused radix (radix-4 fuses two stages); the
+    // Barrett MM unit adds ~4 DSP48 per lane; MA and AUT need none.
+    double dsp_per_ntt_lane = 9.0 + 2.0 * log_radix; // 13 at radix 4
+    double dsp_per_mm_lane = 4.0;
+    r.dsp = static_cast<int>(lanes * (dsp_per_ntt_lane + dsp_per_mm_lane));
+
+    // LUT/FF: datapath + twiddle addressing + butterfly routing.
+    double lut_per_lane = 1100.0 /*NTT*/ + 300.0 /*MM*/ + 100.0 /*MA*/ +
+                          150.0 /*AUT*/;
+    double control_luts = 152e3; // DTU, queues, sync control, host shell
+    r.lutsK = (lanes * lut_per_lane + control_luts) / 1e3;
+    r.ffsK = r.lutsK * 1.38; // pipeline registers track LUT usage
+
+    // BRAM: dual-port data caches feeding each CU's lanes.
+    r.bram = static_cast<int>(lanes * kNumCuTypes * 1.5);
+
+    // URAM: single-port evaluation-key cache sized to the scratchpad.
+    r.uram = static_cast<int>(
+        std::min<double>(962.0, lanes * 1.5));
+
+    return r;
+}
+
+} // namespace hydra

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * FPGA resource-utilization model (paper Table IV): estimates U280
+ * LUT/FF/DSP/BRAM/URAM usage of the Hydra card from its
+ * microarchitecture parameters.
+ */
+
+#ifndef HYDRA_ANALYSIS_RESOURCES_HH
+#define HYDRA_ANALYSIS_RESOURCES_HH
+
+#include "arch/hwparams.hh"
+
+namespace hydra {
+
+/** Absolute resource counts on the card. */
+struct ResourceUsage
+{
+    double lutsK = 0.0;
+    double ffsK = 0.0;
+    int dsp = 0;
+    int bram = 0;
+    int uram = 0;
+};
+
+/** Available resources of a Xilinx Alveo U280. */
+ResourceUsage u280Available();
+
+/**
+ * Estimated utilization of a Hydra card: NTT (radix-based butterfly
+ * network, DSP-heavy), MM (Barrett), MA, Automorphism (addressing
+ * logic only), CU data buffers in BRAM, the key cache in URAM, and the
+ * DTU + control fabric.
+ */
+ResourceUsage estimateResources(const FpgaParams& fpga);
+
+} // namespace hydra
+
+#endif // HYDRA_ANALYSIS_RESOURCES_HH

@@ -1,0 +1,75 @@
+#include "arch/network.hh"
+
+#include <cmath>
+
+namespace hydra {
+
+Tick
+SwitchedNetwork::transferTime(uint64_t bytes, size_t src, size_t dst) const
+{
+    int hops = 1;
+    if (cluster_.serverOf(src) != cluster_.serverOf(dst))
+        hops += net_.crossServerExtraHops;
+    double wire = static_cast<double>(bytes) / net_.linkBytesPerSec;
+    return secondsToTicks(wire) +
+           static_cast<Tick>(hops) * net_.switchLatency;
+}
+
+Tick
+SwitchedNetwork::broadcastTime(uint64_t bytes, size_t src,
+                               size_t n_cards) const
+{
+    // The switch replicates the stream: one egress serialization from
+    // the sender plus the worst-case hop count in the cluster.
+    (void)src;
+    int hops = 1;
+    if (n_cards > cluster_.cardsPerServer)
+        hops += net_.crossServerExtraHops;
+    double wire = static_cast<double>(bytes) / net_.linkBytesPerSec;
+    return secondsToTicks(wire) +
+           static_cast<Tick>(hops) * net_.switchLatency;
+}
+
+Tick
+HostMediatedNetwork::transferTime(uint64_t bytes, size_t src,
+                                  size_t dst) const
+{
+    // Directly paired boards (2i, 2i+1) keep FAB's point-to-point
+    // network link.  Everything else goes FPGA -> host over PCIe, then
+    // host -> host over the LAN when the cards sit on different hosts,
+    // then host -> FPGA over PCIe.
+    double b = static_cast<double>(bytes);
+    bool same_server = cluster_.serverOf(src) == cluster_.serverOf(dst);
+    if ((src ^ 1) == dst && same_server)
+        return secondsToTicks(b / net_.lanBytesPerSec) + net_.hostLatency;
+
+    double t = 2.0 * b / net_.pcieBytesPerSec; // in and out over PCIe
+    if (!same_server)
+        t += b / net_.lanBytesPerSec; // host-to-host LAN hop
+    return secondsToTicks(t) + 2 * net_.hostLatency;
+}
+
+Tick
+HostMediatedNetwork::broadcastTime(uint64_t bytes, size_t src,
+                                   size_t n_cards) const
+{
+    // No switch replication: the host reads the data once over PCIe,
+    // unicasts it to each co-located card over PCIe, and to each remote
+    // server once over the LAN plus a PCIe write per remote card.
+    double b = static_cast<double>(bytes);
+    size_t per_server = cluster_.cardsPerServer;
+    size_t servers = (n_cards + per_server - 1) / per_server;
+    size_t local_targets = std::min(n_cards - 1, per_server - 1);
+    size_t remote_targets = n_cards - 1 - local_targets;
+    double t = b / net_.pcieBytesPerSec; // ingest from the source card
+    t += static_cast<double>(local_targets) * b / net_.pcieBytesPerSec;
+    if (servers > 1) {
+        t += static_cast<double>(servers - 1) * b / net_.lanBytesPerSec;
+        t += static_cast<double>(remote_targets) * b /
+             net_.pcieBytesPerSec;
+    }
+    (void)src;
+    return secondsToTicks(t) + 2 * net_.hostLatency;
+}
+
+} // namespace hydra

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Inter-card communication models.
+ *
+ * SwitchedNetwork is Hydra's DTU + switch fabric: point-to-point and
+ * broadcast transfers that proceed concurrently with compute.
+ * HostMediatedNetwork is FAB's path: FPGA -> host (PCIe), host -> host
+ * (LAN), host -> FPGA (PCIe), with software synchronization overhead
+ * and no compute/communication overlap (paper Section II-B1, V-D).
+ */
+
+#ifndef HYDRA_ARCH_NETWORK_HH
+#define HYDRA_ARCH_NETWORK_HH
+
+#include <cstdint>
+
+#include "arch/hwparams.hh"
+
+namespace hydra {
+
+/** Abstract transfer-time model between cards of a cluster. */
+class NetworkModel
+{
+  public:
+    virtual ~NetworkModel() = default;
+
+    /** Wire time of a point-to-point transfer of `bytes`. */
+    virtual Tick transferTime(uint64_t bytes, size_t src,
+                              size_t dst) const = 0;
+
+    /** Wire time of a broadcast from `src` to every other card. */
+    virtual Tick broadcastTime(uint64_t bytes, size_t src,
+                               size_t n_cards) const = 0;
+
+    /** Receiver-side setup (DMA config / host driver) before ready. */
+    virtual Tick setupLatency() const = 0;
+
+    /** Whether transfers overlap with computation (independent DTU). */
+    virtual bool overlapsCompute() const = 0;
+
+    /** Per-step host synchronization overhead (Procedure 2 rollup). */
+    virtual Tick stepSyncLatency() const = 0;
+};
+
+/** Hydra: QSFP + switch, DTU-driven, overlapping. */
+class SwitchedNetwork : public NetworkModel
+{
+  public:
+    SwitchedNetwork(const NetParams& net, const ClusterConfig& cluster)
+        : net_(net), cluster_(cluster)
+    {
+    }
+
+    Tick transferTime(uint64_t bytes, size_t src,
+                      size_t dst) const override;
+    Tick broadcastTime(uint64_t bytes, size_t src,
+                       size_t n_cards) const override;
+    Tick setupLatency() const override { return net_.dmaConfigLatency; }
+    bool overlapsCompute() const override { return true; }
+
+    /** Completion signal only: negligible (paper Section IV-D). */
+    Tick
+    stepSyncLatency() const override
+    {
+        return net_.switchLatency;
+    }
+
+  private:
+    NetParams net_;
+    ClusterConfig cluster_;
+};
+
+/** FAB: host-forwarded transfers, blocking, software-synchronized. */
+class HostMediatedNetwork : public NetworkModel
+{
+  public:
+    HostMediatedNetwork(const HostNetParams& net,
+                        const ClusterConfig& cluster)
+        : net_(net), cluster_(cluster)
+    {
+    }
+
+    Tick transferTime(uint64_t bytes, size_t src,
+                      size_t dst) const override;
+    Tick broadcastTime(uint64_t bytes, size_t src,
+                       size_t n_cards) const override;
+    Tick setupLatency() const override { return net_.hostLatency; }
+    bool overlapsCompute() const override { return false; }
+    Tick stepSyncLatency() const override { return net_.hostLatency; }
+
+  private:
+    HostNetParams net_;
+    ClusterConfig cluster_;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_ARCH_NETWORK_HH

@@ -1,0 +1,239 @@
+#include "arch/opcost.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+const char*
+cuName(CuType t)
+{
+    switch (t) {
+      case CuType::Ntt: return "NTT";
+      case CuType::Mm: return "MM";
+      case CuType::Ma: return "MA";
+      case CuType::Aut: return "AUT";
+      default: break;
+    }
+    panic("unknown CuType %d", static_cast<int>(t));
+}
+
+ClusterConfig
+hydraS()
+{
+    return ClusterConfig{1, 1};
+}
+
+ClusterConfig
+hydraM()
+{
+    return ClusterConfig{1, 8};
+}
+
+ClusterConfig
+hydraL()
+{
+    return ClusterConfig{8, 8};
+}
+
+OpCostModel::OpCostModel(const FpgaParams& fpga, size_t n, size_t dnum)
+    : fpga_(fpga), n_(n), dnum_(dnum)
+{
+    HYDRA_ASSERT(std::has_single_bit(n), "ring dimension power of two");
+    logN_ = static_cast<size_t>(std::countr_zero(n));
+    HYDRA_ASSERT(dnum >= 1, "dnum >= 1");
+}
+
+uint64_t
+OpCostModel::nttPasses() const
+{
+    // Radix-r NTT fuses log2(r) radix-2 stages per pass.
+    size_t log_radix = std::countr_zero(fpga_.nttRadix);
+    return (logN_ + log_radix - 1) / log_radix;
+}
+
+uint64_t
+OpCostModel::ciphertextBytes(size_t limbs) const
+{
+    return 2ull * limbs * n_ * sizeof(uint64_t);
+}
+
+uint64_t
+OpCostModel::keyBytes(size_t limbs) const
+{
+    size_t alpha = (limbs + dnum_ - 1) / dnum_; // special primes
+    size_t beta = limbs + alpha;
+    return 2ull * dnum_ * beta * n_ * sizeof(uint64_t);
+}
+
+OpCost
+OpCostModel::cost(HeOpType op, size_t limbs) const
+{
+    HYDRA_ASSERT(limbs >= 1, "limbs >= 1");
+    const uint64_t pass = passCycles();
+    const uint64_t ntt_p = nttPasses();
+    const uint64_t limb_bytes = n_ * sizeof(uint64_t);
+    size_t l = limbs;
+    size_t alpha = (l + dnum_ - 1) / dnum_;
+    size_t beta = l + alpha;
+
+    // Accumulate passes per CU; convert to cycles/ops at the end.
+    uint64_t p_ntt = 0, p_mm = 0, p_ma = 0, p_aut = 0;
+    uint64_t bytes = 0;
+
+    auto keyswitch = [&]() {
+        // Per digit: lift (MA), beta forward NTTs, 2*beta MM (b and a
+        // key mults), 2*beta MA (accumulate).
+        p_ma += dnum_ * beta;
+        p_ntt += dnum_ * beta * ntt_p;
+        p_mm += 2 * dnum_ * beta;
+        p_ma += 2 * dnum_ * beta;
+        // ModDown of the two accumulators: INTT of alpha special limbs,
+        // NTT of correction into l limbs, MM+MA per limb.
+        p_ntt += 2 * (alpha + l) * ntt_p;
+        p_mm += 2 * l;
+        p_ma += 2 * l;
+        // Keys are streamed from HBM; digits stay in scratchpad.
+        bytes += keyBytes(l);
+    };
+
+    switch (op) {
+      case HeOpType::HAdd:
+        p_ma += 2 * l;
+        bytes += 3 * ciphertextBytes(l); // read a, b; write out
+        break;
+      case HeOpType::PMult:
+        p_mm += 2 * l;
+        bytes += 2 * ciphertextBytes(l) + l * limb_bytes;
+        break;
+      case HeOpType::CMult:
+        // Tensor product (4 MM + 1 MA for the cross term), INTT of d2,
+        // keyswitch, two final adds.
+        p_mm += 4 * l;
+        p_ma += 1 * l;
+        p_ntt += l * ntt_p; // d2 to coefficient domain
+        keyswitch();
+        p_ma += 2 * l;
+        bytes += 3 * ciphertextBytes(l);
+        break;
+      case HeOpType::Rescale:
+        // Per polynomial: INTT last limb, NTT correction into l-1
+        // limbs, MM+MA per remaining limb.
+        p_ntt += 2 * (1 + (l - 1)) * ntt_p;
+        p_mm += 2 * (l - 1);
+        p_ma += 2 * (l - 1);
+        bytes += 2 * ciphertextBytes(l);
+        break;
+      case HeOpType::Rotate:
+      case HeOpType::Conjugate:
+        p_aut += 2 * l;           // permute both polynomials
+        p_ntt += 2 * l * ntt_p;   // to coeff domain for the automorphism
+        keyswitch();
+        p_ma += 2 * l;
+        bytes += 2 * ciphertextBytes(l);
+        break;
+      case HeOpType::KeySwitch:
+        keyswitch();
+        bytes += 2 * ciphertextBytes(l);
+        break;
+      case HeOpType::ModRaise:
+        p_ntt += 2 * (1 + l) * ntt_p;
+        p_ma += 2 * l;
+        bytes += ciphertextBytes(1) + ciphertextBytes(l);
+        break;
+      default:
+        panic("no cost model for op %d", static_cast<int>(op));
+    }
+
+    OpCost c;
+    // The four CUs are separate pipelines operating concurrently
+    // (paper Fig. 4); with double-buffered operands the slowest unit
+    // governs the op's compute time.
+    uint64_t bottleneck_passes =
+        std::max(std::max(p_ntt, p_mm), std::max(p_ma, p_aut));
+    c.cycles = static_cast<uint64_t>(
+        static_cast<double>(bottleneck_passes * pass) *
+        fpga_.computeDerate);
+    c.hbmBytes = bytes;
+    c.cuOps[static_cast<size_t>(CuType::Ntt)] = p_ntt * n_;
+    c.cuOps[static_cast<size_t>(CuType::Mm)] = p_mm * n_;
+    c.cuOps[static_cast<size_t>(CuType::Ma)] = p_ma * n_;
+    c.cuOps[static_cast<size_t>(CuType::Aut)] = p_aut * n_;
+    c.limbs = static_cast<uint32_t>(l);
+    return c;
+}
+
+uint64_t
+OpCostModel::workingSetBytes(size_t limbs) const
+{
+    // Two ciphertext operands plus one digit buffer extended to the
+    // special primes, all resident during a keyswitch-bearing op.
+    size_t alpha = (limbs + dnum_ - 1) / dnum_;
+    return 2 * ciphertextBytes(limbs) +
+           (limbs + alpha) * n_ * sizeof(uint64_t);
+}
+
+double
+OpCostModel::trafficFactor(size_t limbs) const
+{
+    double factor = fpga_.hbmTrafficFactor;
+    if (fpga_.scratchpadOverflowPenalty > 0.0 && limbs >= 1) {
+        double ws = static_cast<double>(workingSetBytes(limbs));
+        double cap = static_cast<double>(fpga_.scratchpadBytes);
+        if (ws > cap)
+            factor += fpga_.scratchpadOverflowPenalty * (ws / cap - 1.0);
+    }
+    return factor;
+}
+
+OpCost
+OpCostModel::mixCost(const OpMix& mix, size_t limbs) const
+{
+    OpCost c;
+    for (uint32_t i = 0; i < mix.rotations; ++i)
+        c += cost(HeOpType::Rotate, limbs);
+    for (uint32_t i = 0; i < mix.cmults; ++i)
+        c += cost(HeOpType::CMult, limbs);
+    for (uint32_t i = 0; i < mix.pmults; ++i)
+        c += cost(HeOpType::PMult, limbs);
+    for (uint32_t i = 0; i < mix.hadds; ++i)
+        c += cost(HeOpType::HAdd, limbs);
+    return c;
+}
+
+OpCost
+counterCost(const OpCostModel& model, const OpCounter& counter)
+{
+    OpCost total;
+    for (size_t i = 0; i < kNumHeOpTypes; ++i) {
+        HeOpType op = static_cast<HeOpType>(i);
+        if (op == HeOpType::KeySwitch)
+            continue; // folded into Rotate/Conjugate/CMult
+        uint64_t count = counter.count(op);
+        if (!count)
+            continue;
+        size_t avg_limbs = static_cast<size_t>(
+            (counter.limbSum(op) + count / 2) / count);
+        avg_limbs = std::max<size_t>(avg_limbs, 1);
+        OpCost c = model.cost(op, avg_limbs);
+        c.cycles *= count;
+        c.hbmBytes *= count;
+        for (auto& x : c.cuOps)
+            x *= count;
+        total += c;
+    }
+    return total;
+}
+
+Tick
+OpCostModel::latency(const OpCost& c) const
+{
+    double compute_s = static_cast<double>(c.cycles) * fpga_.cycleSeconds();
+    double memory_s = static_cast<double>(c.hbmBytes) *
+                      trafficFactor(c.limbs) / fpga_.hbmBytesPerSec;
+    return secondsToTicks(std::max(compute_s, memory_s));
+}
+
+} // namespace hydra

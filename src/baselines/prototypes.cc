@@ -1,0 +1,143 @@
+#include "baselines/prototypes.hh"
+
+namespace hydra {
+
+PrototypeSpec
+hydraPrototype(const std::string& name, size_t servers,
+               size_t cards_per_server)
+{
+    PrototypeSpec s;
+    s.name = name;
+    s.cluster = ClusterConfig{servers, cards_per_server};
+    s.fpga = FpgaParams{}; // U280 defaults, MAD-style caching
+    s.netKind = PrototypeSpec::NetKind::Switched;
+    return s;
+}
+
+PrototypeSpec
+hydraSSpec()
+{
+    return hydraPrototype("Hydra-S", 1, 1);
+}
+
+PrototypeSpec
+hydraMSpec()
+{
+    return hydraPrototype("Hydra-M", 1, 8);
+}
+
+PrototypeSpec
+hydraLSpec()
+{
+    return hydraPrototype("Hydra-L", 8, 8);
+}
+
+PrototypeSpec
+fabPrototype(const std::string& name, size_t servers,
+             size_t cards_per_server)
+{
+    PrototypeSpec s;
+    s.name = name;
+    s.cluster = ClusterConfig{servers, cards_per_server};
+    s.fpga = FpgaParams{};
+    // FAB schedules operand fetches without MAD's reuse planning and
+    // sustains a lower effective pipeline rate; Table II has FAB-S
+    // ~2.9x slower than Hydra-S across the four benchmarks.
+    s.fpga.hbmTrafficFactor = 2.4;
+    s.fpga.computeDerate = 3.0;
+    s.netKind = PrototypeSpec::NetKind::HostMediated;
+    return s;
+}
+
+PrototypeSpec
+fabSSpec()
+{
+    return fabPrototype("FAB-S", 1, 1);
+}
+
+PrototypeSpec
+fabMSpec()
+{
+    return fabPrototype("FAB-M", 1, 8);
+}
+
+PrototypeSpec
+fabLSpec()
+{
+    return fabPrototype("FAB-L", 8, 8);
+}
+
+PrototypeSpec
+poseidonSpec()
+{
+    PrototypeSpec s;
+    s.name = "Poseidon";
+    s.cluster = ClusterConfig{1, 1};
+    s.fpga = FpgaParams{};
+    // Strong radix-based CUs, but no efficient caching strategy:
+    // frequent HBM access dominates (paper Section IV-B), leaving it
+    // ~1.3x behind Hydra-S.
+    s.fpga.hbmTrafficFactor = 2.0;
+    s.fpga.computeDerate = 1.0;
+    s.netKind = PrototypeSpec::NetKind::Switched;
+    return s;
+}
+
+const std::vector<PublishedRow>&
+asicPerformanceTable()
+{
+    static const std::vector<PublishedRow> rows = {
+        {"CraterLake", 5.51, 89.76, 76.34, 2615.11},
+        {"BTS", 32.81, 534.06, 454.23, 15560.30},
+        {"ARK", 2.15, 34.95, 29.73, 1018.34},
+        {"SHARP", 1.70, 27.68, 23.54, 806.53},
+    };
+    return rows;
+}
+
+const std::vector<PublishedRow>&
+paperFpgaTable()
+{
+    static const std::vector<PublishedRow> rows = {
+        {"FAB-S", 131.94, 2255.46, 1302.68, 51813.24},
+        {"Poseidon", 55.05, 915.51, 616.59, 24006.44},
+        {"FAB-M", 18.89, 287.27, 208.54, 6841.11},
+    };
+    return rows;
+}
+
+const std::vector<PublishedRow>&
+paperHydraTable()
+{
+    static const std::vector<PublishedRow> rows = {
+        {"Hydra-S", 41.29, 686.63, 462.44, 18004.83},
+        {"Hydra-M", 5.60, 86.79, 72.31, 2382.18},
+        {"Hydra-L", 1.49, 12.94, 13.81, 321.58},
+    };
+    return rows;
+}
+
+const std::vector<PublishedRow>&
+asicEdapTable()
+{
+    static const std::vector<PublishedRow> rows = {
+        {"CraterLake", 1.40, 371.4, 268.7, 315260},
+        {"BTS", 53.81, 14257.4, 10313.9, 12103166},
+        {"ARK", 0.54, 143.7, 104.0, 122024},
+        {"SHARP", 0.09, 22.8, 16.5, 19330},
+    };
+    return rows;
+}
+
+const std::vector<PublishedRow>&
+paperHydraEdapTable()
+{
+    static const std::vector<PublishedRow> rows = {
+        {"Hydra-S", 0.12, 32.8, 8.8, 12703},
+        {"Hydra-M", 0.15, 33.8, 12.5, 13541},
+        {"Hydra-L", 0.59, 48.1, 38.1, 16208},
+    };
+    return rows;
+}
+
+} // namespace hydra

@@ -1,0 +1,94 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace hydra {
+namespace detail {
+
+void
+logLine(std::string_view tag, std::string_view msg)
+{
+    std::fprintf(stderr, "[%.*s] %.*s\n",
+                 static_cast<int>(tag.size()), tag.data(),
+                 static_cast<int>(msg.size()), msg.data());
+}
+
+std::string
+vformat(const char* fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return "<format error>";
+    std::string out(static_cast<size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+void
+fatalExit()
+{
+    std::exit(1);
+}
+
+void
+panicAbort()
+{
+    std::abort();
+}
+
+} // namespace detail
+
+std::string
+strf(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = detail::vformat(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::logLine("fatal", detail::vformat(fmt, args));
+    va_end(args);
+    detail::fatalExit();
+}
+
+void
+panic(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::logLine("panic", detail::vformat(fmt, args));
+    va_end(args);
+    detail::panicAbort();
+}
+
+void
+warn(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::logLine("warn", detail::vformat(fmt, args));
+    va_end(args);
+}
+
+void
+inform(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::logLine("info", detail::vformat(fmt, args));
+    va_end(args);
+}
+
+} // namespace hydra

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 spirit.
+ *
+ * fatal()  -- the situation is the user's fault (bad configuration,
+ *             invalid arguments); exits with status 1.
+ * panic()  -- the situation is a bug in Hydra itself; aborts.
+ * warn()   -- something works but not as well as it should.
+ * inform() -- plain status output.
+ *
+ * All take printf-style format strings, checked at compile time.
+ */
+
+#ifndef HYDRA_COMMON_LOGGING_HH
+#define HYDRA_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+
+namespace hydra {
+
+namespace detail {
+
+/** Emit one log line with the given severity tag to stderr. */
+void logLine(std::string_view tag, std::string_view msg);
+
+/** vsnprintf into a std::string. */
+std::string vformat(const char* fmt, std::va_list args);
+
+[[noreturn]] void fatalExit();
+[[noreturn]] void panicAbort();
+
+} // namespace detail
+
+/** printf into a std::string. */
+std::string strf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user-caused error and exit(1). */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal Hydra bug and abort(). */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about questionable but survivable conditions. */
+void warn(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Plain informational status message. */
+void inform(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert-like check that survives NDEBUG builds.  Use for invariants whose
+ * violation means a Hydra bug.
+ */
+#define HYDRA_ASSERT(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::hydra::panic("assertion failed: %s (%s) at %s:%d",            \
+                           #cond, msg, __FILE__, __LINE__);                 \
+        }                                                                   \
+    } while (0)
+
+} // namespace hydra
+
+#endif // HYDRA_COMMON_LOGGING_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic random-number helpers.  All stochastic behaviour in Hydra
+ * (key sampling, synthetic inputs) flows through an explicitly seeded
+ * engine so simulations and tests are reproducible.
+ */
+
+#ifndef HYDRA_COMMON_RNG_HH
+#define HYDRA_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hydra {
+
+/** Thin wrapper around a 64-bit Mersenne twister with typed draws. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : engine_(seed) {}
+
+    /** Uniform integer in [0, bound). */
+    uint64_t
+    uniformU64(uint64_t bound)
+    {
+        std::uniform_int_distribution<uint64_t> d(0, bound - 1);
+        return d(engine_);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        std::uniform_real_distribution<double> d(lo, hi);
+        return d(engine_);
+    }
+
+    /** Ternary value in {-1, 0, 1} — used for CKKS secret keys. */
+    int
+    ternary()
+    {
+        std::uniform_int_distribution<int> d(-1, 1);
+        return d(engine_);
+    }
+
+    /** Centered binomial-ish small error sample (discrete gaussian-like). */
+    int
+    smallError(double stddev = 3.2)
+    {
+        std::normal_distribution<double> d(0.0, stddev);
+        return static_cast<int>(std::lround(d(engine_)));
+    }
+
+    /** A vector of uniform doubles — synthetic plaintext messages. */
+    std::vector<double>
+    realVector(size_t n, double lo = -1.0, double hi = 1.0)
+    {
+        std::vector<double> v(n);
+        for (auto& x : v)
+            x = uniformReal(lo, hi);
+        return v;
+    }
+
+    std::mt19937_64& engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_COMMON_RNG_HH

@@ -1,0 +1,127 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+TextTable::TextTable(std::string caption)
+    : caption_(std::move(caption))
+{
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (!header_.empty() && cells.size() != header_.size()) {
+        panic("TextTable row has %zu cells, header has %zu",
+              cells.size(), header_.size());
+    }
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths over header and all rows.
+    size_t ncols = header_.size();
+    for (const auto& r : rows_)
+        ncols = std::max(ncols, r.cells.size());
+
+    std::vector<size_t> width(ncols, 0);
+    auto account = [&](const std::vector<std::string>& cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    account(header_);
+    for (const auto& r : rows_)
+        if (!r.separator)
+            account(r.cells);
+
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 3;
+
+    auto line = [&](const std::vector<std::string>& cells) {
+        std::string out;
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string& c = i < cells.size() ? cells[i] : std::string();
+            out += c;
+            out.append(width[i] - c.size() + (i + 1 < ncols ? 3 : 0), ' ');
+        }
+        out += '\n';
+        return out;
+    };
+
+    std::string out;
+    if (!caption_.empty())
+        out += caption_ + '\n';
+    if (!header_.empty()) {
+        out += line(header_);
+        out += std::string(total, '-') + '\n';
+    }
+    for (const auto& r : rows_) {
+        if (r.separator)
+            out += std::string(total, '-') + '\n';
+        else
+            out += line(r.cells);
+    }
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::string s = render();
+    std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+std::string
+fmtF(double v, int precision)
+{
+    return strf("%.*f", precision, v);
+}
+
+std::string
+fmtX(double v, int precision)
+{
+    return strf("%.*fx", precision, v);
+}
+
+std::string
+fmtPct(double fraction, int precision)
+{
+    return strf("%.*f%%", precision, fraction * 100.0);
+}
+
+std::string
+fmtGrouped(uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out += ',';
+        out += *it;
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace hydra

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal aligned-text table printer used by the benchmark harnesses to
+ * regenerate the paper's tables on stdout.
+ */
+
+#ifndef HYDRA_COMMON_TABLE_HH
+#define HYDRA_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hydra {
+
+/**
+ * Accumulates rows of strings and prints them with per-column alignment.
+ * All formatting is plain ASCII so that bench output diffs cleanly.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with an optional caption printed above the header. */
+    explicit TextTable(std::string caption = {});
+
+    /** Set the header row.  Must be called before addRow(). */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row; the cell count must match the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the whole table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+/** Format a double with the given precision, e.g.\ fmtF(3.14159, 2). */
+std::string fmtF(double v, int precision);
+
+/** Format a double as "12.3x" style speedup. */
+std::string fmtX(double v, int precision = 1);
+
+/** Format a fraction as a percentage string, e.g.\ "12.5%". */
+std::string fmtPct(double fraction, int precision = 1);
+
+/** Format with thousands separators, e.g.\ 1234567 -> "1,234,567". */
+std::string fmtGrouped(uint64_t v);
+
+} // namespace hydra
+
+#endif // HYDRA_COMMON_TABLE_HH

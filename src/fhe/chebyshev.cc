@@ -1,0 +1,117 @@
+#include "fhe/chebyshev.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+double
+ChebyshevPoly::operator()(double x) const
+{
+    HYDRA_ASSERT(!coeffs.empty(), "empty Chebyshev polynomial");
+    double t = (2.0 * x - a - b) / (b - a);
+    // Clenshaw recurrence.
+    double b1 = 0.0, b2 = 0.0;
+    for (size_t k = coeffs.size(); k-- > 1;) {
+        double tmp = 2.0 * t * b1 - b2 + coeffs[k];
+        b2 = b1;
+        b1 = tmp;
+    }
+    return t * b1 - b2 + coeffs[0];
+}
+
+std::vector<cplx>
+ChebyshevPoly::toPowerBasis() const
+{
+    size_t d = degree();
+    // T_k(t) in monomials of t, built by the recurrence
+    // T_k = 2 t T_{k-1} - T_{k-2}.
+    std::vector<std::vector<double>> t_poly(d + 1);
+    t_poly[0] = {1.0};
+    if (d >= 1)
+        t_poly[1] = {0.0, 1.0};
+    for (size_t k = 2; k <= d; ++k) {
+        std::vector<double> p(k + 1, 0.0);
+        for (size_t i = 0; i < t_poly[k - 1].size(); ++i)
+            p[i + 1] += 2.0 * t_poly[k - 1][i];
+        for (size_t i = 0; i < t_poly[k - 2].size(); ++i)
+            p[i] -= t_poly[k - 2][i];
+        t_poly[k] = std::move(p);
+    }
+    // Sum c_k T_k(t), still in t.
+    std::vector<double> in_t(d + 1, 0.0);
+    for (size_t k = 0; k <= d; ++k)
+        for (size_t i = 0; i < t_poly[k].size(); ++i)
+            in_t[i] += coeffs[k] * t_poly[k][i];
+    // Substitute t = alpha x + beta.
+    double alpha = 2.0 / (b - a);
+    double beta = -(a + b) / (b - a);
+    std::vector<double> out(d + 1, 0.0);
+    // Horner in t over polynomial coefficients of x.
+    std::vector<double> acc = {0.0};
+    for (size_t k = d + 1; k-- > 0;) {
+        // acc = acc * (alpha x + beta) + in_t[k]
+        std::vector<double> next(acc.size() + 1, 0.0);
+        for (size_t i = 0; i < acc.size(); ++i) {
+            next[i + 1] += acc[i] * alpha;
+            next[i] += acc[i] * beta;
+        }
+        next[0] += in_t[k];
+        acc = std::move(next);
+    }
+    out.assign(d + 1, 0.0);
+    for (size_t i = 0; i <= d && i < acc.size(); ++i)
+        out[i] = acc[i];
+    std::vector<cplx> cout(d + 1);
+    for (size_t i = 0; i <= d; ++i)
+        cout[i] = cplx(out[i], 0.0);
+    return cout;
+}
+
+ChebyshevPoly
+chebyshevFit(const std::function<double(double)>& f, size_t degree,
+             double a, double b)
+{
+    HYDRA_ASSERT(b > a, "empty interval");
+    size_t n = degree + 1;
+    ChebyshevPoly out;
+    out.a = a;
+    out.b = b;
+    out.coeffs.assign(n, 0.0);
+    // Sample at Chebyshev nodes and project.
+    std::vector<double> fx(n);
+    for (size_t j = 0; j < n; ++j) {
+        double theta = std::numbers::pi * (j + 0.5) / n;
+        double t = std::cos(theta);
+        fx[j] = f(0.5 * (t * (b - a) + a + b));
+    }
+    for (size_t k = 0; k < n; ++k) {
+        double s = 0.0;
+        for (size_t j = 0; j < n; ++j)
+            s += fx[j] *
+                 std::cos(std::numbers::pi * k * (j + 0.5) / n);
+        out.coeffs[k] = 2.0 * s / n;
+    }
+    out.coeffs[0] *= 0.5;
+    return out;
+}
+
+Ciphertext
+evalChebyshev(const Evaluator& eval, const Ciphertext& ct,
+              const ChebyshevPoly& poly)
+{
+    HYDRA_ASSERT(poly.degree() >= 1, "degree >= 1 required");
+    HYDRA_ASSERT(poly.degree() <= 24,
+                 "power-basis conversion unstable past degree ~24");
+    return evalPolynomial(eval, ct, poly.toPowerBasis());
+}
+
+double
+softRelu(double x, double sharpness)
+{
+    return x / (1.0 + std::exp(-sharpness * x));
+}
+
+} // namespace hydra

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Chebyshev approximation of non-linear activations (paper Section
+ * III-A: ReLU/GeLU/Softmax "are approximated using the Taylor
+ * expansion or the Chebyshev algorithm").
+ *
+ * chebyshevFit() interpolates an arbitrary real function on [a, b];
+ * evalChebyshev() evaluates the interpolant homomorphically by
+ * converting to the power basis and reusing the tree-structured
+ * polynomial evaluator (Alg. 1's single-node primitive).
+ */
+
+#ifndef HYDRA_FHE_CHEBYSHEV_HH
+#define HYDRA_FHE_CHEBYSHEV_HH
+
+#include <functional>
+#include <vector>
+
+#include "fhe/polyeval.hh"
+
+namespace hydra {
+
+/** Chebyshev interpolant: coefficients over T_k((2x - a - b)/(b - a)). */
+struct ChebyshevPoly
+{
+    std::vector<double> coeffs; ///< c_0..c_d in the Chebyshev basis
+    double a = -1.0;
+    double b = 1.0;
+
+    size_t degree() const { return coeffs.empty() ? 0 : coeffs.size() - 1; }
+
+    /** Evaluate in plaintext (Clenshaw recurrence). */
+    double operator()(double x) const;
+
+    /** Convert to monomial coefficients in x (degree <= ~24 advised). */
+    std::vector<cplx> toPowerBasis() const;
+};
+
+/** Degree-d Chebyshev interpolation of f on [a, b]. */
+ChebyshevPoly chebyshevFit(const std::function<double(double)>& f,
+                           size_t degree, double a, double b);
+
+/** Homomorphic evaluation of the interpolant on ct's slots. */
+Ciphertext evalChebyshev(const Evaluator& eval, const Ciphertext& ct,
+                         const ChebyshevPoly& poly);
+
+/** Smooth ReLU surrogate x * sigmoid(k x), handy for CNN tests. */
+double softRelu(double x, double sharpness = 6.0);
+
+} // namespace hydra
+
+#endif // HYDRA_FHE_CHEBYSHEV_HH

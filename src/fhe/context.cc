@@ -1,0 +1,51 @@
+#include "fhe/context.hh"
+
+#include "common/logging.hh"
+#include "math/primes.hh"
+
+namespace hydra {
+
+CkksContext::CkksContext(const CkksParams& params)
+    : params_(params)
+{
+    params_.validate();
+
+    // Build the modulus chain: q_0 (decode headroom), then L-1 scale
+    // primes, then the special prime.  All distinct.
+    std::vector<u64> chain = nttPrimes(params_.n, params_.firstPrimeBits, 1);
+    if (params_.levels > 1) {
+        auto scale_primes = nttPrimes(params_.n, params_.scaleBits,
+                                      params_.levels - 1, chain);
+        chain.insert(chain.end(), scale_primes.begin(), scale_primes.end());
+    }
+    u64 special = nttPrimes(params_.n, params_.specialPrimeBits, 1, chain)[0];
+
+    basis_ = std::make_shared<RnsBasis>(params_.n, chain, special);
+
+    pModQ_.resize(params_.levels);
+    for (size_t k = 0; k < params_.levels; ++k)
+        pModQ_[k] = basis_->mod(k).reduceU64(special);
+}
+
+u64
+CkksContext::specialPrime() const
+{
+    return basis_->mod(basis_->specialIndex()).value();
+}
+
+u64
+CkksContext::galoisForRotation(int steps) const
+{
+    size_t slots = params_.n / 2;
+    u64 two_n = 2 * params_.n;
+    // Normalize steps into [0, slots).
+    long long r = steps % static_cast<long long>(slots);
+    if (r < 0)
+        r += static_cast<long long>(slots);
+    u64 g = 1;
+    for (long long i = 0; i < r; ++i)
+        g = (g * 5) % two_n;
+    return g;
+}
+
+} // namespace hydra

@@ -1,0 +1,116 @@
+#include "fhe/convolution.hh"
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+namespace {
+
+/** Signed tap offsets for a k x k kernel centred on the output slot. */
+int
+tapShift(size_t k, size_t tap_row, size_t tap_col, size_t w)
+{
+    int half = static_cast<int>(k) / 2;
+    int dy = static_cast<int>(tap_row) - half;
+    int dx = static_cast<int>(tap_col) - half;
+    return dy * static_cast<int>(w) + dx;
+}
+
+} // namespace
+
+std::vector<int>
+convRotations(size_t w, size_t k)
+{
+    std::set<int> steps;
+    for (size_t r = 0; r < k; ++r)
+        for (size_t c = 0; c < k; ++c) {
+            int s = tapShift(k, r, c, w);
+            if (s != 0)
+                steps.insert(s);
+        }
+    return {steps.begin(), steps.end()};
+}
+
+Ciphertext
+conv2d(const Evaluator& eval, const Ciphertext& ct,
+       const ConvKernel& kernel, size_t h, size_t w)
+{
+    HYDRA_ASSERT(kernel.weights.size() == kernel.k * kernel.k,
+                 "kernel weight count");
+    HYDRA_ASSERT(h * w <= eval.encoder().slots(), "image exceeds slots");
+    (void)h;
+    double scale = eval.context().params().scale();
+
+    bool have = false;
+    Ciphertext acc;
+    for (size_t r = 0; r < kernel.k; ++r) {
+        for (size_t c = 0; c < kernel.k; ++c) {
+            double wgt = kernel.weights[r * kernel.k + c];
+            if (wgt == 0.0)
+                continue;
+            int shift = tapShift(kernel.k, r, c, w);
+            Ciphertext rot = shift ? eval.rotate(ct, shift) : ct;
+            Ciphertext term =
+                eval.mulConstant(rot, cplx(wgt, 0.0), scale);
+            if (have) {
+                acc = eval.add(acc, term);
+            } else {
+                acc = std::move(term);
+                have = true;
+            }
+        }
+    }
+    HYDRA_ASSERT(have, "kernel is all zero");
+    Ciphertext out = eval.rescale(acc);
+    if (kernel.bias != 0.0)
+        out = eval.addConstant(out, cplx(kernel.bias, 0.0));
+    return out;
+}
+
+Ciphertext
+avgPool(const Evaluator& eval, const Ciphertext& ct, size_t k, size_t h,
+        size_t w)
+{
+    ConvKernel kernel;
+    kernel.k = k;
+    kernel.weights.assign(k * k,
+                          1.0 / static_cast<double>(k * k));
+    return conv2d(eval, ct, kernel, h, w);
+}
+
+std::vector<double>
+conv2dRef(const std::vector<double>& image, const ConvKernel& kernel,
+          size_t h, size_t w)
+{
+    size_t n = h * w;
+    HYDRA_ASSERT(image.size() == n, "image size");
+    std::vector<double> out(n, kernel.bias);
+    for (size_t j = 0; j < n; ++j) {
+        for (size_t r = 0; r < kernel.k; ++r) {
+            for (size_t c = 0; c < kernel.k; ++c) {
+                int shift = tapShift(kernel.k, r, c, w);
+                size_t src =
+                    (j + n + static_cast<size_t>(
+                                 (shift % static_cast<int>(n) +
+                                  static_cast<int>(n)))) % n;
+                out[j] += kernel.weights[r * kernel.k + c] * image[src];
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+avgPoolRef(const std::vector<double>& image, size_t k, size_t h,
+           size_t w)
+{
+    ConvKernel kernel;
+    kernel.k = k;
+    kernel.weights.assign(k * k, 1.0 / static_cast<double>(k * k));
+    return conv2dRef(image, kernel, h, w);
+}
+
+} // namespace hydra

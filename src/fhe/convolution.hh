@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Functional homomorphic CNN kernels (paper Section III-A / Fig. 1):
+ * single-input single-output 2-D convolution by rotations and
+ * plaintext multiplications ([12]'s SISO building block), BN folding,
+ * and average pooling as a 1/k^2 convolution.
+ *
+ * The image is packed row-major into the ciphertext slots; a k x k
+ * kernel costs k^2 - 1 rotations, k^2 PMults and k^2 - 1 HAdds (the
+ * paper's ConvBN unit is the multiplexed multi-channel extension with
+ * 8 rotations, 2 PMults, 7 HAdds per kernel group).
+ */
+
+#ifndef HYDRA_FHE_CONVOLUTION_HH
+#define HYDRA_FHE_CONVOLUTION_HH
+
+#include <vector>
+
+#include "fhe/evaluator.hh"
+
+namespace hydra {
+
+/** A dense 2-D convolution kernel with its fused BN bias. */
+struct ConvKernel
+{
+    /** k x k row-major weights. */
+    std::vector<double> weights;
+    size_t k = 3;
+    /** Folded batch-norm bias added after the convolution. */
+    double bias = 0.0;
+};
+
+/**
+ * Rotation steps conv2d/avgPool need for image width `w` and kernel
+ * size `k` (pass to KeyGenerator::galoisKeys).
+ */
+std::vector<int> convRotations(size_t w, size_t k);
+
+/**
+ * Homomorphic "same"-padded 2-D convolution of an h x w image packed
+ * row-major in `ct`'s slots.  Border slots wrap (slot rotation is
+ * cyclic); callers that need exact borders keep a margin, as [12]
+ * does with its multiplexed packing.  Costs one level.
+ */
+Ciphertext conv2d(const Evaluator& eval, const Ciphertext& ct,
+                  const ConvKernel& kernel, size_t h, size_t w);
+
+/**
+ * Homomorphic k x k average pooling at stride 1 (paper Section III-A:
+ * "a two-dimensional convolution ... with 1/k^2 values").
+ */
+Ciphertext avgPool(const Evaluator& eval, const Ciphertext& ct,
+                   size_t k, size_t h, size_t w);
+
+/** Plaintext reference implementations for tests. */
+std::vector<double> conv2dRef(const std::vector<double>& image,
+                              const ConvKernel& kernel, size_t h,
+                              size_t w);
+std::vector<double> avgPoolRef(const std::vector<double>& image,
+                               size_t k, size_t h, size_t w);
+
+} // namespace hydra
+
+#endif // HYDRA_FHE_CONVOLUTION_HH

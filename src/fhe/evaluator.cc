@@ -1,0 +1,349 @@
+#include "fhe/evaluator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+namespace {
+
+/** Scales must agree to relative 1e-6 before additive combination. */
+void
+checkScalesMatch(double a, double b)
+{
+    HYDRA_ASSERT(std::abs(a - b) <= 1e-6 * std::max(a, b),
+                 "ciphertext scales do not match");
+}
+
+/** Copy of p restricted to its first `levels` limbs (domain preserved). */
+RnsPoly
+restrictTo(const RnsPoly& p, size_t levels)
+{
+    HYDRA_ASSERT(levels <= p.nLimbs() && !p.hasSpecial(),
+                 "cannot restrict");
+    RnsPoly out(p.basis(), levels, false, p.nttForm());
+    for (size_t k = 0; k < levels; ++k)
+        out.limb(k) = p.limb(k);
+    return out;
+}
+
+} // namespace
+
+Evaluator::Evaluator(const CkksContext& ctx, const CkksEncoder& encoder)
+    : ctx_(ctx), encoder_(encoder)
+{
+}
+
+Ciphertext
+Evaluator::add(const Ciphertext& a, const Ciphertext& b) const
+{
+    HYDRA_ASSERT(a.level() == b.level(), "level mismatch in add");
+    checkScalesMatch(a.scale, b.scale);
+    Ciphertext out = a;
+    out.c0.add(b.c0);
+    out.c1.add(b.c1);
+    count(HeOpType::HAdd, out.level());
+    return out;
+}
+
+Ciphertext
+Evaluator::sub(const Ciphertext& a, const Ciphertext& b) const
+{
+    HYDRA_ASSERT(a.level() == b.level(), "level mismatch in sub");
+    checkScalesMatch(a.scale, b.scale);
+    Ciphertext out = a;
+    out.c0.sub(b.c0);
+    out.c1.sub(b.c1);
+    count(HeOpType::HAdd, out.level());
+    return out;
+}
+
+Ciphertext
+Evaluator::negate(const Ciphertext& a) const
+{
+    Ciphertext out = a;
+    out.c0.negate();
+    out.c1.negate();
+    return out;
+}
+
+Ciphertext
+Evaluator::addPlain(const Ciphertext& a, const Plaintext& p) const
+{
+    checkScalesMatch(a.scale, p.scale);
+    HYDRA_ASSERT(p.poly.nLimbs() >= a.level(), "plaintext level too low");
+    RnsPoly pp = restrictTo(p.poly, a.level());
+    pp.toNtt();
+    Ciphertext out = a;
+    out.c0.add(pp);
+    count(HeOpType::HAdd, out.level());
+    return out;
+}
+
+Ciphertext
+Evaluator::mulPlain(const Ciphertext& a, const Plaintext& p) const
+{
+    HYDRA_ASSERT(p.poly.nLimbs() >= a.level(), "plaintext level too low");
+    RnsPoly pp = restrictTo(p.poly, a.level());
+    pp.toNtt();
+    Ciphertext out = a;
+    out.c0.mulPointwise(pp);
+    out.c1.mulPointwise(pp);
+    out.scale = a.scale * p.scale;
+    count(HeOpType::PMult, out.level());
+    return out;
+}
+
+Ciphertext
+Evaluator::mulRelin(const Ciphertext& a, const Ciphertext& b) const
+{
+    HYDRA_ASSERT(relin_ != nullptr, "relin key not set");
+    HYDRA_ASSERT(a.level() == b.level(), "level mismatch in mulRelin");
+
+    RnsPoly d0 = a.c0;
+    d0.mulPointwise(b.c0);
+    RnsPoly d1 = a.c0;
+    d1.mulPointwise(b.c1);
+    d1.addMulPointwise(a.c1, b.c0);
+    RnsPoly d2 = a.c1;
+    d2.mulPointwise(b.c1);
+
+    d2.fromNtt();
+    auto [t0, t1] = keySwitch(d2, *relin_);
+
+    Ciphertext out;
+    out.c0 = std::move(d0);
+    out.c0.add(t0);
+    out.c1 = std::move(d1);
+    out.c1.add(t1);
+    out.scale = a.scale * b.scale;
+    count(HeOpType::CMult, out.level());
+    return out;
+}
+
+Ciphertext
+Evaluator::square(const Ciphertext& a) const
+{
+    return mulRelin(a, a);
+}
+
+Ciphertext
+Evaluator::mulConstant(const Ciphertext& a, cplx c, double scale) const
+{
+    Plaintext pt = encoder_.encodeConstant(c, scale, a.level());
+    return mulPlain(a, pt);
+}
+
+Ciphertext
+Evaluator::addConstant(const Ciphertext& a, cplx c) const
+{
+    Plaintext pt = encoder_.encodeConstant(c, a.scale, a.level());
+    return addPlain(a, pt);
+}
+
+Ciphertext
+Evaluator::mulConstantRescale(const Ciphertext& a, cplx c,
+                              double target_scale) const
+{
+    HYDRA_ASSERT(a.level() >= 2, "no level left for mulConstantRescale");
+    double q_last = static_cast<double>(
+        ctx_.basis()->mod(a.level() - 1).value());
+    double u = target_scale * q_last / a.scale;
+    Ciphertext out = rescale(mulConstant(a, c, u));
+    out.scale = target_scale; // exact by construction
+    return out;
+}
+
+Ciphertext
+Evaluator::rescale(const Ciphertext& a) const
+{
+    HYDRA_ASSERT(a.level() >= 2, "no limb left to rescale away");
+    Ciphertext out = a;
+    u64 q_last = out.c0.mod(out.level() - 1).value();
+    out.c0.divideRoundByLast();
+    out.c1.divideRoundByLast();
+    out.scale = a.scale / static_cast<double>(q_last);
+    count(HeOpType::Rescale, out.level());
+    return out;
+}
+
+Ciphertext
+Evaluator::dropToLevel(const Ciphertext& a, size_t levels) const
+{
+    HYDRA_ASSERT(levels >= 1 && levels <= a.level(), "bad target level");
+    if (levels == a.level())
+        return a;
+    Ciphertext out;
+    out.c0 = restrictTo(a.c0, levels);
+    out.c1 = restrictTo(a.c1, levels);
+    out.scale = a.scale;
+    return out;
+}
+
+void
+Evaluator::matchLevels(Ciphertext& a, Ciphertext& b) const
+{
+    if (a.level() > b.level())
+        a = dropToLevel(a, b.level());
+    else if (b.level() > a.level())
+        b = dropToLevel(b, a.level());
+}
+
+std::vector<RnsPoly>
+Evaluator::decomposeDigits(const RnsPoly& d) const
+{
+    HYDRA_ASSERT(!d.nttForm() && !d.hasSpecial(),
+                 "digit decomposition wants coefficient domain over Q");
+    size_t levels = d.nLimbs();
+    size_t n = d.n();
+    const RnsBasis& basis = *ctx_.basis();
+
+    std::vector<RnsPoly> digits;
+    digits.reserve(levels);
+    std::vector<i64> centered(n);
+    for (size_t i = 0; i < levels; ++i) {
+        const Modulus& qi = basis.mod(i);
+        const auto& src = d.limb(i);
+        for (size_t t = 0; t < n; ++t)
+            centered[t] = qi.toCentered(src[t]);
+        RnsPoly dig = RnsPoly::fromSigned(ctx_.basis(), levels, true,
+                                          centered);
+        dig.toNtt();
+        digits.push_back(std::move(dig));
+    }
+    return digits;
+}
+
+std::pair<RnsPoly, RnsPoly>
+Evaluator::accumulateKey(const std::vector<RnsPoly>& digits,
+                         const EvalKey& key, size_t levels,
+                         u64 galois) const
+{
+    size_t key_special_pos = ctx_.levels(); // position in key polys
+    RnsPoly acc0(ctx_.basis(), levels, true, true);
+    RnsPoly acc1(ctx_.basis(), levels, true, true);
+
+    for (size_t i = 0; i < digits.size(); ++i) {
+        // Hoisting: the Galois map commutes with digit decomposition,
+        // so a permutation of the precomputed NTT-form digit stands in
+        // for decomposing the rotated polynomial.
+        RnsPoly permuted;
+        const RnsPoly& dig =
+            galois == 1 ? digits[i]
+                        : (permuted = digits[i].automorphismNtt(galois));
+        for (size_t kpos = 0; kpos <= levels; ++kpos) {
+            size_t key_pos = kpos < levels ? kpos : key_special_pos;
+            const Modulus& mj = dig.mod(kpos);
+            const auto& dl = dig.limb(kpos);
+            const auto& bkey = key.b[i].limb(key_pos);
+            const auto& akey = key.a[i].limb(key_pos);
+            auto& a0 = acc0.limb(kpos);
+            auto& a1 = acc1.limb(kpos);
+            for (size_t t = 0; t < dl.size(); ++t) {
+                a0[t] = mj.addMod(a0[t], mj.mulMod(dl[t], bkey[t]));
+                a1[t] = mj.addMod(a1[t], mj.mulMod(dl[t], akey[t]));
+            }
+        }
+    }
+
+    // ModDown: divide by the special prime.
+    acc0.divideRoundByLast();
+    acc1.divideRoundByLast();
+    count(HeOpType::KeySwitch, levels);
+    return {std::move(acc0), std::move(acc1)};
+}
+
+std::pair<RnsPoly, RnsPoly>
+Evaluator::keySwitch(const RnsPoly& d, const EvalKey& key) const
+{
+    return accumulateKey(decomposeDigits(d), key, d.nLimbs());
+}
+
+Ciphertext
+Evaluator::applyGalois(const Ciphertext& a, u64 galois, HeOpType op) const
+{
+    HYDRA_ASSERT(galois_ != nullptr, "Galois keys not set");
+    const EvalKey& key = galois_->at(galois);
+
+    RnsPoly c0 = a.c0;
+    c0.fromNtt();
+    RnsPoly c1 = a.c1;
+    c1.fromNtt();
+    RnsPoly p0 = c0.automorphism(galois);
+    RnsPoly p1 = c1.automorphism(galois);
+
+    auto [t0, t1] = keySwitch(p1, key);
+    p0.toNtt();
+
+    Ciphertext out;
+    out.c0 = std::move(t0);
+    out.c0.add(p0);
+    out.c1 = std::move(t1);
+    out.scale = a.scale;
+    count(op, out.level());
+    return out;
+}
+
+Ciphertext
+Evaluator::rotate(const Ciphertext& a, int steps) const
+{
+    u64 g = ctx_.galoisForRotation(steps);
+    if (g == 1)
+        return a;
+    return applyGalois(a, g, HeOpType::Rotate);
+}
+
+Ciphertext
+Evaluator::rotateDecomposed(const Ciphertext& a, int steps) const
+{
+    size_t slots = ctx_.slots();
+    size_t r = static_cast<size_t>(
+        ((steps % static_cast<long long>(slots)) +
+         static_cast<long long>(slots)) %
+        static_cast<long long>(slots));
+    Ciphertext out = a;
+    for (size_t bit = 0; (size_t{1} << bit) <= r; ++bit)
+        if (r & (size_t{1} << bit))
+            out = rotate(out, static_cast<int>(size_t{1} << bit));
+    return out;
+}
+
+Ciphertext
+Evaluator::conjugate(const Ciphertext& a) const
+{
+    return applyGalois(a, ctx_.galoisForConjugation(),
+                       HeOpType::Conjugate);
+}
+
+std::vector<Ciphertext>
+Evaluator::rotateHoisted(const Ciphertext& a,
+                         const std::vector<int>& steps) const
+{
+    HYDRA_ASSERT(galois_ != nullptr, "Galois keys not set");
+    RnsPoly c1 = a.c1;
+    c1.fromNtt();
+    std::vector<RnsPoly> digits = decomposeDigits(c1);
+
+    std::vector<Ciphertext> out;
+    out.reserve(steps.size());
+    for (int s : steps) {
+        u64 g = ctx_.galoisForRotation(s);
+        if (g == 1) {
+            out.push_back(a);
+            continue;
+        }
+        auto [t0, t1] = accumulateKey(digits, galois_->at(g), a.level(),
+                                      g);
+        Ciphertext ct;
+        ct.c0 = a.c0.automorphismNtt(g);
+        ct.c0.add(t0);
+        ct.c1 = std::move(t1);
+        ct.scale = a.scale;
+        count(HeOpType::Rotate, ct.level());
+        out.push_back(std::move(ct));
+    }
+    return out;
+}
+
+} // namespace hydra

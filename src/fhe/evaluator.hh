@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Homomorphic evaluation: the CKKS operation set used throughout the
+ * paper (HAdd, PMult, CMult, Rescale, Rotate, Conjugate, KeySwitch).
+ */
+
+#ifndef HYDRA_FHE_EVALUATOR_HH
+#define HYDRA_FHE_EVALUATOR_HH
+
+#include <utility>
+
+#include "fhe/context.hh"
+#include "fhe/encoder.hh"
+#include "fhe/keys.hh"
+#include "trace/heop.hh"
+
+namespace hydra {
+
+/**
+ * Stateless-ish evaluator; holds references to the keys it needs and an
+ * optional OpCounter that records every ciphertext-level operation for
+ * the architecture model.
+ */
+class Evaluator
+{
+  public:
+    Evaluator(const CkksContext& ctx, const CkksEncoder& encoder);
+
+    void setRelinKey(const EvalKey* k) { relin_ = k; }
+    void setGaloisKeys(const GaloisKeys* k) { galois_ = k; }
+    void setCounter(OpCounter* c) { counter_ = c; }
+
+    /// @name Additive operations
+    /// @{
+    Ciphertext add(const Ciphertext& a, const Ciphertext& b) const;
+    Ciphertext sub(const Ciphertext& a, const Ciphertext& b) const;
+    Ciphertext negate(const Ciphertext& a) const;
+    Ciphertext addPlain(const Ciphertext& a, const Plaintext& p) const;
+    /// @}
+
+    /// @name Multiplicative operations
+    /// @{
+    /** Plaintext-ciphertext product; scales multiply, no rescale. */
+    Ciphertext mulPlain(const Ciphertext& a, const Plaintext& p) const;
+
+    /** Ciphertext product including relinearization; no rescale. */
+    Ciphertext mulRelin(const Ciphertext& a, const Ciphertext& b) const;
+
+    Ciphertext square(const Ciphertext& a) const;
+
+    /** Multiply by a scalar constant encoded on the fly at `scale`. */
+    Ciphertext mulConstant(const Ciphertext& a, cplx c,
+                           double scale) const;
+
+    /** Add a scalar constant (encoded at the ciphertext's scale). */
+    Ciphertext addConstant(const Ciphertext& a, cplx c) const;
+
+    /**
+     * Multiply by a scalar and rescale, choosing the plaintext scale so
+     * the result lands exactly on `target_scale`.  Costs one level.
+     */
+    Ciphertext mulConstantRescale(const Ciphertext& a, cplx c,
+                                  double target_scale) const;
+    /// @}
+
+    /// @name Modulus management
+    /// @{
+    /** Drop the last limb, dividing the scale by its prime. */
+    Ciphertext rescale(const Ciphertext& a) const;
+
+    /** Discard limbs down to `levels` active primes (scale unchanged). */
+    Ciphertext dropToLevel(const Ciphertext& a, size_t levels) const;
+
+    /** Rescale `a` down so it can be combined with level/scale of b. */
+    void matchLevels(Ciphertext& a, Ciphertext& b) const;
+    /// @}
+
+    /// @name Automorphisms
+    /// @{
+    /** Rotate slots left by `steps` (requires the matching Galois key). */
+    Ciphertext rotate(const Ciphertext& a, int steps) const;
+
+    /**
+     * Rotate by an arbitrary step using only power-of-two Galois keys
+     * (see KeyGenerator::powerOfTwoSteps): the step is decomposed into
+     * its binary expansion, costing popcount(steps) keyswitches.
+     */
+    Ciphertext rotateDecomposed(const Ciphertext& a, int steps) const;
+
+    /**
+     * Hoisted rotations: compute all requested rotations of one
+     * ciphertext while decomposing and NTT-transforming its keyswitch
+     * digits only once; each rotation then costs a pure permutation
+     * plus the key multiply-accumulate.  This is the classic hoisting
+     * optimization that accelerates BSGS baby steps.
+     */
+    std::vector<Ciphertext> rotateHoisted(const Ciphertext& a,
+                                          const std::vector<int>&
+                                              steps) const;
+
+    /** Complex conjugation of every slot. */
+    Ciphertext conjugate(const Ciphertext& a) const;
+    /// @}
+
+    /**
+     * Bare keyswitch of polynomial d (coefficient domain, level limbs,
+     * no special limb), returning (t0, t1) in NTT form such that
+     * t0 + t1 s ~= d * s_src.
+     */
+    std::pair<RnsPoly, RnsPoly> keySwitch(const RnsPoly& d,
+                                          const EvalKey& key) const;
+
+    const CkksContext& context() const { return ctx_; }
+    const CkksEncoder& encoder() const { return encoder_; }
+
+  private:
+    void
+    count(HeOpType t, size_t limbs) const
+    {
+        if (counter_)
+            counter_->record(t, static_cast<uint32_t>(limbs));
+    }
+
+    Ciphertext applyGalois(const Ciphertext& a, u64 galois,
+                           HeOpType op) const;
+
+    /**
+     * Digit decomposition for keyswitching: per ciphertext prime, the
+     * centered residue lifted to every active limb plus the special
+     * prime, in NTT form.
+     */
+    std::vector<RnsPoly> decomposeDigits(const RnsPoly& d) const;
+
+    /** Multiply-accumulate digits against a key into (t0, t1) + ModDown. */
+    std::pair<RnsPoly, RnsPoly>
+    accumulateKey(const std::vector<RnsPoly>& digits, const EvalKey& key,
+                  size_t levels, u64 galois = 1) const;
+
+    const CkksContext& ctx_;
+    const CkksEncoder& encoder_;
+    const EvalKey* relin_ = nullptr;
+    const GaloisKeys* galois_ = nullptr;
+    mutable OpCounter* counter_ = nullptr;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_FHE_EVALUATOR_HH

@@ -1,0 +1,174 @@
+#include "fhe/keygen.hh"
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+KeyGenerator::KeyGenerator(const CkksContext& ctx)
+    : ctx_(ctx), rng_(ctx.params().seed)
+{
+}
+
+RnsPoly
+KeyGenerator::sampleUniformFull()
+{
+    size_t levels = ctx_.levels();
+    RnsPoly p(ctx_.basis(), levels, true, true);
+    for (size_t k = 0; k < p.limbCount(); ++k) {
+        u64 q = p.mod(k).value();
+        for (auto& x : p.limb(k))
+            x = rng_.uniformU64(q);
+    }
+    return p;
+}
+
+RnsPoly
+KeyGenerator::sampleErrorFull()
+{
+    std::vector<i64> e(ctx_.n());
+    for (auto& x : e)
+        x = rng_.smallError(ctx_.params().errorStd);
+    RnsPoly p = RnsPoly::fromSigned(ctx_.basis(), ctx_.levels(), true, e);
+    p.toNtt();
+    return p;
+}
+
+SecretKey
+KeyGenerator::secretKey()
+{
+    std::vector<i64> s(ctx_.n(), 0);
+    size_t h = ctx_.params().secretHammingWeight;
+    if (h == 0) {
+        for (auto& x : s)
+            x = rng_.ternary();
+    } else {
+        // Sparse ternary secret with exactly h nonzero coefficients.
+        HYDRA_ASSERT(h <= ctx_.n(), "Hamming weight exceeds ring size");
+        size_t placed = 0;
+        while (placed < h) {
+            size_t idx = rng_.uniformU64(ctx_.n());
+            if (s[idx] != 0)
+                continue;
+            s[idx] = rng_.uniformU64(2) ? 1 : -1;
+            ++placed;
+        }
+    }
+    RnsPoly p = RnsPoly::fromSigned(ctx_.basis(), ctx_.levels(), true, s);
+    p.toNtt();
+    return SecretKey{std::move(p)};
+}
+
+PublicKey
+KeyGenerator::publicKey(const SecretKey& sk)
+{
+    // (b, a) with b = -a s + e over Q only (no special limb needed).
+    RnsPoly a(ctx_.basis(), ctx_.levels(), false, true);
+    for (size_t k = 0; k < a.limbCount(); ++k) {
+        u64 q = a.mod(k).value();
+        for (auto& x : a.limb(k))
+            x = rng_.uniformU64(q);
+    }
+    std::vector<i64> ev(ctx_.n());
+    for (auto& x : ev)
+        x = rng_.smallError(ctx_.params().errorStd);
+    RnsPoly e = RnsPoly::fromSigned(ctx_.basis(), ctx_.levels(), false, ev);
+    e.toNtt();
+
+    // Restrict s to the Q limbs.
+    RnsPoly b(ctx_.basis(), ctx_.levels(), false, true);
+    for (size_t k = 0; k < b.limbCount(); ++k) {
+        const Modulus& m = b.mod(k);
+        const auto& sl = sk.s.limb(k);
+        const auto& al = a.limb(k);
+        auto& bl = b.limb(k);
+        const auto& el = e.limb(k);
+        for (size_t i = 0; i < bl.size(); ++i)
+            bl[i] = m.addMod(m.negMod(m.mulMod(al[i], sl[i])), el[i]);
+    }
+    return PublicKey{std::move(b), std::move(a)};
+}
+
+EvalKey
+KeyGenerator::makeSwitchKey(const RnsPoly& src, const SecretKey& sk)
+{
+    HYDRA_ASSERT(src.nttForm() && src.hasSpecial() &&
+                     src.nLimbs() == ctx_.levels(),
+                 "switch-key source must be NTT form over the full basis");
+    size_t digits = ctx_.levels();
+    EvalKey key;
+    key.b.reserve(digits);
+    key.a.reserve(digits);
+    for (size_t i = 0; i < digits; ++i) {
+        RnsPoly a_i = sampleUniformFull();
+        RnsPoly e_i = sampleErrorFull();
+        // b_i = -a_i s + e_i; then limb i += (P mod q_i) * src.
+        RnsPoly b_i(ctx_.basis(), digits, true, true);
+        for (size_t k = 0; k < b_i.limbCount(); ++k) {
+            const Modulus& m = b_i.mod(k);
+            const auto& al = a_i.limb(k);
+            const auto& sl = sk.s.limb(k);
+            const auto& el = e_i.limb(k);
+            auto& bl = b_i.limb(k);
+            for (size_t t = 0; t < bl.size(); ++t)
+                bl[t] = m.addMod(m.negMod(m.mulMod(al[t], sl[t])), el[t]);
+        }
+        {
+            const Modulus& m = b_i.mod(i);
+            u64 p_mod = ctx_.pModQ(i);
+            auto& bl = b_i.limb(i);
+            const auto& srcl = src.limb(i);
+            for (size_t t = 0; t < bl.size(); ++t)
+                bl[t] = m.addMod(bl[t], m.mulMod(p_mod, srcl[t]));
+        }
+        key.b.push_back(std::move(b_i));
+        key.a.push_back(std::move(a_i));
+    }
+    return key;
+}
+
+EvalKey
+KeyGenerator::relinKey(const SecretKey& sk)
+{
+    RnsPoly s2 = sk.s;
+    s2.mulPointwise(sk.s);
+    return makeSwitchKey(s2, sk);
+}
+
+EvalKey
+KeyGenerator::galoisKey(const SecretKey& sk, u64 galois)
+{
+    RnsPoly s = sk.s;
+    s.fromNtt();
+    RnsPoly s_g = s.automorphism(galois);
+    s_g.toNtt();
+    return makeSwitchKey(s_g, sk);
+}
+
+std::vector<int>
+KeyGenerator::powerOfTwoSteps() const
+{
+    std::vector<int> steps;
+    for (size_t s = 1; s < ctx_.slots(); s <<= 1)
+        steps.push_back(static_cast<int>(s));
+    return steps;
+}
+
+GaloisKeys
+KeyGenerator::galoisKeys(const SecretKey& sk, const std::vector<int>& steps,
+                         bool with_conjugation)
+{
+    GaloisKeys out;
+    for (int r : steps) {
+        u64 g = ctx_.galoisForRotation(r);
+        if (g != 1 && !out.has(g))
+            out.keys.emplace(g, galoisKey(sk, g));
+    }
+    if (with_conjugation) {
+        u64 g = ctx_.galoisForConjugation();
+        if (!out.has(g))
+            out.keys.emplace(g, galoisKey(sk, g));
+    }
+    return out;
+}
+
+} // namespace hydra

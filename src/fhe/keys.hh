@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Key material for the CKKS scheme.
+ *
+ * Keyswitching keys use per-limb digit decomposition with one special
+ * prime P (hybrid keyswitching with dnum = L): digit i of the switched
+ * polynomial is its residue mod q_i lifted to the full basis, and
+ * KSK_i = (-a_i s + e_i + [P]_{q_i} * src_i * s_src-gadget, a_i) over QP.
+ */
+
+#ifndef HYDRA_FHE_KEYS_HH
+#define HYDRA_FHE_KEYS_HH
+
+#include <map>
+#include <vector>
+
+#include "math/poly.hh"
+
+namespace hydra {
+
+/** Secret key: ternary s, stored NTT-form over the full basis + P. */
+struct SecretKey
+{
+    RnsPoly s;
+};
+
+/** Encryption key (b, a) = (-a s + e, a) over Q, NTT form. */
+struct PublicKey
+{
+    RnsPoly b;
+    RnsPoly a;
+};
+
+/**
+ * Keyswitching key: one (b_i, a_i) pair per digit (= per ciphertext
+ * prime), each over the full basis + special prime, NTT form.
+ */
+struct EvalKey
+{
+    std::vector<RnsPoly> b;
+    std::vector<RnsPoly> a;
+
+    bool valid() const { return !b.empty(); }
+};
+
+/** Rotation/conjugation keys indexed by Galois element. */
+struct GaloisKeys
+{
+    std::map<u64, EvalKey> keys;
+
+    bool
+    has(u64 galois) const
+    {
+        return keys.count(galois) != 0;
+    }
+
+    const EvalKey&
+    at(u64 galois) const
+    {
+        auto it = keys.find(galois);
+        HYDRA_ASSERT(it != keys.end(), "missing Galois key");
+        return it->second;
+    }
+};
+
+/** Ciphertext (c0, c1) with c0 + c1 s = scale * m + e; NTT form. */
+struct Ciphertext
+{
+    RnsPoly c0;
+    RnsPoly c1;
+    double scale = 0.0;
+
+    /** Active modulus-chain limbs (the "level" plus one). */
+    size_t level() const { return c0.nLimbs(); }
+};
+
+} // namespace hydra
+
+#endif // HYDRA_FHE_KEYS_HH

@@ -1,0 +1,141 @@
+#include "fhe/lintrans.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+namespace {
+
+/** Largest magnitude entry of a vector. */
+double
+maxNorm(const std::vector<cplx>& v)
+{
+    double m = 0.0;
+    for (const auto& x : v)
+        m = std::max(m, std::abs(x));
+    return m;
+}
+
+} // namespace
+
+LinearTransform::LinearTransform(const CkksEncoder& encoder,
+                                 const CMatrix& matrix, double scale,
+                                 size_t bs)
+    : slots_(encoder.slots()), scale_(scale)
+{
+    HYDRA_ASSERT(matrix.size() == slots_, "matrix must be slots x slots");
+    for (const auto& row : matrix)
+        HYDRA_ASSERT(row.size() == slots_, "matrix must be square");
+
+    if (bs == 0) {
+        bs = 1;
+        while (bs * bs < slots_)
+            bs <<= 1;
+    }
+    HYDRA_ASSERT(slots_ % bs == 0, "baby-step count must divide slots");
+    bs_ = bs;
+    gs_ = slots_ / bs;
+
+    // Extract generalized diagonals, pre-rotate each by -(g*bs), encode.
+    size_t encoded = 0;
+    for (size_t g = 0; g < gs_; ++g) {
+        for (size_t b = 0; b < bs_; ++b) {
+            size_t d = g * bs_ + b;
+            std::vector<cplx> diag(slots_);
+            for (size_t j = 0; j < slots_; ++j)
+                diag[j] = matrix[j][(j + d) % slots_];
+            if (maxNorm(diag) < 1e-14)
+                continue; // structurally zero diagonal
+            // Pre-rotate right by g*bs so the giant-step rotation of the
+            // partial sum aligns the plaintext with the ciphertext.
+            std::vector<cplx> rotated(slots_);
+            size_t shift = g * bs_;
+            for (size_t j = 0; j < slots_; ++j)
+                rotated[j] = diag[(j + slots_ - shift % slots_) % slots_];
+            // Encode at full level so any ciphertext level works.
+            diag_.emplace(d, encoder.encode(rotated, scale_,
+                                            encoder.maxLevels()));
+            ++encoded;
+        }
+    }
+    (void)encoded;
+}
+
+std::vector<int>
+LinearTransform::requiredRotations() const
+{
+    std::vector<int> steps;
+    for (size_t b = 1; b < bs_; ++b)
+        steps.push_back(static_cast<int>(b));
+    for (size_t g = 1; g < gs_; ++g)
+        steps.push_back(static_cast<int>(g * bs_));
+    return steps;
+}
+
+Ciphertext
+LinearTransform::apply(const Evaluator& eval, const Ciphertext& ct) const
+{
+    HYDRA_ASSERT(!diag_.empty(), "empty linear transform");
+    // Baby steps: rot_b(ct) for every b that some diagonal needs.
+    std::vector<bool> need(bs_, false);
+    for (const auto& [d, pt] : diag_)
+        need[d % bs_] = true;
+
+    // Hoisted baby steps: one digit decomposition shared by all.
+    std::vector<int> steps;
+    for (size_t b = 1; b < bs_; ++b)
+        if (need[b])
+            steps.push_back(static_cast<int>(b));
+    std::vector<Ciphertext> hoisted = eval.rotateHoisted(ct, steps);
+    std::vector<Ciphertext> baby(bs_);
+    if (need[0])
+        baby[0] = ct;
+    for (size_t i = 0; i < steps.size(); ++i)
+        baby[static_cast<size_t>(steps[i])] = std::move(hoisted[i]);
+
+    bool have_total = false;
+    Ciphertext total;
+    for (size_t g = 0; g < gs_; ++g) {
+        bool have_acc = false;
+        Ciphertext acc;
+        for (size_t b = 0; b < bs_; ++b) {
+            auto it = diag_.find(g * bs_ + b);
+            if (it == diag_.end())
+                continue;
+            Ciphertext term = eval.mulPlain(baby[b], it->second);
+            if (have_acc) {
+                acc = eval.add(acc, term);
+            } else {
+                acc = std::move(term);
+                have_acc = true;
+            }
+        }
+        if (!have_acc)
+            continue;
+        Ciphertext shifted =
+            g == 0 ? std::move(acc)
+                   : eval.rotate(acc, static_cast<int>(g * bs_));
+        if (have_total) {
+            total = eval.add(total, shifted);
+        } else {
+            total = std::move(shifted);
+            have_total = true;
+        }
+    }
+    HYDRA_ASSERT(have_total, "linear transform produced nothing");
+    return eval.rescale(total);
+}
+
+std::vector<cplx>
+matVec(const CMatrix& m, const std::vector<cplx>& v)
+{
+    std::vector<cplx> out(m.size(), cplx(0, 0));
+    for (size_t i = 0; i < m.size(); ++i)
+        for (size_t j = 0; j < v.size(); ++j)
+            out[i] += m[i][j] * v[j];
+    return out;
+}
+
+} // namespace hydra

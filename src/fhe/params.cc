@@ -1,0 +1,71 @@
+#include "fhe/params.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+void
+CkksParams::validate() const
+{
+    if (!std::has_single_bit(n) || n < 8)
+        fatal("ring dimension must be a power of two >= 8, got %zu", n);
+    if (levels < 1 || levels > 64)
+        fatal("modulus chain length %zu out of range", levels);
+    if (scaleBits < 20 || scaleBits > 59)
+        fatal("scaleBits %d out of range [20, 59]", scaleBits);
+    if (firstPrimeBits < scaleBits || firstPrimeBits > 60)
+        fatal("firstPrimeBits %d out of range", firstPrimeBits);
+    if (specialPrimeBits < firstPrimeBits || specialPrimeBits > 61)
+        fatal("specialPrimeBits must be >= firstPrimeBits");
+}
+
+std::string
+CkksParams::describe() const
+{
+    return strf("CKKS(N=2^%d, L=%zu, scale=2^%d, logQ=%d, logPQ=%d)",
+                std::countr_zero(n), levels, scaleBits, logQ(), logPQ());
+}
+
+CkksParams
+CkksParams::unitTest()
+{
+    CkksParams p;
+    p.n = 1 << 10;
+    p.levels = 6;
+    p.scaleBits = 40;
+    p.firstPrimeBits = 50;
+    p.specialPrimeBits = 51;
+    return p;
+}
+
+CkksParams
+CkksParams::bootstrapTest()
+{
+    CkksParams p;
+    p.n = 1 << 10;
+    // q_0 == scale: EvalMod folds message and modulus at the same scale.
+    p.levels = 20;
+    p.scaleBits = 42;
+    p.firstPrimeBits = 42;
+    p.specialPrimeBits = 55;
+    p.secretHammingWeight = 64;
+    return p;
+}
+
+CkksParams
+CkksParams::paperFullScale()
+{
+    CkksParams p;
+    p.n = 1 << 16;
+    // 1260 = 60 + 24 * 50 symbolically; SHARP uses short words but the
+    // architecture model only consumes logQ/limb counts.
+    p.levels = 25;
+    p.scaleBits = 50;
+    p.firstPrimeBits = 60;
+    p.specialPrimeBits = 54; // logPQ - logQ adjusted below by caller
+    return p;
+}
+
+} // namespace hydra

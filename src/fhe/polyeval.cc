@@ -1,0 +1,78 @@
+#include "fhe/polyeval.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+size_t
+polyEvalDepth(size_t degree)
+{
+    if (degree <= 1)
+        return 1;
+    return std::bit_width(degree) + 1; // power ladder + term alignment
+}
+
+Ciphertext
+evalPolynomial(const Evaluator& eval, const Ciphertext& x,
+               const std::vector<cplx>& coeffs, double target_scale)
+{
+    HYDRA_ASSERT(coeffs.size() >= 2, "need degree >= 1");
+    size_t deg = coeffs.size() - 1;
+    if (target_scale <= 0.0)
+        target_scale = eval.context().params().scale();
+
+    // 1. Power ladder: pow[k] for 1 <= k <= deg, built by binary
+    //    splitting (x^k = x^{2^t} * x^{k - 2^t}), one rescale per mult.
+    std::vector<Ciphertext> pow(deg + 1);
+    std::vector<bool> have(deg + 1, false);
+    pow[1] = x;
+    have[1] = true;
+    for (size_t k = 2; k <= deg; ++k) {
+        size_t hi = size_t{1} << (std::bit_width(k) - 1);
+        if (hi == k)
+            hi = k / 2;
+        size_t lo = k - hi;
+        HYDRA_ASSERT(have[hi] && have[lo], "power ladder ordering bug");
+        Ciphertext a = pow[hi];
+        Ciphertext b = pow[lo];
+        eval.matchLevels(a, b);
+        pow[k] = eval.rescale(eval.mulRelin(a, b));
+        have[k] = true;
+    }
+
+    // 2. Drop every power to the common (deepest) level.
+    size_t common = pow[1].level();
+    for (size_t k = 2; k <= deg; ++k)
+        common = std::min(common, pow[k].level());
+    HYDRA_ASSERT(common >= 2, "not enough levels for polynomial");
+    for (size_t k = 1; k <= deg; ++k)
+        pow[k] = eval.dropToLevel(pow[k], common);
+
+    // 3. Scale-align every term to target_scale via mulConstantRescale
+    //    (the dropped prime is the same for all terms at equal level).
+    bool have_sum = false;
+    Ciphertext sum;
+    for (size_t k = 1; k <= deg; ++k) {
+        if (std::abs(coeffs[k]) == 0.0)
+            continue;
+        Ciphertext term =
+            eval.mulConstantRescale(pow[k], coeffs[k], target_scale);
+        if (have_sum) {
+            sum = eval.add(sum, term);
+        } else {
+            sum = std::move(term);
+            have_sum = true;
+        }
+    }
+    HYDRA_ASSERT(have_sum, "polynomial has no nonzero term of degree >= 1");
+
+    // 4. Constant term.
+    if (std::abs(coeffs[0]) != 0.0)
+        sum = eval.addConstant(sum, coeffs[0]);
+    return sum;
+}
+
+} // namespace hydra

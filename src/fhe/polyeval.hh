@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Homomorphic polynomial evaluation (paper Alg. 1 computes the same
+ * tree-structured power basis across accelerator nodes; this is the
+ * single-node functional primitive it distributes).
+ */
+
+#ifndef HYDRA_FHE_POLYEVAL_HH
+#define HYDRA_FHE_POLYEVAL_HH
+
+#include <vector>
+
+#include "fhe/evaluator.hh"
+
+namespace hydra {
+
+/**
+ * Evaluate p(x) = sum_k coeffs[k] * x^k on a ciphertext.
+ *
+ * Powers are built by binary splitting (depth ceil(log2(deg+1))), all
+ * terms are scale-aligned to `target_scale` before summation, and the
+ * result carries exactly that scale.
+ *
+ * @param coeffs complex coefficients, degree = coeffs.size() - 1 >= 1
+ * @param target_scale scale of the result (default: context scale)
+ */
+Ciphertext evalPolynomial(const Evaluator& eval, const Ciphertext& x,
+                          const std::vector<cplx>& coeffs,
+                          double target_scale = 0.0);
+
+/** Levels evalPolynomial consumes for a given degree. */
+size_t polyEvalDepth(size_t degree);
+
+} // namespace hydra
+
+#endif // HYDRA_FHE_POLYEVAL_HH

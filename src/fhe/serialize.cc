@@ -1,0 +1,268 @@
+#include "fhe/serialize.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+namespace {
+
+constexpr uint64_t kMagicPoly = 0x48594452504f4c59ull; // "HYDRPOLY"
+constexpr uint64_t kMagicCt = 0x4859445243495054ull;   // "HYDRCIPT"
+constexpr uint64_t kMagicPt = 0x48594452504c4149ull;   // "HYDRPLAI"
+constexpr uint64_t kMagicKey = 0x48594452454b4559ull;  // "HYDREKEY"
+constexpr uint64_t kVersion = 1;
+
+class ByteWriter
+{
+  public:
+    void
+    putU64(uint64_t v)
+    {
+        size_t off = out_.size();
+        out_.resize(off + 8);
+        std::memcpy(out_.data() + off, &v, 8);
+    }
+
+    void
+    putF64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        putU64(bits);
+    }
+
+    void
+    putWords(const std::vector<uint64_t>& w)
+    {
+        size_t off = out_.size();
+        out_.resize(off + w.size() * 8);
+        std::memcpy(out_.data() + off, w.data(), w.size() * 8);
+    }
+
+    Bytes take() { return std::move(out_); }
+
+  private:
+    Bytes out_;
+};
+
+class ByteReader
+{
+  public:
+    explicit ByteReader(const Bytes& data) : data_(data) {}
+
+    uint64_t
+    getU64()
+    {
+        if (pos_ + 8 > data_.size())
+            fatal("truncated Hydra serialization blob");
+        uint64_t v;
+        std::memcpy(&v, data_.data() + pos_, 8);
+        pos_ += 8;
+        return v;
+    }
+
+    double
+    getF64()
+    {
+        uint64_t bits = getU64();
+        double v;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+
+    void
+    getWords(std::vector<uint64_t>& w)
+    {
+        if (pos_ + w.size() * 8 > data_.size())
+            fatal("truncated Hydra serialization blob");
+        std::memcpy(w.data(), data_.data() + pos_, w.size() * 8);
+        pos_ += w.size() * 8;
+    }
+
+    bool done() const { return pos_ == data_.size(); }
+
+  private:
+    const Bytes& data_;
+    size_t pos_ = 0;
+};
+
+void
+writeHeader(ByteWriter& w, uint64_t magic, const RnsBasis& basis)
+{
+    w.putU64(magic);
+    w.putU64(kVersion);
+    w.putU64(basisFingerprint(basis));
+}
+
+void
+readHeader(ByteReader& r, uint64_t magic, const RnsBasis& basis)
+{
+    if (r.getU64() != magic)
+        fatal("serialization blob has the wrong type tag");
+    if (r.getU64() != kVersion)
+        fatal("unsupported serialization version");
+    if (r.getU64() != basisFingerprint(basis))
+        fatal("blob was produced under different CKKS parameters");
+}
+
+void
+writePolyBody(ByteWriter& w, const RnsPoly& poly)
+{
+    w.putU64(poly.nLimbs());
+    w.putU64(poly.hasSpecial() ? 1 : 0);
+    w.putU64(poly.nttForm() ? 1 : 0);
+    for (size_t k = 0; k < poly.limbCount(); ++k)
+        w.putWords(poly.limb(k));
+}
+
+RnsPoly
+readPolyBody(ByteReader& r, const std::shared_ptr<const RnsBasis>& basis)
+{
+    size_t n_limbs = r.getU64();
+    bool special = r.getU64() != 0;
+    bool ntt = r.getU64() != 0;
+    if (n_limbs < 1 || n_limbs > basis->qCount())
+        fatal("blob limb count out of range for this context");
+    RnsPoly poly(basis, n_limbs, special, ntt);
+    for (size_t k = 0; k < poly.limbCount(); ++k) {
+        r.getWords(poly.limb(k));
+        // Residues must be reduced; reject corrupted blobs.
+        const Modulus& m = poly.mod(k);
+        for (u64 x : poly.limb(k))
+            if (x >= m.value())
+                fatal("blob contains out-of-range residues");
+    }
+    return poly;
+}
+
+} // namespace
+
+uint64_t
+basisFingerprint(const RnsBasis& basis)
+{
+    uint64_t h = 1469598103934665603ull; // FNV offset basis
+    auto mix = [&](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(basis.n());
+    for (size_t k = 0; k < basis.totalCount(); ++k)
+        mix(basis.mod(k).value());
+    return h;
+}
+
+Bytes
+serialize(const RnsPoly& poly)
+{
+    ByteWriter w;
+    writeHeader(w, kMagicPoly, *poly.basis());
+    writePolyBody(w, poly);
+    return w.take();
+}
+
+RnsPoly
+deserializePoly(const Bytes& data,
+                const std::shared_ptr<const RnsBasis>& basis)
+{
+    ByteReader r(data);
+    readHeader(r, kMagicPoly, *basis);
+    RnsPoly poly = readPolyBody(r, basis);
+    if (!r.done())
+        fatal("trailing bytes after polynomial blob");
+    return poly;
+}
+
+Bytes
+serialize(const Ciphertext& ct)
+{
+    ByteWriter w;
+    writeHeader(w, kMagicCt, *ct.c0.basis());
+    w.putF64(ct.scale);
+    writePolyBody(w, ct.c0);
+    writePolyBody(w, ct.c1);
+    return w.take();
+}
+
+Ciphertext
+deserializeCiphertext(const Bytes& data,
+                      const std::shared_ptr<const RnsBasis>& basis)
+{
+    ByteReader r(data);
+    readHeader(r, kMagicCt, *basis);
+    Ciphertext ct;
+    ct.scale = r.getF64();
+    ct.c0 = readPolyBody(r, basis);
+    ct.c1 = readPolyBody(r, basis);
+    if (ct.c0.nLimbs() != ct.c1.nLimbs() || !r.done())
+        fatal("malformed ciphertext blob");
+    return ct;
+}
+
+Bytes
+serialize(const Plaintext& pt)
+{
+    ByteWriter w;
+    writeHeader(w, kMagicPt, *pt.poly.basis());
+    w.putF64(pt.scale);
+    writePolyBody(w, pt.poly);
+    return w.take();
+}
+
+Plaintext
+deserializePlaintext(const Bytes& data,
+                     const std::shared_ptr<const RnsBasis>& basis)
+{
+    ByteReader r(data);
+    readHeader(r, kMagicPt, *basis);
+    Plaintext pt;
+    pt.scale = r.getF64();
+    pt.poly = readPolyBody(r, basis);
+    if (!r.done())
+        fatal("trailing bytes after plaintext blob");
+    return pt;
+}
+
+Bytes
+serialize(const EvalKey& key)
+{
+    HYDRA_ASSERT(key.valid(), "cannot serialize an empty key");
+    ByteWriter w;
+    writeHeader(w, kMagicKey, *key.b[0].basis());
+    w.putU64(key.b.size());
+    for (size_t i = 0; i < key.b.size(); ++i) {
+        writePolyBody(w, key.b[i]);
+        writePolyBody(w, key.a[i]);
+    }
+    return w.take();
+}
+
+EvalKey
+deserializeEvalKey(const Bytes& data,
+                   const std::shared_ptr<const RnsBasis>& basis)
+{
+    ByteReader r(data);
+    readHeader(r, kMagicKey, *basis);
+    size_t digits = r.getU64();
+    if (digits == 0 || digits > basis->qCount())
+        fatal("malformed keyswitching-key blob");
+    EvalKey key;
+    for (size_t i = 0; i < digits; ++i) {
+        key.b.push_back(readPolyBody(r, basis));
+        key.a.push_back(readPolyBody(r, basis));
+    }
+    if (!r.done())
+        fatal("trailing bytes after key blob");
+    return key;
+}
+
+size_t
+serializedCiphertextBytes(const Ciphertext& ct)
+{
+    // header (3) + scale + 2 x (3 meta + limbs).
+    return 8 * (3 + 1 + 2 * 3) +
+           8 * (ct.c0.limbCount() + ct.c1.limbCount()) * ct.c0.n();
+}
+
+} // namespace hydra

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Binary serialization of ciphertexts, plaintexts and keys -- the
+ * wire format a Hydra deployment ships between the client, the host
+ * scheduler and the accelerator cards (ciphertexts at the paper's
+ * parameters exceed 20 MB, so the format is flat and zero-parse).
+ *
+ * Layout: magic, version, a basis fingerprint (ring dimension + prime
+ * chain hash) that must match the receiving context, then raw limbs.
+ */
+
+#ifndef HYDRA_FHE_SERIALIZE_HH
+#define HYDRA_FHE_SERIALIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fhe/encoder.hh"
+#include "fhe/keys.hh"
+
+namespace hydra {
+
+using Bytes = std::vector<uint8_t>;
+
+/** Stable fingerprint of a basis (n + FNV-1a over the prime chain). */
+uint64_t basisFingerprint(const RnsBasis& basis);
+
+/// @name Serialization
+/// @{
+Bytes serialize(const RnsPoly& poly);
+Bytes serialize(const Ciphertext& ct);
+Bytes serialize(const Plaintext& pt);
+Bytes serialize(const EvalKey& key);
+/// @}
+
+/// @name Deserialization (fatal() on format or fingerprint mismatch)
+/// @{
+RnsPoly deserializePoly(const Bytes& data,
+                        const std::shared_ptr<const RnsBasis>& basis);
+Ciphertext deserializeCiphertext(
+    const Bytes& data, const std::shared_ptr<const RnsBasis>& basis);
+Plaintext deserializePlaintext(
+    const Bytes& data, const std::shared_ptr<const RnsBasis>& basis);
+EvalKey deserializeEvalKey(
+    const Bytes& data, const std::shared_ptr<const RnsBasis>& basis);
+/// @}
+
+/** Serialized ciphertext size in bytes (for transfer planning). */
+size_t serializedCiphertextBytes(const Ciphertext& ct);
+
+} // namespace hydra
+
+#endif // HYDRA_FHE_SERIALIZE_HH

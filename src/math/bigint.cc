@@ -1,0 +1,89 @@
+#include "math/bigint.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+void
+BigUInt::mulAdd(u64 m, u64 a)
+{
+    u64 carry = a;
+    for (auto& limb : limbs_) {
+        u128 t = static_cast<u128>(limb) * m + carry;
+        limb = static_cast<u64>(t);
+        carry = static_cast<u64>(t >> 64);
+    }
+    if (carry)
+        limbs_.push_back(carry);
+}
+
+void
+BigUInt::addU64(u64 a)
+{
+    u64 carry = a;
+    for (auto& limb : limbs_) {
+        u128 t = static_cast<u128>(limb) + carry;
+        limb = static_cast<u64>(t);
+        carry = static_cast<u64>(t >> 64);
+        if (!carry)
+            return;
+    }
+    if (carry)
+        limbs_.push_back(carry);
+}
+
+void
+BigUInt::sub(const BigUInt& other)
+{
+    HYDRA_ASSERT(compare(other) >= 0, "BigUInt underflow");
+    u64 borrow = 0;
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        u64 rhs = i < other.limbs_.size() ? other.limbs_[i] : 0;
+        u128 lhs = static_cast<u128>(limbs_[i]);
+        u128 need = static_cast<u128>(rhs) + borrow;
+        if (lhs >= need) {
+            limbs_[i] = static_cast<u64>(lhs - need);
+            borrow = 0;
+        } else {
+            limbs_[i] = static_cast<u64>((lhs + (static_cast<u128>(1) << 64))
+                                         - need);
+            borrow = 1;
+        }
+    }
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+}
+
+int
+BigUInt::compare(const BigUInt& other) const
+{
+    if (limbs_.size() != other.limbs_.size())
+        return limbs_.size() < other.limbs_.size() ? -1 : 1;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != other.limbs_[i])
+            return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+u64
+BigUInt::modU64(u64 m) const
+{
+    u128 r = 0;
+    for (size_t i = limbs_.size(); i-- > 0;)
+        r = ((r << 64) | limbs_[i]) % m;
+    return static_cast<u64>(r);
+}
+
+long double
+BigUInt::toLongDouble() const
+{
+    long double v = 0.0L;
+    for (size_t i = limbs_.size(); i-- > 0;)
+        v = v * 18446744073709551616.0L + static_cast<long double>(limbs_[i]);
+    return v;
+}
+
+} // namespace hydra

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal arbitrary-precision unsigned integer.
+ *
+ * Only the handful of operations needed for exact CRT (Garner)
+ * composition during CKKS decoding are provided: multiply/add by a 64-bit
+ * word, comparison, subtraction, residue extraction, and conversion to
+ * long double.
+ */
+
+#ifndef HYDRA_MATH_BIGINT_HH
+#define HYDRA_MATH_BIGINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "math/modarith.hh"
+
+namespace hydra {
+
+/** Unsigned big integer stored little-endian in 64-bit limbs. */
+class BigUInt
+{
+  public:
+    BigUInt() = default;
+
+    explicit BigUInt(u64 v)
+    {
+        if (v)
+            limbs_.push_back(v);
+    }
+
+    bool isZero() const { return limbs_.empty(); }
+
+    /** this = this * m + a (fused Horner step for Garner composition). */
+    void mulAdd(u64 m, u64 a);
+
+    /** this *= m. */
+    void mulU64(u64 m) { mulAdd(m, 0); }
+
+    /** this += a. */
+    void addU64(u64 a);
+
+    /** this -= other; other must be <= this. */
+    void sub(const BigUInt& other);
+
+    /** -1 / 0 / +1 three-way comparison. */
+    int compare(const BigUInt& other) const;
+
+    /** this mod m. */
+    u64 modU64(u64 m) const;
+
+    /** Approximate conversion (exact for values < 2^64). */
+    long double toLongDouble() const;
+
+    size_t limbCount() const { return limbs_.size(); }
+
+  private:
+    std::vector<u64> limbs_;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_MATH_BIGINT_HH

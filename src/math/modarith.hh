@@ -1,0 +1,186 @@
+/**
+ * @file
+ * 64-bit modular arithmetic with Barrett reduction.
+ *
+ * All FHE arithmetic in Hydra happens in rings Z_q with word-sized NTT
+ * primes q < 2^62.  The hardware MM unit in the paper is built on the
+ * Barrett algorithm; we use the same reduction here so the functional
+ * library mirrors the modelled datapath.
+ */
+
+#ifndef HYDRA_MATH_MODARITH_HH
+#define HYDRA_MATH_MODARITH_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using u128 = unsigned __int128;
+
+/**
+ * A modulus q together with its precomputed Barrett constant.
+ *
+ * Uses the textbook shifted Barrett reduction: with k = bitlen(q) and
+ * mu = floor(2^(2k) / q), the quotient estimate
+ *     q_est = ((x >> (k-1)) * mu) >> (k+1)
+ * satisfies q_true - 2 <= q_est <= q_true for any x < q^2, so at most two
+ * correction subtractions are needed.  Immutable after construction.
+ */
+class Modulus
+{
+  public:
+    Modulus() = default;
+
+    explicit Modulus(u64 q)
+        : q_(q)
+    {
+        HYDRA_ASSERT(q >= 2 && q < (1ULL << 62), "modulus out of range");
+        k_ = 64 - std::countl_zero(q);
+        // mu = floor(2^(2k) / q) < 2^(k+1) <= 2^63, fits in u64.
+        mu_ = static_cast<u64>((static_cast<u128>(1) << (2 * k_)) / q);
+    }
+
+    u64 value() const { return q_; }
+
+    /** Bit length of q. */
+    int bits() const { return k_; }
+
+    /** Reduce x < q^2 modulo q via Barrett. */
+    u64
+    reduce(u128 x) const
+    {
+        u64 x_shift = static_cast<u64>(x >> (k_ - 1));
+        u64 q_est = static_cast<u64>(
+            (static_cast<u128>(x_shift) * mu_) >> (k_ + 1));
+        u64 r = static_cast<u64>(x - static_cast<u128>(q_est) * q_);
+        while (r >= q_)
+            r -= q_;
+        return r;
+    }
+
+    /** (a * b) mod q for a, b already reduced. */
+    u64
+    mulMod(u64 a, u64 b) const
+    {
+        return reduce(static_cast<u128>(a) * b);
+    }
+
+    /** (a + b) mod q for a, b already reduced. */
+    u64
+    addMod(u64 a, u64 b) const
+    {
+        u64 s = a + b;
+        return s >= q_ ? s - q_ : s;
+    }
+
+    /** (a - b) mod q for a, b already reduced. */
+    u64
+    subMod(u64 a, u64 b) const
+    {
+        return a >= b ? a - b : a + q_ - b;
+    }
+
+    /** (-a) mod q. */
+    u64
+    negMod(u64 a) const
+    {
+        return a == 0 ? 0 : q_ - a;
+    }
+
+    /** a^e mod q via square-and-multiply. */
+    u64
+    powMod(u64 a, u64 e) const
+    {
+        u64 r = 1;
+        u64 base = a % q_;
+        while (e) {
+            if (e & 1)
+                r = mulMod(r, base);
+            base = mulMod(base, base);
+            e >>= 1;
+        }
+        return r;
+    }
+
+    /** Multiplicative inverse for prime q (Fermat). */
+    u64
+    invMod(u64 a) const
+    {
+        HYDRA_ASSERT(a % q_ != 0, "inverse of zero");
+        return powMod(a, q_ - 2);
+    }
+
+    /** Reduce an arbitrary u64 (not necessarily a product). */
+    u64
+    reduceU64(u64 x) const
+    {
+        return x % q_;
+    }
+
+    /** Reduce a signed value into [0, q). */
+    u64
+    reduceI64(i64 x) const
+    {
+        i64 m = x % static_cast<i64>(q_);
+        if (m < 0)
+            m += static_cast<i64>(q_);
+        return static_cast<u64>(m);
+    }
+
+    /** Centered representative in [-q/2, q/2]. */
+    i64
+    toCentered(u64 x) const
+    {
+        return x > q_ / 2
+            ? static_cast<i64>(x) - static_cast<i64>(q_)
+            : static_cast<i64>(x);
+    }
+
+    bool operator==(const Modulus& o) const { return q_ == o.q_; }
+
+  private:
+    u64 q_ = 0;
+    u64 mu_ = 0;
+    int k_ = 0;
+};
+
+/**
+ * Shoup-precomputed multiplier: multiplication by a fixed constant w mod q
+ * in two machine multiplies.  Used for NTT twiddle factors, matching the
+ * constant-multiplier DSP layout of the hardware NTT unit.
+ */
+class ShoupMul
+{
+  public:
+    ShoupMul() = default;
+
+    ShoupMul(u64 w, const Modulus& m)
+        : w_(w),
+          wShoup_(static_cast<u64>((static_cast<u128>(w) << 64) / m.value()))
+    {
+    }
+
+    u64 value() const { return w_; }
+
+    /** (a * w) mod q; a must be < q. */
+    u64
+    mulMod(u64 a, const Modulus& m) const
+    {
+        u64 hi = static_cast<u64>((static_cast<u128>(a) * wShoup_) >> 64);
+        u64 r = a * w_ - hi * m.value();
+        return r >= m.value() ? r - m.value() : r;
+    }
+
+  private:
+    u64 w_ = 0;
+    u64 wShoup_ = 0;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_MATH_MODARITH_HH

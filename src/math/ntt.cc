@@ -1,0 +1,128 @@
+#include "math/ntt.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "math/primes.hh"
+
+namespace hydra {
+
+NttTable::NttTable(size_t n, Modulus q)
+    : n_(n), q_(q)
+{
+    HYDRA_ASSERT(std::has_single_bit(n), "NTT length must be a power of 2");
+    logN_ = std::countr_zero(n);
+    HYDRA_ASSERT((q.value() - 1) % (2 * n) == 0, "q != 1 mod 2n");
+
+    u64 psi = primitiveRoot2N(q, n);
+    u64 psi_inv = q.invMod(psi);
+
+    rootPow_.resize(n);
+    rootPowInv_.resize(n);
+    u64 fwd = 1;
+    u64 inv = 1;
+    for (size_t i = 0; i < n; ++i) {
+        size_t r = bitReverse(i, logN_);
+        rootPow_[r] = ShoupMul(fwd, q);
+        rootPowInv_[r] = ShoupMul(inv, q);
+        fwd = q.mulMod(fwd, psi);
+        inv = q.mulMod(inv, psi_inv);
+    }
+    nInv_ = ShoupMul(q.invMod(static_cast<u64>(n)), q);
+}
+
+void
+NttTable::forward(u64* a) const
+{
+    size_t t = n_;
+    for (size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (size_t i = 0; i < m; ++i) {
+            size_t j1 = 2 * i * t;
+            const ShoupMul& s = rootPow_[m + i];
+            for (size_t j = j1; j < j1 + t; ++j) {
+                u64 u = a[j];
+                u64 v = s.mulMod(a[j + t], q_);
+                a[j] = q_.addMod(u, v);
+                a[j + t] = q_.subMod(u, v);
+            }
+        }
+    }
+}
+
+void
+NttTable::forwardRadix4(u64* a) const
+{
+    size_t m = 1;
+    while (m * 2 < n_) {
+        // Fuse stages m and 2m: one pass applies both butterflies.
+        size_t t1 = n_ / (2 * m); // stage-1 offset
+        size_t t2 = t1 >> 1;      // stage-2 offset
+        for (size_t i = 0; i < m; ++i) {
+            size_t j1 = 2 * i * t1;
+            const ShoupMul& s1 = rootPow_[m + i];
+            const ShoupMul& s2a = rootPow_[2 * m + 2 * i];
+            const ShoupMul& s2b = rootPow_[2 * m + 2 * i + 1];
+            for (size_t j = j1; j < j1 + t2; ++j) {
+                u64 x0 = a[j];
+                u64 x1 = a[j + t2];
+                u64 x2 = a[j + t1];
+                u64 x3 = a[j + t1 + t2];
+                // Stage 1: pairs (x0,x2) and (x1,x3), twiddle S1.
+                u64 v0 = s1.mulMod(x2, q_);
+                u64 v1 = s1.mulMod(x3, q_);
+                u64 u0 = q_.addMod(x0, v0);
+                u64 u2 = q_.subMod(x0, v0);
+                u64 u1 = q_.addMod(x1, v1);
+                u64 u3 = q_.subMod(x1, v1);
+                // Stage 2: (u0,u1) with S2a, (u2,u3) with S2b.
+                u64 w0 = s2a.mulMod(u1, q_);
+                u64 w1 = s2b.mulMod(u3, q_);
+                a[j] = q_.addMod(u0, w0);
+                a[j + t2] = q_.subMod(u0, w0);
+                a[j + t1] = q_.addMod(u2, w1);
+                a[j + t1 + t2] = q_.subMod(u2, w1);
+            }
+        }
+        m <<= 2;
+    }
+    if (m < n_) {
+        // Odd log2(n): one radix-2 stage remains (t == 1).
+        size_t t = n_ / (2 * m);
+        for (size_t i = 0; i < m; ++i) {
+            size_t j1 = 2 * i * t;
+            const ShoupMul& s = rootPow_[m + i];
+            for (size_t j = j1; j < j1 + t; ++j) {
+                u64 u = a[j];
+                u64 v = s.mulMod(a[j + t], q_);
+                a[j] = q_.addMod(u, v);
+                a[j + t] = q_.subMod(u, v);
+            }
+        }
+    }
+}
+
+void
+NttTable::inverse(u64* a) const
+{
+    size_t t = 1;
+    for (size_t m = n_; m > 1; m >>= 1) {
+        size_t j1 = 0;
+        size_t h = m >> 1;
+        for (size_t i = 0; i < h; ++i) {
+            const ShoupMul& s = rootPowInv_[h + i];
+            for (size_t j = j1; j < j1 + t; ++j) {
+                u64 u = a[j];
+                u64 v = a[j + t];
+                a[j] = q_.addMod(u, v);
+                a[j + t] = s.mulMod(q_.subMod(u, v), q_);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (size_t j = 0; j < n_; ++j)
+        a[j] = nInv_.mulMod(a[j], q_);
+}
+
+} // namespace hydra

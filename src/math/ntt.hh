@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Negacyclic number-theoretic transform over Z_q[X]/(X^n + 1).
+ *
+ * Iterative Cooley-Tukey (forward) / Gentleman-Sande (inverse) with
+ * bit-reversed twiddle tables and Shoup multiplication, following the
+ * Longa-Naehrig formulation.  This is the functional counterpart of the
+ * paper's radix-based NTT compute unit.
+ */
+
+#ifndef HYDRA_MATH_NTT_HH
+#define HYDRA_MATH_NTT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "math/modarith.hh"
+
+namespace hydra {
+
+/** Precomputed twiddle tables for one (n, q) pair. */
+class NttTable
+{
+  public:
+    /**
+     * Build tables for transform length n (a power of two) and prime
+     * modulus q with q = 1 (mod 2n).
+     */
+    NttTable(size_t n, Modulus q);
+
+    size_t n() const { return n_; }
+    const Modulus& modulus() const { return q_; }
+
+    /** In-place forward negacyclic NTT (coefficients -> evaluations). */
+    void forward(u64* a) const;
+
+    /** In-place inverse negacyclic NTT (evaluations -> coefficients). */
+    void inverse(u64* a) const;
+
+    /**
+     * Forward transform with two Cooley-Tukey stages fused per memory
+     * pass (the paper's radix-4 dataflow: "we use Radix-4 ... as it is
+     * a better match to the application parameters").  Bit-identical
+     * to forward(); halves the number of passes over the coefficient
+     * array.
+     */
+    void forwardRadix4(u64* a) const;
+
+    void
+    forwardRadix4(std::vector<u64>& a) const
+    {
+        forwardRadix4(a.data());
+    }
+
+    void forward(std::vector<u64>& a) const { forward(a.data()); }
+    void inverse(std::vector<u64>& a) const { inverse(a.data()); }
+
+  private:
+    size_t n_;
+    int logN_;
+    Modulus q_;
+    /** psi^brv(i) for the forward transform. */
+    std::vector<ShoupMul> rootPow_;
+    /** psi^-brv(i) for the inverse transform. */
+    std::vector<ShoupMul> rootPowInv_;
+    /** n^-1 mod q. */
+    ShoupMul nInv_;
+};
+
+/** Reverse the low `bits` bits of v. */
+inline u64
+bitReverse(u64 v, int bits)
+{
+    u64 r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (v & 1);
+        v >>= 1;
+    }
+    return r;
+}
+
+} // namespace hydra
+
+#endif // HYDRA_MATH_NTT_HH

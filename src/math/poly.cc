@@ -1,0 +1,274 @@
+#include "math/poly.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "math/ntt.hh"
+
+namespace hydra {
+
+RnsPoly::RnsPoly(std::shared_ptr<const RnsBasis> basis, size_t n_limbs,
+                 bool has_special, bool ntt_form)
+    : basis_(std::move(basis)),
+      nLimbs_(n_limbs),
+      hasSpecial_(has_special),
+      nttForm_(ntt_form)
+{
+    HYDRA_ASSERT(nLimbs_ >= 1 && nLimbs_ <= basis_->qCount(),
+                 "limb count out of range");
+    size_t total = nLimbs_ + (hasSpecial_ ? 1 : 0);
+    limbs_.assign(total, std::vector<u64>(basis_->n(), 0));
+}
+
+RnsPoly
+RnsPoly::fromSigned(std::shared_ptr<const RnsBasis> basis, size_t n_limbs,
+                    bool has_special, const std::vector<i64>& coeffs)
+{
+    RnsPoly p(std::move(basis), n_limbs, has_special, false);
+    HYDRA_ASSERT(coeffs.size() == p.n(), "coefficient count mismatch");
+    for (size_t k = 0; k < p.limbCount(); ++k) {
+        const Modulus& m = p.mod(k);
+        auto& limb = p.limbs_[k];
+        for (size_t i = 0; i < coeffs.size(); ++i)
+            limb[i] = m.reduceI64(coeffs[i]);
+    }
+    return p;
+}
+
+void
+RnsPoly::setZero()
+{
+    for (auto& limb : limbs_)
+        std::fill(limb.begin(), limb.end(), 0);
+}
+
+bool
+RnsPoly::sameShape(const RnsPoly& other) const
+{
+    return basis_ == other.basis_ && nLimbs_ == other.nLimbs_ &&
+           hasSpecial_ == other.hasSpecial_ && nttForm_ == other.nttForm_;
+}
+
+void
+RnsPoly::add(const RnsPoly& other)
+{
+    HYDRA_ASSERT(sameShape(other), "shape mismatch in add");
+    for (size_t k = 0; k < limbs_.size(); ++k) {
+        const Modulus& m = mod(k);
+        auto& a = limbs_[k];
+        const auto& b = other.limbs_[k];
+        for (size_t i = 0; i < a.size(); ++i)
+            a[i] = m.addMod(a[i], b[i]);
+    }
+}
+
+void
+RnsPoly::sub(const RnsPoly& other)
+{
+    HYDRA_ASSERT(sameShape(other), "shape mismatch in sub");
+    for (size_t k = 0; k < limbs_.size(); ++k) {
+        const Modulus& m = mod(k);
+        auto& a = limbs_[k];
+        const auto& b = other.limbs_[k];
+        for (size_t i = 0; i < a.size(); ++i)
+            a[i] = m.subMod(a[i], b[i]);
+    }
+}
+
+void
+RnsPoly::negate()
+{
+    for (size_t k = 0; k < limbs_.size(); ++k) {
+        const Modulus& m = mod(k);
+        for (auto& x : limbs_[k])
+            x = m.negMod(x);
+    }
+}
+
+void
+RnsPoly::mulPointwise(const RnsPoly& other)
+{
+    HYDRA_ASSERT(sameShape(other) && nttForm_,
+                 "mulPointwise requires matching NTT-form operands");
+    for (size_t k = 0; k < limbs_.size(); ++k) {
+        const Modulus& m = mod(k);
+        auto& a = limbs_[k];
+        const auto& b = other.limbs_[k];
+        for (size_t i = 0; i < a.size(); ++i)
+            a[i] = m.mulMod(a[i], b[i]);
+    }
+}
+
+void
+RnsPoly::addMulPointwise(const RnsPoly& a, const RnsPoly& b)
+{
+    HYDRA_ASSERT(sameShape(a) && sameShape(b) && nttForm_,
+                 "addMulPointwise requires matching NTT-form operands");
+    for (size_t k = 0; k < limbs_.size(); ++k) {
+        const Modulus& m = mod(k);
+        auto& dst = limbs_[k];
+        const auto& x = a.limbs_[k];
+        const auto& y = b.limbs_[k];
+        for (size_t i = 0; i < dst.size(); ++i)
+            dst[i] = m.addMod(dst[i], m.mulMod(x[i], y[i]));
+    }
+}
+
+void
+RnsPoly::mulScalar(u64 a)
+{
+    for (size_t k = 0; k < limbs_.size(); ++k) {
+        const Modulus& m = mod(k);
+        u64 ak = m.reduceU64(a);
+        for (auto& x : limbs_[k])
+            x = m.mulMod(x, ak);
+    }
+}
+
+void
+RnsPoly::mulScalarPerLimb(const std::vector<u64>& a)
+{
+    HYDRA_ASSERT(a.size() == limbs_.size(), "per-limb scalar count");
+    for (size_t k = 0; k < limbs_.size(); ++k) {
+        const Modulus& m = mod(k);
+        for (auto& x : limbs_[k])
+            x = m.mulMod(x, a[k]);
+    }
+}
+
+void
+RnsPoly::toNtt()
+{
+    if (nttForm_)
+        return;
+    for (size_t k = 0; k < limbs_.size(); ++k)
+        basis_->ntt(basisIndex(k)).forward(limbs_[k]);
+    nttForm_ = true;
+}
+
+void
+RnsPoly::fromNtt()
+{
+    if (!nttForm_)
+        return;
+    for (size_t k = 0; k < limbs_.size(); ++k)
+        basis_->ntt(basisIndex(k)).inverse(limbs_[k]);
+    nttForm_ = false;
+}
+
+RnsPoly
+RnsPoly::automorphism(u64 galois) const
+{
+    HYDRA_ASSERT(!nttForm_, "automorphism requires coefficient domain");
+    size_t nn = n();
+    u64 two_n = 2 * nn;
+    HYDRA_ASSERT((galois & 1) == 1 && galois < two_n, "bad Galois element");
+
+    RnsPoly out(basis_, nLimbs_, hasSpecial_, false);
+    for (size_t k = 0; k < limbs_.size(); ++k) {
+        const Modulus& m = mod(k);
+        const auto& src = limbs_[k];
+        auto& dst = out.limbs_[k];
+        for (size_t i = 0; i < nn; ++i) {
+            u64 j = (static_cast<u64>(i) * galois) % two_n;
+            if (j < nn)
+                dst[j] = src[i];
+            else
+                dst[j - nn] = m.negMod(src[i]);
+        }
+    }
+    return out;
+}
+
+std::vector<size_t>
+RnsPoly::nttAutomorphismMap(size_t n, u64 galois)
+{
+    // The forward NTT emits evaluations at psi^(2*brv(j)+1).  Composing
+    // with X -> X^g moves slot j to the evaluation at exponent
+    // g*(2*brv(j)+1) mod 2n, whose home slot is recovered by the
+    // inverse bit-reversal.
+    int log_n = std::countr_zero(n);
+    u64 two_n = 2 * static_cast<u64>(n);
+    std::vector<size_t> map(n);
+    for (size_t j = 0; j < n; ++j) {
+        u64 e = 2 * bitReverse(static_cast<u64>(j), log_n) + 1;
+        u64 e_g = (e * galois) % two_n;
+        map[j] = static_cast<size_t>(bitReverse((e_g - 1) / 2, log_n));
+    }
+    return map;
+}
+
+RnsPoly
+RnsPoly::automorphismNtt(u64 galois) const
+{
+    HYDRA_ASSERT(nttForm_, "automorphismNtt requires NTT domain");
+    std::vector<size_t> map = nttAutomorphismMap(n(), galois);
+    RnsPoly out(basis_, nLimbs_, hasSpecial_, true);
+    for (size_t k = 0; k < limbs_.size(); ++k) {
+        const auto& src = limbs_[k];
+        auto& dst = out.limbs_[k];
+        for (size_t j = 0; j < src.size(); ++j)
+            dst[j] = src[map[j]];
+    }
+    return out;
+}
+
+void
+RnsPoly::divideRoundByLast()
+{
+    HYDRA_ASSERT(limbs_.size() >= 2, "cannot drop the only limb");
+    size_t last = limbs_.size() - 1;
+    size_t last_basis = basisIndex(last);
+    const Modulus& ql = basis_->mod(last_basis);
+    const NttTable& ntt_l = basis_->ntt(last_basis);
+    size_t nn = n();
+
+    // Bring the last limb into coefficient domain to take its centered
+    // representative.
+    std::vector<u64> corr = limbs_[last];
+    if (nttForm_)
+        ntt_l.inverse(corr);
+    std::vector<i64> centered(nn);
+    for (size_t i = 0; i < nn; ++i)
+        centered[i] = ql.toCentered(corr[i]);
+
+    for (size_t k = 0; k < last; ++k) {
+        size_t kb = basisIndex(k);
+        const Modulus& m = basis_->mod(kb);
+        u64 inv = basis_->invQlModQj(last_basis, kb);
+        auto& limb = limbs_[k];
+        if (nttForm_) {
+            // NTT the reduced correction, then combine pointwise.
+            std::vector<u64> c(nn);
+            for (size_t i = 0; i < nn; ++i)
+                c[i] = m.reduceI64(centered[i]);
+            basis_->ntt(kb).forward(c);
+            for (size_t i = 0; i < nn; ++i)
+                limb[i] = m.mulMod(m.subMod(limb[i], c[i]), inv);
+        } else {
+            for (size_t i = 0; i < nn; ++i) {
+                u64 c = m.reduceI64(centered[i]);
+                limb[i] = m.mulMod(m.subMod(limb[i], c), inv);
+            }
+        }
+    }
+
+    limbs_.pop_back();
+    if (hasSpecial_)
+        hasSpecial_ = false;
+    else
+        --nLimbs_;
+}
+
+void
+RnsPoly::dropLast()
+{
+    HYDRA_ASSERT(limbs_.size() >= 2, "cannot drop the only limb");
+    limbs_.pop_back();
+    if (hasSpecial_)
+        hasSpecial_ = false;
+    else
+        --nLimbs_;
+}
+
+} // namespace hydra

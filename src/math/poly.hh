@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Polynomial in R_Q = Z_Q[X]/(X^n + 1) stored in RNS (double-CRT) form.
+ *
+ * A polynomial owns one residue vector ("limb") per active ciphertext
+ * prime, plus optionally one limb for the special keyswitching prime.
+ * Limbs can collectively be in coefficient or NTT (evaluation) domain.
+ */
+
+#ifndef HYDRA_MATH_POLY_HH
+#define HYDRA_MATH_POLY_HH
+
+#include <memory>
+#include <vector>
+
+#include "math/rns.hh"
+
+namespace hydra {
+
+/** RNS polynomial with explicit domain tracking. */
+class RnsPoly
+{
+  public:
+    RnsPoly() = default;
+
+    /**
+     * Zero polynomial.
+     * @param basis shared RNS basis
+     * @param n_limbs number of active ciphertext primes (q_0..q_{l-1})
+     * @param has_special whether the special prime limb is attached
+     * @param ntt_form initial domain
+     */
+    RnsPoly(std::shared_ptr<const RnsBasis> basis, size_t n_limbs,
+            bool has_special = false, bool ntt_form = false);
+
+    /**
+     * Build from signed coefficients (applied identically to every limb),
+     * e.g.\ ternary secrets, error samples or encoded plaintexts.
+     */
+    static RnsPoly fromSigned(std::shared_ptr<const RnsBasis> basis,
+                              size_t n_limbs, bool has_special,
+                              const std::vector<i64>& coeffs);
+
+    bool valid() const { return basis_ != nullptr; }
+    size_t n() const { return basis_->n(); }
+    size_t limbCount() const { return limbs_.size(); }
+    size_t nLimbs() const { return nLimbs_; }
+    bool hasSpecial() const { return hasSpecial_; }
+    bool nttForm() const { return nttForm_; }
+    const std::shared_ptr<const RnsBasis>& basis() const { return basis_; }
+
+    /** Basis prime index backing local limb k. */
+    size_t
+    basisIndex(size_t k) const
+    {
+        return k < nLimbs_ ? k : basis_->specialIndex();
+    }
+
+    const Modulus&
+    mod(size_t k) const
+    {
+        return basis_->mod(basisIndex(k));
+    }
+
+    std::vector<u64>& limb(size_t k) { return limbs_[k]; }
+    const std::vector<u64>& limb(size_t k) const { return limbs_[k]; }
+
+    /** Set every limb to zero (keeps shape and domain). */
+    void setZero();
+
+    /** this += other (matching shape and domain). */
+    void add(const RnsPoly& other);
+
+    /** this -= other (matching shape and domain). */
+    void sub(const RnsPoly& other);
+
+    /** this = -this. */
+    void negate();
+
+    /** Pointwise product; both operands must be in NTT form. */
+    void mulPointwise(const RnsPoly& other);
+
+    /** this += a * b pointwise; all three in NTT form. */
+    void addMulPointwise(const RnsPoly& a, const RnsPoly& b);
+
+    /** Multiply every limb by a (reduced per prime). */
+    void mulScalar(u64 a);
+
+    /** Multiply limb k by its prime-specific scalar a_k. */
+    void mulScalarPerLimb(const std::vector<u64>& a);
+
+    /** Convert all limbs to NTT domain. */
+    void toNtt();
+
+    /** Convert all limbs to coefficient domain. */
+    void fromNtt();
+
+    /**
+     * Apply the Galois automorphism X -> X^g (coefficient domain only).
+     * @param galois odd exponent g in [1, 2n)
+     */
+    RnsPoly automorphism(u64 galois) const;
+
+    /**
+     * The same automorphism applied in the NTT domain: evaluations at
+     * the 2n-th roots permute (f(X^g) at omega equals f at omega^g),
+     * so this is a pure index shuffle -- the trick behind rotation
+     * hoisting.  Requires NTT form.
+     */
+    RnsPoly automorphismNtt(u64 galois) const;
+
+    /**
+     * Index permutation sigma with NTT(f(X^g))[j] = NTT(f)[sigma(j)]
+     * for the bit-reversed negacyclic NTT ordering of length n.
+     */
+    static std::vector<size_t> nttAutomorphismMap(size_t n, u64 galois);
+
+    /**
+     * Exact divide-and-round by the modulus of the last limb, dropping
+     * that limb: implements both Rescale (last limb = q_l) and ModDown
+     * (last limb = special prime).  Works in either domain and preserves
+     * the domain of the remaining limbs.
+     */
+    void divideRoundByLast();
+
+    /** Drop the last limb without rescaling (modulus switching down). */
+    void dropLast();
+
+    /** Checks shape/domain compatibility with another polynomial. */
+    bool sameShape(const RnsPoly& other) const;
+
+  private:
+    std::shared_ptr<const RnsBasis> basis_;
+    size_t nLimbs_ = 0;
+    bool hasSpecial_ = false;
+    bool nttForm_ = false;
+    std::vector<std::vector<u64>> limbs_;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_MATH_POLY_HH

@@ -1,0 +1,106 @@
+#include "math/primes.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+namespace {
+
+/** Modular exponentiation for arbitrary u64 modulus (no precomputation). */
+u64
+powModSlow(u64 a, u64 e, u64 m)
+{
+    u128 r = 1;
+    u128 base = a % m;
+    while (e) {
+        if (e & 1)
+            r = r * base % m;
+        base = base * base % m;
+        e >>= 1;
+    }
+    return static_cast<u64>(r);
+}
+
+bool
+millerRabinWitness(u64 n, u64 a, u64 d, int s)
+{
+    u64 x = powModSlow(a, d, n);
+    if (x == 1 || x == n - 1)
+        return false;
+    for (int i = 1; i < s; ++i) {
+        x = static_cast<u64>(static_cast<u128>(x) * x % n);
+        if (x == n - 1)
+            return false;
+    }
+    return true; // composite witness found
+}
+
+} // namespace
+
+bool
+isPrime(u64 n)
+{
+    if (n < 2)
+        return false;
+    for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                  19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n % p == 0)
+            return n == p;
+    }
+    u64 d = n - 1;
+    int s = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++s;
+    }
+    // Deterministic witness set for all n < 2^64.
+    for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                  19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (millerRabinWitness(n, a, d, s))
+            return false;
+    }
+    return true;
+}
+
+std::vector<u64>
+nttPrimes(size_t n, int bits, size_t count, const std::vector<u64>& exclude)
+{
+    HYDRA_ASSERT(bits >= 20 && bits <= 61, "prime size out of range");
+    u64 step = 2 * static_cast<u64>(n);
+    // Start at the largest multiple of 2n below 2^bits, plus 1.
+    u64 candidate = ((1ULL << bits) / step) * step + 1;
+    std::vector<u64> out;
+    while (out.size() < count) {
+        if (candidate <= (1ULL << (bits - 1)))
+            fatal("ran out of %d-bit NTT primes for n=%zu", bits, n);
+        if (isPrime(candidate) &&
+            std::find(exclude.begin(), exclude.end(), candidate) ==
+                exclude.end()) {
+            out.push_back(candidate);
+        }
+        candidate -= step;
+    }
+    return out;
+}
+
+u64
+primitiveRoot2N(const Modulus& q, size_t n)
+{
+    u64 qv = q.value();
+    u64 order = 2 * static_cast<u64>(n);
+    HYDRA_ASSERT((qv - 1) % order == 0, "q != 1 mod 2n");
+    u64 cofactor = (qv - 1) / order;
+    // Try small candidates g; psi = g^cofactor is a 2n-th root of unity.
+    // It is primitive iff psi^n == -1.
+    for (u64 g = 2; g < qv; ++g) {
+        u64 psi = q.powMod(g, cofactor);
+        if (q.powMod(psi, static_cast<u64>(n)) == qv - 1)
+            return psi;
+    }
+    panic("no primitive 2n-th root found for q=%llu",
+          static_cast<unsigned long long>(qv));
+}
+
+} // namespace hydra

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * NTT-friendly prime generation and roots of unity.
+ */
+
+#ifndef HYDRA_MATH_PRIMES_HH
+#define HYDRA_MATH_PRIMES_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "math/modarith.hh"
+
+namespace hydra {
+
+/** Deterministic Miller-Rabin primality test for 64-bit integers. */
+bool isPrime(u64 n);
+
+/**
+ * Generate `count` distinct primes of roughly `bits` bits with
+ * p = 1 (mod 2n), suitable for negacyclic NTT of length n.
+ * Primes are returned largest-first starting just below 2^bits,
+ * skipping any listed in `exclude`.
+ */
+std::vector<u64> nttPrimes(size_t n, int bits, size_t count,
+                           const std::vector<u64>& exclude = {});
+
+/** Find a primitive 2n-th root of unity modulo prime q (q = 1 mod 2n). */
+u64 primitiveRoot2N(const Modulus& q, size_t n);
+
+} // namespace hydra
+
+#endif // HYDRA_MATH_PRIMES_HH

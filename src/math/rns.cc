@@ -1,0 +1,86 @@
+#include "math/rns.hh"
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+RnsBasis::RnsBasis(size_t n, std::vector<u64> q_primes, u64 special_prime)
+    : n_(n)
+{
+    HYDRA_ASSERT(!q_primes.empty(), "empty modulus chain");
+    for (u64 q : q_primes)
+        mods_.emplace_back(q);
+    mods_.emplace_back(special_prime);
+
+    for (const auto& m : mods_)
+        ntts_.push_back(std::make_unique<NttTable>(n_, m));
+
+    size_t total = mods_.size();
+    inv_.assign(total, std::vector<u64>(total, 0));
+    for (size_t l = 0; l < total; ++l) {
+        for (size_t j = 0; j < total; ++j) {
+            if (l == j)
+                continue;
+            u64 ql = mods_[l].value() % mods_[j].value();
+            inv_[l][j] = mods_[j].invMod(ql);
+        }
+    }
+
+    garnerInv_.assign(total, 0);
+    for (size_t i = 1; i < total; ++i) {
+        u64 prod = 1;
+        const Modulus& qi = mods_[i];
+        for (size_t j = 0; j < i; ++j)
+            prod = qi.mulMod(prod, qi.reduceU64(mods_[j].value()));
+        garnerInv_[i] = qi.invMod(prod);
+    }
+}
+
+BigUInt
+RnsBasis::productQ(size_t count) const
+{
+    HYDRA_ASSERT(count >= 1 && count <= totalCount(), "bad limb count");
+    BigUInt prod(1);
+    for (size_t i = 0; i < count; ++i)
+        prod.mulU64(mods_[i].value());
+    return prod;
+}
+
+long double
+RnsBasis::composeCentered(const std::vector<u64>& residues,
+                          size_t count) const
+{
+    HYDRA_ASSERT(residues.size() >= count && count >= 1, "bad residues");
+    // Garner mixed-radix digits: x = d_0 + d_1 q_0 + d_2 q_0 q_1 + ...
+    std::vector<u64> digits(count);
+    digits[0] = residues[0];
+    for (size_t i = 1; i < count; ++i) {
+        const Modulus& qi = mods_[i];
+        // t = (x_i - (d_0 + d_1 q_0 + ...)) * garnerInv_i mod q_i
+        u64 acc = qi.reduceU64(digits[i - 1]);
+        for (size_t j = i - 1; j-- > 0;) {
+            acc = qi.mulMod(acc, qi.reduceU64(mods_[j].value()));
+            acc = qi.addMod(acc, qi.reduceU64(digits[j]));
+        }
+        u64 t = qi.subMod(residues[i] % qi.value(), acc);
+        digits[i] = qi.mulMod(t, garnerInv_[i]);
+    }
+
+    // Compose big integer via Horner over the mixed radix.
+    BigUInt x(digits[count - 1]);
+    for (size_t i = count - 1; i-- > 0;)
+        x.mulAdd(mods_[i].value(), digits[i]);
+
+    // Center against Q.
+    BigUInt q_prod = productQ(count);
+    BigUInt twice = x;
+    twice.mulU64(2);
+    if (twice.compare(q_prod) > 0) {
+        BigUInt neg = q_prod;
+        neg.sub(x);
+        return -neg.toLongDouble();
+    }
+    return x.toLongDouble();
+}
+
+} // namespace hydra

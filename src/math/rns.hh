@@ -1,0 +1,84 @@
+/**
+ * @file
+ * RNS (residue number system) basis shared by all polynomials of a CKKS
+ * context: the chain of ciphertext primes q_0..q_{L-1} plus one special
+ * prime p used by hybrid keyswitching, with NTT tables and the cross-prime
+ * constants needed for rescaling, ModDown and CRT composition.
+ */
+
+#ifndef HYDRA_MATH_RNS_HH
+#define HYDRA_MATH_RNS_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "math/bigint.hh"
+#include "math/modarith.hh"
+#include "math/ntt.hh"
+
+namespace hydra {
+
+/**
+ * An RNS basis over ring dimension n.  Limb index k < qCount() refers to
+ * ciphertext prime q_k; limb index qCount() refers to the special prime.
+ */
+class RnsBasis
+{
+  public:
+    /**
+     * @param n ring dimension (power of two)
+     * @param q_primes ciphertext modulus chain, q_0 first
+     * @param special_prime the keyswitching special prime p
+     */
+    RnsBasis(size_t n, std::vector<u64> q_primes, u64 special_prime);
+
+    size_t n() const { return n_; }
+
+    /** Number of ciphertext primes (excludes the special prime). */
+    size_t qCount() const { return mods_.size() - 1; }
+
+    /** Total limb count including the special prime. */
+    size_t totalCount() const { return mods_.size(); }
+
+    /** Index of the special prime limb. */
+    size_t specialIndex() const { return mods_.size() - 1; }
+
+    const Modulus& mod(size_t k) const { return mods_[k]; }
+    const NttTable& ntt(size_t k) const { return *ntts_[k]; }
+
+    /** q_l^{-1} mod q_j (also defined for l or j = special index). */
+    u64
+    invQlModQj(size_t l, size_t j) const
+    {
+        return inv_[l][j];
+    }
+
+    /**
+     * Garner constant for CRT composition over the first `count` limbs:
+     * inverse of (q_0 * ... * q_{i-1}) mod q_i.
+     */
+    u64 garnerInv(size_t i) const { return garnerInv_[i]; }
+
+    /** Product q_0..q_{count-1} as a big integer. */
+    BigUInt productQ(size_t count) const;
+
+    /**
+     * Exact CRT composition of the residues x_k (k < count) into the
+     * centered signed value, returned as long double.
+     */
+    long double composeCentered(const std::vector<u64>& residues,
+                                size_t count) const;
+
+  private:
+    size_t n_;
+    std::vector<Modulus> mods_;
+    std::vector<std::unique_ptr<NttTable>> ntts_;
+    /** inv_[l][j] = q_l^{-1} mod q_j. */
+    std::vector<std::vector<u64>> inv_;
+    std::vector<u64> garnerInv_;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_MATH_RNS_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Task decomposition and mapping strategies (paper Section III).
+ *
+ * Turns one workload Step into a per-card Program:
+ *  - ConvBN / Pooling: kernel units split across cards, each chunk's
+ *    outputs broadcast round-robin so transfers hide under the next
+ *    chunk's compute (Fig. 1 + Fig. 2);
+ *  - FC / PCMM / CCMM: units split evenly, partial results combined by
+ *    a tree reduction and re-broadcast (Section III-A);
+ *  - Non-linear: data-parallel across ciphertexts when parallelism
+ *    covers the cards, otherwise the Alg. 1 computation-tree split with
+ *    CMult balancing;
+ *  - Bootstrap: Fig. 3 mapping -- per-level BSGS DFT with replicated
+ *    baby steps, distributed giant steps and tree aggregation, Alg. 1
+ *    EvaExp, leader-local double-angle -- with Radix/bs chosen by the
+ *    Eq. 1 optimizer.
+ */
+
+#ifndef HYDRA_SCHED_MAPPING_HH
+#define HYDRA_SCHED_MAPPING_HH
+
+#include "arch/network.hh"
+#include "arch/opcost.hh"
+#include "model/dft_model.hh"
+#include "sync/task.hh"
+#include "workloads/model.hh"
+
+namespace hydra {
+
+/** Mapping knobs. */
+struct MappingConfig
+{
+    /** Chunks each card splits its unit share into (comm overlap). */
+    size_t maxChunksPerCard = 8;
+    /** EvaExp polynomial degree (paper: 59). */
+    size_t evalExpDegree = 59;
+    /** Double-angle iterations after EvaExp. */
+    size_t dafIters = 3;
+    /** Homomorphic DFT matrix levels (Table V: depth 3). */
+    size_t dftLevels = 3;
+};
+
+/** Builds per-step Programs for one (machine, workload) pair. */
+class StepMapper
+{
+  public:
+    StepMapper(const OpCostModel& cost, const NetworkModel& net,
+               size_t cards, size_t log_slots,
+               MappingConfig config = {});
+
+    /** Map one step onto the cluster. */
+    Program mapStep(const Step& step) const;
+
+    /**
+     * Append one step's tasks to an existing builder.  Used by the
+     * fused scheduling mode (paper Section IV-D: "multiple tasks can be
+     * loaded into each FPGA's task queue at once"), which removes the
+     * per-step barrier and lets a card start the next step while peers
+     * finish the current one.
+     */
+    void mapStepInto(ProgramBuilder& pb, const Step& step) const;
+
+    /** Single-card time of one full bootstrap (used for data-parallel
+     *  bootstrap scheduling and for Fig. 9 style analyses). */
+    Tick bootstrapLocalTime(size_t limbs) const;
+
+    /** The Eq. 1-optimal DFT plan for a group of `cards` nodes. */
+    DftPlan dftPlanFor(size_t group_cards, size_t limbs) const;
+
+    const MappingConfig& config() const { return config_; }
+
+  private:
+    void mapUniform(ProgramBuilder& pb, const Step& step) const;
+    void mapNonLinear(ProgramBuilder& pb, const Step& step) const;
+    /** Alg. 1 on the card range [base, base + group). */
+    void mapPolyEvalTree(ProgramBuilder& pb, size_t base, size_t group,
+                         size_t degree, size_t limbs,
+                         uint32_t label) const;
+    void mapBootstrap(ProgramBuilder& pb, const Step& step) const;
+    /** One BSGS DFT stack (C2S or S2C) on a card group. */
+    void mapDftLevels(ProgramBuilder& pb, size_t base, size_t group,
+                      const DftPlan& plan, size_t limbs,
+                      uint32_t label) const;
+
+    Tick unitLatency(const OpMix& mix, size_t limbs) const;
+    Tick opLat(HeOpType op, size_t limbs) const;
+
+    const OpCostModel& cost_;
+    const NetworkModel& net_;
+    size_t cards_;
+    size_t logSlots_;
+    MappingConfig config_;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SCHED_MAPPING_HH

@@ -1,0 +1,95 @@
+#include "sched/runner.hh"
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+std::unique_ptr<NetworkModel>
+PrototypeSpec::makeNetwork() const
+{
+    if (netKind == NetKind::Switched)
+        return std::make_unique<SwitchedNetwork>(net, cluster);
+    return std::make_unique<HostMediatedNetwork>(hostNet, cluster);
+}
+
+Tick
+InferenceResult::procTime(ProcKind k) const
+{
+    Tick sum = 0;
+    for (const auto& s : steps)
+        if (s.kind == k)
+            sum += s.stats.makespan;
+    return sum;
+}
+
+Tick
+InferenceResult::procComputeFloor(ProcKind k) const
+{
+    Tick sum = 0;
+    for (const auto& s : steps)
+        if (s.kind == k)
+            sum += s.stats.maxComputeBusy();
+    return sum;
+}
+
+double
+InferenceResult::procCommFraction(ProcKind k) const
+{
+    Tick t = procTime(k);
+    if (t == 0)
+        return 0.0;
+    return static_cast<double>(t - procComputeFloor(k)) /
+           static_cast<double>(t);
+}
+
+double
+InferenceResult::commFraction() const
+{
+    if (total.makespan == 0)
+        return 0.0;
+    Tick floor = 0;
+    for (const auto& s : steps)
+        floor += s.stats.maxComputeBusy();
+    return static_cast<double>(total.makespan - floor) /
+           static_cast<double>(total.makespan);
+}
+
+InferenceRunner::InferenceRunner(PrototypeSpec spec, size_t ring_n)
+    : spec_(std::move(spec)),
+      cost_(spec_.fpga, ring_n, spec_.dnum),
+      net_(spec_.makeNetwork())
+{
+}
+
+RunStats
+InferenceRunner::runFused(const WorkloadModel& workload) const
+{
+    StepMapper mapper(cost_, *net_, spec_.cluster.totalCards(),
+                      workload.logSlots, spec_.mapping);
+    ClusterExecutor executor(spec_.cluster, *net_);
+    ProgramBuilder pb(spec_.cluster.totalCards());
+    for (const auto& step : workload.steps)
+        mapper.mapStepInto(pb, step);
+    return executor.run(pb.take());
+}
+
+InferenceResult
+InferenceRunner::run(const WorkloadModel& workload) const
+{
+    StepMapper mapper(cost_, *net_, spec_.cluster.totalCards(),
+                      workload.logSlots, spec_.mapping);
+    ClusterExecutor executor(spec_.cluster, *net_);
+
+    InferenceResult result;
+    result.machine = spec_.name;
+    result.workload = workload.name;
+    for (const auto& step : workload.steps) {
+        Program prog = mapper.mapStep(step);
+        RunStats stats = executor.run(prog);
+        result.total.append(stats, net_->stepSyncLatency());
+        result.steps.push_back(StepResult{step.name, step.kind, stats});
+    }
+    return result;
+}
+
+} // namespace hydra

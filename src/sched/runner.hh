@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Whole-inference scheduler (paper Procedure 2): maps every Step of a
+ * workload, executes the resulting programs in order, and rolls up
+ * card -> server -> task completion with the per-step synchronization
+ * cost of the machine's network.
+ */
+
+#ifndef HYDRA_SCHED_RUNNER_HH
+#define HYDRA_SCHED_RUNNER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/mapping.hh"
+#include "sync/executor.hh"
+#include "workloads/model.hh"
+
+namespace hydra {
+
+/** A named machine configuration (Hydra-S/M/L, FAB-*, Poseidon). */
+struct PrototypeSpec
+{
+    enum class NetKind : uint8_t { Switched, HostMediated };
+
+    std::string name;
+    ClusterConfig cluster;
+    FpgaParams fpga;
+    /** Keyswitching digit count used by the cost model. */
+    size_t dnum = 4;
+    NetKind netKind = NetKind::Switched;
+    NetParams net;
+    HostNetParams hostNet;
+    MappingConfig mapping;
+
+    std::unique_ptr<NetworkModel> makeNetwork() const;
+};
+
+/** Execution record of one step. */
+struct StepResult
+{
+    std::string name;
+    ProcKind kind = ProcKind::ConvBN;
+    RunStats stats;
+};
+
+/** Execution record of a full inference. */
+struct InferenceResult
+{
+    std::string machine;
+    std::string workload;
+    std::vector<StepResult> steps;
+    RunStats total;
+
+    double seconds() const { return ticksToSeconds(total.makespan); }
+
+    /** Summed makespan of all steps of one procedure kind. */
+    Tick procTime(ProcKind k) const;
+
+    /** Compute-floor (max per-card busy time) summed over those steps. */
+    Tick procComputeFloor(ProcKind k) const;
+
+    /** Fraction of a procedure's time attributable to communication. */
+    double procCommFraction(ProcKind k) const;
+
+    /** Whole-run communication-overhead fraction. */
+    double commFraction() const;
+};
+
+/** Runs workloads on one machine. */
+class InferenceRunner
+{
+  public:
+    /**
+     * @param spec machine description (copied; temporaries are safe)
+     * @param ring_n CKKS ring dimension for the cost model
+     */
+    explicit InferenceRunner(PrototypeSpec spec,
+                             size_t ring_n = size_t{1} << 16);
+
+    InferenceResult run(const WorkloadModel& workload) const;
+
+    /**
+     * Fused execution: all steps preloaded into the card queues as one
+     * program (paper Section IV-D), removing per-step barriers -- a
+     * card may start the next step while its peers drain the current
+     * one.  Returns the single merged run's statistics.
+     */
+    RunStats runFused(const WorkloadModel& workload) const;
+
+    const OpCostModel& costModel() const { return cost_; }
+    const NetworkModel& network() const { return *net_; }
+    const PrototypeSpec& spec() const { return spec_; }
+
+  private:
+    PrototypeSpec spec_;
+    OpCostModel cost_;
+    std::unique_ptr<NetworkModel> net_;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SCHED_RUNNER_HH

@@ -1,0 +1,37 @@
+#include "sim/eventq.hh"
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+void
+EventQueue::schedule(Tick when, std::function<void()> cb)
+{
+    HYDRA_ASSERT(when >= now_, "scheduling into the past");
+    events_.push(Event{when, seq_++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    // priority_queue::top() returns const ref; move out via const_cast
+    // is UB -- copy the callback instead (cheap relative to sim work).
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return now_;
+}
+
+} // namespace hydra

@@ -1,0 +1,273 @@
+#include "sync/executor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/eventq.hh"
+
+namespace hydra {
+
+Tick
+RunStats::maxComputeBusy() const
+{
+    Tick m = 0;
+    for (Tick t : computeBusy)
+        m = std::max(m, t);
+    return m;
+}
+
+Tick
+RunStats::commOverhead() const
+{
+    Tick floor = maxComputeBusy();
+    return makespan > floor ? makespan - floor : 0;
+}
+
+void
+RunStats::append(const RunStats& next, Tick step_gap)
+{
+    makespan += next.makespan + step_gap;
+    if (computeBusy.size() < next.computeBusy.size())
+        computeBusy.resize(next.computeBusy.size(), 0);
+    if (commBusy.size() < next.commBusy.size())
+        commBusy.resize(next.commBusy.size(), 0);
+    for (size_t i = 0; i < next.computeBusy.size(); ++i)
+        computeBusy[i] += next.computeBusy[i];
+    for (size_t i = 0; i < next.commBusy.size(); ++i)
+        commBusy[i] += next.commBusy[i];
+    netBytes += next.netBytes;
+    netMessages += next.netMessages;
+    totalCost += next.totalCost;
+    for (const auto& [label, t] : next.labelComputeTicks)
+        labelComputeTicks[label] += t;
+}
+
+namespace {
+
+/** All mutable execution state, local to one run() call. */
+struct Engine
+{
+    Engine(const Program& prog, const ClusterConfig& cluster,
+           const NetworkModel& net)
+        : prog(prog), cluster(cluster), net(net),
+          cards(prog.cardCount()),
+          received(prog.cardCount()),
+          overlap(net.overlapsCompute())
+    {
+        // Map message -> sender card so ready-posts can kick the sender.
+        for (size_t c = 0; c < prog.cardCount(); ++c)
+            for (const auto& t : prog.cards[c].comm)
+                if (t.kind == CommTask::Kind::Send)
+                    senderOf[t.msg] = c;
+    }
+
+    const Program& prog;
+    const ClusterConfig& cluster;
+    const NetworkModel& net;
+
+    struct CardState
+    {
+        size_t computeIdx = 0;
+        size_t commIdx = 0;
+        bool computeBusy = false;
+        bool commBusy = false;
+        bool recvConfigured = false;
+        Tick computeBusyTicks = 0;
+        Tick commBusyTicks = 0;
+    };
+
+    EventQueue eq;
+    std::vector<CardState> cards;
+    std::vector<std::set<uint64_t>> received; // per card: msgs landed
+    std::set<uint64_t> doneCompute;
+    std::map<uint64_t, std::set<size_t>> readyFor; // msg -> ready cards
+    std::map<uint64_t, size_t> senderOf;
+    RunStats stats;
+    bool overlap;
+    bool record = false;
+
+    void
+    emit(size_t card, Tick start, Tick end, TaskEvent::Kind kind,
+         uint32_t label)
+    {
+        if (record)
+            stats.timeline.push_back(TaskEvent{card, start, end, kind,
+                                               label});
+    }
+
+    void
+    kick(size_t c)
+    {
+        eq.scheduleAfter(0, [this, c] {
+            tryCompute(c);
+            tryComm(c);
+        });
+    }
+
+    bool
+    msgsReceived(size_t c, const std::vector<uint64_t>& msgs) const
+    {
+        for (uint64_t m : msgs)
+            if (!received[c].count(m))
+                return false;
+        return true;
+    }
+
+    void
+    tryCompute(size_t c)
+    {
+        auto& st = cards[c];
+        const auto& queue = prog.cards[c].compute;
+        if (st.computeBusy || st.computeIdx >= queue.size())
+            return;
+        if (!overlap && st.commBusy)
+            return; // FAB: data movement blocks the pipeline
+        const ComputeTask& task = queue[st.computeIdx];
+        if (!msgsReceived(c, task.waitMsgs))
+            return; // CT_d waiting for its recv signal
+
+        st.computeBusy = true;
+        Tick start = eq.now();
+        eq.scheduleAfter(task.duration, [this, c, &task, start] {
+            auto& s = cards[c];
+            s.computeBusy = false;
+            s.computeBusyTicks += task.duration;
+            emit(c, start, eq.now(), TaskEvent::Kind::Compute,
+                 task.label);
+            stats.labelComputeTicks[task.label] += task.duration;
+            stats.totalCost += task.cost;
+            doneCompute.insert(task.id);
+            ++s.computeIdx;
+            if (overlap) {
+                kick(c);
+            } else {
+                // Host-mediated mode: remote senders may be blocked on
+                // this card's compute pipeline; re-evaluate everyone.
+                for (size_t r = 0; r < prog.cardCount(); ++r)
+                    kick(r);
+            }
+        });
+    }
+
+    void
+    tryComm(size_t c)
+    {
+        auto& st = cards[c];
+        const auto& queue = prog.cards[c].comm;
+        if (st.commBusy || st.commIdx >= queue.size())
+            return;
+        const CommTask& task = queue[st.commIdx];
+
+        if (task.kind == CommTask::Kind::Recv) {
+            if (st.recvConfigured)
+                return; // ready posted; waiting for the sender
+            // Configure the DMA, then post ready to the sender.
+            st.commBusy = true;
+            eq.scheduleAfter(net.setupLatency(), [this, c, &task] {
+                auto& s = cards[c];
+                s.commBusy = false;
+                s.recvConfigured = true;
+                readyFor[task.msg].insert(c);
+                auto it = senderOf.find(task.msg);
+                HYDRA_ASSERT(it != senderOf.end(),
+                             "recv with no matching send");
+                kick(it->second);
+            });
+            return;
+        }
+
+        // Send: needs its payload computed (SAC) and every receiver
+        // ready (handshake).
+        if (task.afterCompute != 0 && !doneCompute.count(task.afterCompute))
+            return;
+        std::vector<size_t> receivers;
+        if (task.peer == kBroadcast) {
+            for (size_t r = 0; r < prog.cardCount(); ++r)
+                if (r != c)
+                    receivers.push_back(r);
+        } else {
+            receivers.push_back(task.peer);
+        }
+        const auto& ready = readyFor[task.msg];
+        for (size_t r : receivers)
+            if (!ready.count(r))
+                return;
+        if (!overlap) {
+            // Host-mediated movement engages the FPGA's only DMA path;
+            // it cannot start while the pipeline computes.
+            if (st.computeBusy)
+                return;
+            for (size_t r : receivers)
+                if (cards[r].computeBusy)
+                    return;
+        }
+
+        Tick dur = task.peer == kBroadcast
+                       ? net.broadcastTime(task.bytes, c, prog.cardCount())
+                       : net.transferTime(task.bytes, c, task.peer);
+        st.commBusy = true;
+        for (size_t r : receivers)
+            cards[r].commBusy = true;
+        stats.netBytes += task.bytes * receivers.size();
+        ++stats.netMessages;
+
+        Tick t_start = eq.now();
+        eq.scheduleAfter(dur, [this, c, receivers, dur, t_start,
+                               msg = task.msg] {
+            auto& s = cards[c];
+            s.commBusy = false;
+            s.commBusyTicks += dur;
+            emit(c, t_start, eq.now(), TaskEvent::Kind::Transfer, 0);
+            ++s.commIdx;
+            for (size_t r : receivers) {
+                auto& rs = cards[r];
+                rs.commBusy = false;
+                rs.recvConfigured = false;
+                rs.commBusyTicks += dur;
+                emit(r, t_start, eq.now(), TaskEvent::Kind::Transfer, 0);
+                ++rs.commIdx;
+                received[r].insert(msg);
+                kick(r);
+            }
+            readyFor.erase(msg);
+            kick(c);
+        });
+    }
+};
+
+} // namespace
+
+RunStats
+ClusterExecutor::run(const Program& program)
+{
+    HYDRA_ASSERT(program.cardCount() == cluster_.totalCards(),
+                 "program size does not match the cluster");
+    Engine eng(program, cluster_, network_);
+    eng.record = recordTimeline_;
+    for (size_t c = 0; c < program.cardCount(); ++c)
+        eng.kick(c);
+    Tick end = eng.eq.run();
+
+    // Detect deadlock: every queue must have drained.
+    for (size_t c = 0; c < program.cardCount(); ++c) {
+        const auto& st = eng.cards[c];
+        if (st.computeIdx != program.cards[c].compute.size() ||
+            st.commIdx != program.cards[c].comm.size()) {
+            panic("deadlock: card %zu stuck at compute %zu/%zu, "
+                  "comm %zu/%zu",
+                  c, st.computeIdx, program.cards[c].compute.size(),
+                  st.commIdx, program.cards[c].comm.size());
+        }
+    }
+
+    eng.stats.makespan = end;
+    eng.stats.computeBusy.resize(program.cardCount());
+    eng.stats.commBusy.resize(program.cardCount());
+    for (size_t c = 0; c < program.cardCount(); ++c) {
+        eng.stats.computeBusy[c] = eng.cards[c].computeBusyTicks;
+        eng.stats.commBusy[c] = eng.cards[c].commBusyTicks;
+    }
+    return eng.stats;
+}
+
+} // namespace hydra

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cluster executor: runs a Program over N cards with Procedure-1
+ * synchronization semantics (paper Section IV-C):
+ *
+ *  - compute and comm task queues advance strictly in order;
+ *  - CT_i compute tasks run immediately, CT_d wait for recv signals;
+ *  - sends wait for the producing compute task (SAC) and for the
+ *    receiver's ready handshake;
+ *  - recvs configure the DMA, post ready, and block until data lands;
+ *  - with an overlapping network (Hydra DTU) transfers proceed in
+ *    parallel with compute; with a host-mediated network (FAB) data
+ *    movement and compute mutually exclude.
+ */
+
+#ifndef HYDRA_SYNC_EXECUTOR_HH
+#define HYDRA_SYNC_EXECUTOR_HH
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "arch/network.hh"
+#include "sync/task.hh"
+
+namespace hydra {
+
+/** One recorded occupancy interval (for Fig. 5-style timelines). */
+struct TaskEvent
+{
+    enum class Kind : uint8_t { Compute, Transfer };
+
+    size_t card = 0;
+    Tick start = 0;
+    Tick end = 0;
+    Kind kind = Kind::Compute;
+    uint32_t label = 0;
+};
+
+/** Aggregated results of one program execution. */
+struct RunStats
+{
+    Tick makespan = 0;
+    /** Per-card total time the compute pipeline was busy. */
+    std::vector<Tick> computeBusy;
+    /** Per-card total time a transfer touched the card. */
+    std::vector<Tick> commBusy;
+    uint64_t netBytes = 0;
+    uint64_t netMessages = 0;
+    /** Aggregate hardware activity for the energy model. */
+    OpCost totalCost;
+    /** Per-label compute time summed over cards. */
+    std::map<uint32_t, Tick> labelComputeTicks;
+
+    /** Longest per-card compute occupancy — the compute-bound floor. */
+    Tick maxComputeBusy() const;
+
+    /** makespan - compute floor: time attributable to communication
+     *  and load imbalance (the paper's "communication overhead"). */
+    Tick commOverhead() const;
+
+    /** Accumulate a subsequent step's stats (makespans add). */
+    void append(const RunStats& next, Tick step_gap = 0);
+
+    /** Occupancy intervals; only filled when timeline recording is on. */
+    std::vector<TaskEvent> timeline;
+};
+
+/** Executes programs on a modelled cluster. */
+class ClusterExecutor
+{
+  public:
+    ClusterExecutor(const ClusterConfig& cluster,
+                    const NetworkModel& network)
+        : cluster_(cluster), network_(network)
+    {
+    }
+
+    /** Run one program to completion; panics on deadlock. */
+    RunStats run(const Program& program);
+
+    /** Record per-task occupancy intervals into RunStats::timeline. */
+    void setRecordTimeline(bool on) { recordTimeline_ = on; }
+
+  private:
+    ClusterConfig cluster_;
+    const NetworkModel& network_;
+    bool recordTimeline_ = false;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SYNC_EXECUTOR_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Per-card task programs: the instruction streams the host-side
+ * scheduling software preloads onto every FPGA (paper Section IV-D).
+ *
+ * Each card carries two FIFO queues -- computation and communication --
+ * whose interplay implements Procedure 1: data-independent compute
+ * tasks (CT_i) run immediately, data-dependent ones (CT_d) wait for
+ * recv-completion signals, sends wait for compute-completion signals
+ * and the receiver's ready handshake.
+ */
+
+#ifndef HYDRA_SYNC_TASK_HH
+#define HYDRA_SYNC_TASK_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "arch/opcost.hh"
+
+namespace hydra {
+
+/** Broadcast destination marker. */
+constexpr size_t kBroadcast = std::numeric_limits<size_t>::max();
+
+/** One computation task in a card's compute queue. */
+struct ComputeTask
+{
+    /** Unique id within the program (used by send dependencies). */
+    uint64_t id = 0;
+    /** Execution time on this card. */
+    Tick duration = 0;
+    /** Message ids whose reception must complete first (CT_d). */
+    std::vector<uint64_t> waitMsgs;
+    /** Aggregated hardware cost, for energy accounting. */
+    OpCost cost;
+    /** Procedure tag for per-step statistics (e.g.\ "ConvBN"). */
+    uint32_t label = 0;
+};
+
+/** One communication task in a card's comm queue. */
+struct CommTask
+{
+    enum class Kind : uint8_t { Send, Recv };
+
+    Kind kind = Kind::Send;
+    /** Pairing key: every send matches recvs with the same msg id. */
+    uint64_t msg = 0;
+    /** Send: destination card or kBroadcast.  Recv: source card. */
+    size_t peer = 0;
+    /** Payload size. */
+    uint64_t bytes = 0;
+    /** Send only: compute-task id that must finish first (SAC);
+     *  0 = payload already available. */
+    uint64_t afterCompute = 0;
+};
+
+/** The two preloaded queues of one card. */
+struct CardProgram
+{
+    std::vector<ComputeTask> compute;
+    std::vector<CommTask> comm;
+
+    bool
+    empty() const
+    {
+        return compute.empty() && comm.empty();
+    }
+};
+
+/** A whole-cluster program: one CardProgram per card. */
+struct Program
+{
+    std::vector<CardProgram> cards;
+    /** Names backing ComputeTask::label. */
+    std::vector<std::string> labels;
+
+    explicit Program(size_t n_cards = 0) : cards(n_cards) {}
+
+    size_t cardCount() const { return cards.size(); }
+
+    /** Intern a label name, returning its id. */
+    uint32_t labelId(const std::string& name);
+};
+
+/**
+ * Helper for building programs: hands out unique compute-task and
+ * message ids and appends tasks.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(size_t n_cards) : prog_(n_cards) {}
+
+    Program take() { return std::move(prog_); }
+    Program& program() { return prog_; }
+    size_t cardCount() const { return prog_.cardCount(); }
+
+    uint32_t
+    label(const std::string& name)
+    {
+        return prog_.labelId(name);
+    }
+
+    /** Append a compute task; returns its id. */
+    uint64_t addCompute(size_t card, Tick duration, const OpCost& cost,
+                        uint32_t label,
+                        std::vector<uint64_t> wait_msgs = {});
+
+    /** Fresh message id for a send/recv pairing. */
+    uint64_t newMsg() { return nextMsg_++; }
+
+    void addSend(size_t card, uint64_t msg, size_t dst, uint64_t bytes,
+                 uint64_t after_compute = 0);
+    void addRecv(size_t card, uint64_t msg, size_t src, uint64_t bytes);
+
+    /**
+     * Convenience: send `bytes` from `src` (after compute task `after`)
+     * to card `dst`; returns the message id.
+     */
+    uint64_t sendTo(size_t src, size_t dst, uint64_t bytes,
+                    uint64_t after_compute = 0);
+
+    /** Broadcast from `src` to all other cards. */
+    uint64_t broadcastFrom(size_t src, uint64_t bytes,
+                           uint64_t after_compute = 0);
+
+  private:
+    Program prog_;
+    uint64_t nextCompute_ = 1; // 0 means "no dependency"
+    uint64_t nextMsg_ = 1;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SYNC_TASK_HH

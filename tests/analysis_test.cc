@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Energy/EDAP/resource-model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/energy.hh"
+#include "analysis/resources.hh"
+#include "baselines/prototypes.hh"
+
+namespace hydra {
+namespace {
+
+RunStats
+sampleStats()
+{
+    RunStats st;
+    st.makespan = secondsToTicks(2.0);
+    st.computeBusy = {secondsToTicks(1.5)};
+    st.commBusy = {secondsToTicks(0.1)};
+    st.netBytes = 1ull << 30;
+    st.totalCost.cuOps = {1000000, 500000, 200000, 50000};
+    st.totalCost.hbmBytes = 10ull << 30;
+    return st;
+}
+
+TEST(Energy, BreakdownSumsToTotal)
+{
+    EnergyParams ep;
+    FpgaParams fpga;
+    EnergyBreakdown e = computeEnergy(sampleStats(), ep, fpga, 1);
+    double sum = e.hbmJ + e.nicJ + e.staticJ;
+    for (double j : e.cuJ)
+        sum += j;
+    EXPECT_NEAR(e.total(), sum, 1e-12);
+}
+
+TEST(Energy, ComponentsMatchCoefficients)
+{
+    EnergyParams ep;
+    FpgaParams fpga;
+    RunStats st = sampleStats();
+    EnergyBreakdown e = computeEnergy(st, ep, fpga, 4);
+    EXPECT_NEAR(e.nicJ, static_cast<double>(st.netBytes) * ep.nicJPerByte,
+                1e-15);
+    EXPECT_NEAR(e.staticJ, ep.staticWatts * 2.0 * 4.0, 1e-9);
+    EXPECT_NEAR(e.cuJ[0], 1e6 * ep.cuOpJ[0], 1e-12);
+}
+
+TEST(Energy, TrafficFactorScalesHbm)
+{
+    EnergyParams ep;
+    FpgaParams hydra;
+    FpgaParams poseidon;
+    poseidon.hbmTrafficFactor = 3.0;
+    RunStats st = sampleStats();
+    EnergyBreakdown eh = computeEnergy(st, ep, hydra, 1);
+    EnergyBreakdown ep2 = computeEnergy(st, ep, poseidon, 1);
+    EXPECT_NEAR(ep2.hbmJ / eh.hbmJ, 3.0, 1e-9);
+}
+
+TEST(Energy, DynamicShareSumsToOne)
+{
+    EnergyBreakdown e =
+        computeEnergy(sampleStats(), EnergyParams{}, FpgaParams{}, 1);
+    double sum = e.dynamicShare(e.hbmJ) + e.dynamicShare(e.nicJ);
+    for (double j : e.cuJ)
+        sum += e.dynamicShare(j);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Energy, AsicParamsCheaperThanFpga)
+{
+    EnergyParams fpga;
+    EnergyParams asic = asicEnergyParams();
+    for (size_t i = 0; i < kNumCuTypes; ++i)
+        EXPECT_LT(asic.cuOpJ[i], fpga.cuOpJ[i]);
+}
+
+TEST(Edap, MultiplicativeInAllFactors)
+{
+    double base = edap(10.0, 2.0, 100.0);
+    EXPECT_NEAR(edap(20.0, 2.0, 100.0), 2 * base, 1e-12);
+    EXPECT_NEAR(edap(10.0, 4.0, 100.0), 2 * base, 1e-12);
+    EXPECT_NEAR(edap(10.0, 2.0, 200.0), 2 * base, 1e-12);
+}
+
+TEST(Resources, WithinU280Budget)
+{
+    ResourceUsage used = estimateResources(FpgaParams{});
+    ResourceUsage avail = u280Available();
+    EXPECT_LE(used.lutsK, avail.lutsK);
+    EXPECT_LE(used.ffsK, avail.ffsK);
+    EXPECT_LE(used.dsp, avail.dsp);
+    EXPECT_LE(used.bram, avail.bram);
+    EXPECT_LE(used.uram, avail.uram);
+}
+
+TEST(Resources, MatchesPaperTableFour)
+{
+    ResourceUsage used = estimateResources(FpgaParams{});
+    ResourceUsage avail = u280Available();
+    EXPECT_NEAR(used.lutsK / avail.lutsK, 0.765, 0.02);
+    EXPECT_NEAR(static_cast<double>(used.dsp) / avail.dsp, 0.965, 0.02);
+    EXPECT_NEAR(static_cast<double>(used.bram) / avail.bram, 0.762,
+                0.02);
+    EXPECT_NEAR(static_cast<double>(used.uram) / avail.uram, 0.798,
+                0.02);
+}
+
+TEST(Resources, DspTracksLaneCount)
+{
+    FpgaParams half;
+    half.lanes = 256;
+    EXPECT_LT(estimateResources(half).dsp,
+              estimateResources(FpgaParams{}).dsp);
+}
+
+TEST(PublishedTables, RowsAreComplete)
+{
+    EXPECT_EQ(asicPerformanceTable().size(), 4u);
+    EXPECT_EQ(paperFpgaTable().size(), 3u);
+    EXPECT_EQ(paperHydraTable().size(), 3u);
+    EXPECT_EQ(asicEdapTable().size(), 4u);
+    for (const auto& r : asicPerformanceTable()) {
+        EXPECT_GT(r.resnet18, 0.0);
+        EXPECT_GT(r.opt, r.bert); // OPT is always the heaviest
+    }
+    // SHARP is the fastest ASIC on every benchmark.
+    const auto& rows = asicPerformanceTable();
+    for (const auto& r : rows) {
+        EXPECT_LE(rows[3].resnet18, r.resnet18);
+        EXPECT_LE(rows[3].opt, r.opt);
+    }
+}
+
+} // namespace
+} // namespace hydra

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Operation cost model tests: scaling behaviour, roofline, sizes, and
+ * network transfer-time models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/network.hh"
+#include "arch/opcost.hh"
+
+namespace hydra {
+namespace {
+
+FpgaParams
+u280()
+{
+    return FpgaParams{};
+}
+
+TEST(OpCost, CiphertextAndKeySizes)
+{
+    OpCostModel m(u280(), 1 << 16, 4);
+    // Paper Section II-B2: ciphertexts over 20 MB at full parameters.
+    EXPECT_GT(m.ciphertextBytes(24), 20ull << 20);
+    EXPECT_EQ(m.ciphertextBytes(1), 2ull * (1 << 16) * 8);
+    EXPECT_GT(m.keyBytes(24), m.ciphertextBytes(24));
+}
+
+TEST(OpCost, CostsGrowWithLimbs)
+{
+    OpCostModel m(u280(), 1 << 16, 4);
+    for (HeOpType op : {HeOpType::HAdd, HeOpType::PMult, HeOpType::CMult,
+                        HeOpType::Rotate, HeOpType::Rescale}) {
+        uint64_t prev = 0;
+        for (size_t l = 2; l <= 24; l += 2) {
+            uint64_t c = m.cost(op, l).cycles;
+            EXPECT_GT(c, prev) << heOpName(op) << " limbs " << l;
+            prev = c;
+        }
+    }
+}
+
+TEST(OpCost, RelativeOpWeights)
+{
+    // CMult and Rotate are keyswitch-dominated and must dwarf HAdd and
+    // PMult; HAdd is the cheapest (paper Table I computation mixes).
+    OpCostModel m(u280(), 1 << 16, 4);
+    size_t l = 12;
+    uint64_t hadd = m.cost(HeOpType::HAdd, l).cycles;
+    uint64_t pmult = m.cost(HeOpType::PMult, l).cycles;
+    uint64_t cmult = m.cost(HeOpType::CMult, l).cycles;
+    uint64_t rot = m.cost(HeOpType::Rotate, l).cycles;
+    EXPECT_LT(hadd, pmult * 2);
+    EXPECT_GT(cmult, 10 * pmult);
+    EXPECT_GT(rot, 10 * pmult);
+    EXPECT_GT(cmult, rot / 3); // same order of magnitude
+}
+
+TEST(OpCost, RadixFourHalvesNttPasses)
+{
+    FpgaParams r4 = u280();
+    r4.nttRadix = 4;
+    FpgaParams r2 = u280();
+    r2.nttRadix = 2;
+    OpCostModel m4(r4, 1 << 16, 4);
+    OpCostModel m2(r2, 1 << 16, 4);
+    // Keyswitch-heavy ops are NTT-dominated: radix 4 saves ~2x NTT ops.
+    auto c4 = m4.cost(HeOpType::Rotate, 12);
+    auto c2 = m2.cost(HeOpType::Rotate, 12);
+    size_t ntt = static_cast<size_t>(CuType::Ntt);
+    EXPECT_NEAR(static_cast<double>(c2.cuOps[ntt]) /
+                    static_cast<double>(c4.cuOps[ntt]),
+                2.0, 0.01);
+}
+
+TEST(OpCost, RooflineSwitchesWithBandwidth)
+{
+    FpgaParams fast_mem = u280();
+    fast_mem.hbmBytesPerSec = 1e15; // compute-bound
+    FpgaParams slow_mem = u280();
+    slow_mem.hbmBytesPerSec = 1e9; // memory-bound
+    OpCostModel mf(fast_mem, 1 << 16, 4);
+    OpCostModel ms(slow_mem, 1 << 16, 4);
+    auto cost = mf.cost(HeOpType::CMult, 12);
+    EXPECT_LT(mf.latency(cost), ms.latency(cost));
+    // Memory-bound latency equals bytes / bandwidth.
+    double expect_s = static_cast<double>(cost.hbmBytes) / 1e9;
+    EXPECT_NEAR(ticksToSeconds(ms.latency(cost)), expect_s, 1e-6);
+}
+
+TEST(OpCost, PoseidonTrafficFactorSlowsMemoryBoundOps)
+{
+    FpgaParams hydra = u280();
+    FpgaParams poseidon = u280();
+    poseidon.hbmTrafficFactor = 3.0;
+    OpCostModel mh(hydra, 1 << 16, 4);
+    OpCostModel mp(poseidon, 1 << 16, 4);
+    auto c = mh.cost(HeOpType::CMult, 20);
+    EXPECT_GE(mp.latency(c), mh.latency(c));
+}
+
+TEST(OpCost, MixCostMatchesManualSum)
+{
+    OpCostModel m(u280(), 1 << 16, 4);
+    OpMix conv{8, 0, 2, 7}; // ConvBN unit from Table I
+    OpCost mix = m.mixCost(conv, 12);
+    OpCost manual;
+    for (int i = 0; i < 8; ++i)
+        manual += m.cost(HeOpType::Rotate, 12);
+    for (int i = 0; i < 2; ++i)
+        manual += m.cost(HeOpType::PMult, 12);
+    for (int i = 0; i < 7; ++i)
+        manual += m.cost(HeOpType::HAdd, 12);
+    EXPECT_EQ(mix.cycles, manual.cycles);
+    EXPECT_EQ(mix.hbmBytes, manual.hbmBytes);
+}
+
+TEST(Network, SwitchedTransferScalesWithBytes)
+{
+    NetParams np;
+    SwitchedNetwork net(np, hydraM());
+    Tick t1 = net.transferTime(1 << 20, 0, 1);
+    Tick t2 = net.transferTime(2 << 20, 0, 1);
+    EXPECT_GT(t2, t1);
+    // ~12.5 GB/s: 1 MiB ~ 84 us plus switch hop.
+    EXPECT_NEAR(ticksToSeconds(t1), (1 << 20) / (100e9 / 8) + 1e-6, 1e-6);
+}
+
+TEST(Network, CrossServerCostsMoreHops)
+{
+    NetParams np;
+    SwitchedNetwork net(np, hydraL());
+    Tick same = net.transferTime(1 << 20, 0, 1);   // server 0
+    Tick cross = net.transferTime(1 << 20, 0, 63); // server 0 -> 7
+    EXPECT_GT(cross, same);
+    EXPECT_EQ(cross - same, 2 * np.switchLatency);
+}
+
+TEST(Network, HostMediatedIsSlowerThanSwitched)
+{
+    uint64_t ct_bytes = 20ull << 20; // one full ciphertext
+    SwitchedNetwork hydra(NetParams{}, hydraM());
+    HostMediatedNetwork fab(HostNetParams{}, hydraM());
+    // Same-host unpaired cards pay two PCIe hops plus host latency.
+    EXPECT_GT(fab.transferTime(ct_bytes, 0, 2),
+              hydra.transferTime(ct_bytes, 0, 2));
+    // Paired cards use FAB's 10 Gb/s link vs Hydra's 100 Gb/s QSFP.
+    EXPECT_GT(fab.transferTime(ct_bytes, 0, 1),
+              5 * hydra.transferTime(ct_bytes, 0, 1));
+    // Crossing hosts adds the LAN hop: far slower than within a host.
+    HostMediatedNetwork fab_l(HostNetParams{}, hydraL());
+    EXPECT_GT(fab_l.transferTime(ct_bytes, 0, 63),
+              3 * fab_l.transferTime(ct_bytes, 0, 2));
+}
+
+TEST(Network, BroadcastVsSequentialUnicast)
+{
+    uint64_t bytes = 8 << 20;
+    SwitchedNetwork hydra(NetParams{}, hydraM());
+    HostMediatedNetwork fab(HostNetParams{}, hydraM());
+    // Hydra broadcast ~ one serialization; FAB pays per receiver.
+    EXPECT_LT(hydra.broadcastTime(bytes, 0, 8),
+              2 * hydra.transferTime(bytes, 0, 1));
+    EXPECT_GT(fab.broadcastTime(bytes, 0, 8),
+              3 * fab.transferTime(bytes, 0, 2));
+}
+
+} // namespace
+} // namespace hydra

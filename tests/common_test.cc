@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the common utilities: table rendering, formatting helpers,
+ * deterministic RNG, and string formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+
+namespace hydra {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t("caption");
+    t.header({"a", "bbbb", "c"});
+    t.addRow({"1", "2", "3"});
+    t.addRow({"10", "20", "30"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("caption"), std::string::npos);
+    EXPECT_NE(out.find("bbbb"), std::string::npos);
+    // Each line ends without trailing separators and rows align.
+    size_t header_pos = out.find("a");
+    size_t row_pos = out.find("1");
+    ASSERT_NE(header_pos, std::string::npos);
+    ASSERT_NE(row_pos, std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, SeparatorRows)
+{
+    TextTable t;
+    t.header({"x"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::string out = t.render();
+    // Three dashed lines: under header plus explicit separator.
+    size_t dashes = 0;
+    for (size_t pos = 0; (pos = out.find("----", pos)) != std::string::npos;
+         pos += 4)
+        ++dashes;
+    EXPECT_GE(dashes, 2u);
+}
+
+TEST(TextTable, MismatchedRowDies)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(Formatting, Helpers)
+{
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtF(2.0, 0), "2");
+    EXPECT_EQ(fmtX(2.5), "2.5x");
+    EXPECT_EQ(fmtX(12.345, 2), "12.35x");
+    EXPECT_EQ(fmtPct(0.125, 1), "12.5%");
+    EXPECT_EQ(fmtGrouped(0), "0");
+    EXPECT_EQ(fmtGrouped(999), "999");
+    EXPECT_EQ(fmtGrouped(1000), "1,000");
+    EXPECT_EQ(fmtGrouped(1234567), "1,234,567");
+}
+
+TEST(Strf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strf("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+    EXPECT_EQ(strf("%05.1f", 2.25), "002.2");
+    EXPECT_EQ(strf("empty"), "empty");
+    // Long strings survive the two-pass vsnprintf.
+    std::string big(5000, 'a');
+    EXPECT_EQ(strf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformU64(1000000), b.uniformU64(1000000));
+}
+
+TEST(Rng, TernaryIsBalancedAndBounded)
+{
+    Rng rng(7);
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 30000; ++i) {
+        int t = rng.ternary();
+        ASSERT_GE(t, -1);
+        ASSERT_LE(t, 1);
+        ++counts[t + 1];
+    }
+    for (int c : counts) {
+        EXPECT_GT(c, 9000);
+        EXPECT_LT(c, 11000);
+    }
+}
+
+TEST(Rng, SmallErrorIsCentered)
+{
+    Rng rng(8);
+    double sum = 0, sum_sq = 0;
+    int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        int e = rng.smallError(3.2);
+        sum += e;
+        sum_sq += static_cast<double>(e) * e;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.1);
+    EXPECT_NEAR(std::sqrt(sum_sq / n), 3.2, 0.15);
+}
+
+TEST(Rng, UniformRealWithinBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniformReal(-2.5, 1.5);
+        EXPECT_GE(v, -2.5);
+        EXPECT_LT(v, 1.5);
+    }
+    auto vec = rng.realVector(64, 0.0, 1.0);
+    EXPECT_EQ(vec.size(), 64u);
+}
+
+} // namespace
+} // namespace hydra

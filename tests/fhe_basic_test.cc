@@ -1,0 +1,217 @@
+/**
+ * @file
+ * CKKS scheme tests: encryption round trips and the full ciphertext
+ * operation set (HAdd, PMult, CMult, Rescale, Rotate, Conjugate),
+ * verified against plaintext arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fhe_test_util.hh"
+
+namespace hydra {
+namespace {
+
+using test::FheHarness;
+using test::maxError;
+using test::randomComplexVec;
+using test::randomRealVec;
+
+class FheBasicTest : public ::testing::Test
+{
+  protected:
+    FheBasicTest()
+        : h_(CkksParams::unitTest(), {1, 2, 3, 5, -1, 100})
+    {
+    }
+
+    FheHarness h_;
+};
+
+TEST_F(FheBasicTest, EncryptDecryptRoundTrip)
+{
+    auto v = randomComplexVec(h_.ctx.slots(), 11);
+    auto w = h_.decryptVec(h_.encryptVec(v));
+    EXPECT_LT(maxError(v, w), 1e-5);
+}
+
+TEST_F(FheBasicTest, EncryptAtLowerLevel)
+{
+    auto v = randomComplexVec(h_.ctx.slots(), 12);
+    auto w = h_.decryptVec(h_.encryptVec(v, 2));
+    EXPECT_LT(maxError(v, w), 1e-5);
+}
+
+TEST_F(FheBasicTest, HomomorphicAddSub)
+{
+    auto a = randomComplexVec(h_.ctx.slots(), 13);
+    auto b = randomComplexVec(h_.ctx.slots(), 14);
+    auto ca = h_.encryptVec(a);
+    auto cb = h_.encryptVec(b);
+    auto sum = h_.decryptVec(h_.eval.add(ca, cb));
+    auto dif = h_.decryptVec(h_.eval.sub(ca, cb));
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(std::abs(sum[i] - (a[i] + b[i])), 0.0, 1e-4);
+        EXPECT_NEAR(std::abs(dif[i] - (a[i] - b[i])), 0.0, 1e-4);
+    }
+}
+
+TEST_F(FheBasicTest, AddPlainAndMulPlain)
+{
+    auto a = randomComplexVec(h_.ctx.slots(), 15);
+    auto b = randomComplexVec(h_.ctx.slots(), 16);
+    auto ca = h_.encryptVec(a);
+    Plaintext pb = h_.encoder.encode(b, h_.ctx.params().scale(),
+                                     h_.ctx.levels());
+
+    auto sum = h_.decryptVec(h_.eval.addPlain(ca, pb));
+    auto prod = h_.decryptVec(h_.eval.rescale(h_.eval.mulPlain(ca, pb)));
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(std::abs(sum[i] - (a[i] + b[i])), 0.0, 1e-4);
+        EXPECT_NEAR(std::abs(prod[i] - a[i] * b[i]), 0.0, 1e-4);
+    }
+}
+
+TEST_F(FheBasicTest, CiphertextMultiplyWithRelin)
+{
+    auto a = randomComplexVec(h_.ctx.slots(), 17);
+    auto b = randomComplexVec(h_.ctx.slots(), 18);
+    auto ca = h_.encryptVec(a);
+    auto cb = h_.encryptVec(b);
+    auto prod = h_.decryptVec(h_.eval.rescale(h_.eval.mulRelin(ca, cb)));
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(std::abs(prod[i] - a[i] * b[i]), 0.0, 1e-3);
+}
+
+TEST_F(FheBasicTest, MultiplicationChainToBottomLevel)
+{
+    // Repeated squaring of values near 1 must stay accurate down the
+    // whole modulus chain.
+    auto a = randomRealVec(h_.ctx.slots(), 19, 0.9);
+    auto ct = h_.encryptVec(a);
+    std::vector<cplx> expect = a;
+    while (ct.level() > 2) {
+        ct = h_.eval.rescale(h_.eval.mulRelin(ct, ct));
+        for (auto& x : expect)
+            x *= x;
+    }
+    auto got = h_.decryptVec(ct);
+    EXPECT_LT(maxError(expect, got), 1e-2);
+}
+
+TEST_F(FheBasicTest, MulConstantAndAddConstant)
+{
+    auto a = randomComplexVec(h_.ctx.slots(), 20);
+    auto ct = h_.encryptVec(a);
+    cplx k(0.5, -2.0);
+    auto scaled = h_.decryptVec(
+        h_.eval.mulConstantRescale(ct, k, h_.ctx.params().scale()));
+    auto shifted = h_.decryptVec(h_.eval.addConstant(ct, k));
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(std::abs(scaled[i] - a[i] * k), 0.0, 1e-4);
+        EXPECT_NEAR(std::abs(shifted[i] - (a[i] + k)), 0.0, 1e-4);
+    }
+}
+
+TEST_F(FheBasicTest, MultiplyByImaginaryUnit)
+{
+    auto a = randomComplexVec(h_.ctx.slots(), 21);
+    auto ct = h_.encryptVec(a);
+    auto got = h_.decryptVec(h_.eval.mulConstantRescale(
+        ct, cplx(0.0, 1.0), h_.ctx.params().scale()));
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(std::abs(got[i] - a[i] * cplx(0, 1)), 0.0, 1e-4);
+}
+
+TEST_F(FheBasicTest, RotationMovesSlotsLeft)
+{
+    size_t s = h_.ctx.slots();
+    auto a = randomComplexVec(s, 22);
+    auto ct = h_.encryptVec(a);
+    for (int r : {1, 2, 3, 5, 100}) {
+        auto got = h_.decryptVec(h_.eval.rotate(ct, r));
+        for (size_t j = 0; j < s; ++j)
+            EXPECT_NEAR(std::abs(got[j] - a[(j + r) % s]), 0.0, 1e-3)
+                << "rotation " << r << " slot " << j;
+    }
+}
+
+TEST_F(FheBasicTest, NegativeRotationIsRightShift)
+{
+    size_t s = h_.ctx.slots();
+    auto a = randomComplexVec(s, 23);
+    auto ct = h_.encryptVec(a);
+    auto got = h_.decryptVec(h_.eval.rotate(ct, -1));
+    for (size_t j = 0; j < s; ++j)
+        EXPECT_NEAR(std::abs(got[j] - a[(j + s - 1) % s]), 0.0, 1e-3);
+}
+
+TEST_F(FheBasicTest, RotationComposition)
+{
+    size_t s = h_.ctx.slots();
+    auto a = randomComplexVec(s, 24);
+    auto ct = h_.encryptVec(a);
+    auto r12 = h_.eval.rotate(h_.eval.rotate(ct, 1), 2);
+    auto r3 = h_.eval.rotate(ct, 3);
+    EXPECT_LT(maxError(h_.decryptVec(r12), h_.decryptVec(r3)), 1e-3);
+}
+
+TEST_F(FheBasicTest, ConjugationConjugatesSlots)
+{
+    auto a = randomComplexVec(h_.ctx.slots(), 25);
+    auto ct = h_.encryptVec(a);
+    auto got = h_.decryptVec(h_.eval.conjugate(ct));
+    for (size_t j = 0; j < a.size(); ++j)
+        EXPECT_NEAR(std::abs(got[j] - std::conj(a[j])), 0.0, 1e-3);
+}
+
+TEST_F(FheBasicTest, DropToLevelPreservesMessage)
+{
+    auto a = randomComplexVec(h_.ctx.slots(), 26);
+    auto ct = h_.encryptVec(a);
+    auto dropped = h_.eval.dropToLevel(ct, 2);
+    EXPECT_EQ(dropped.level(), 2u);
+    EXPECT_LT(maxError(a, h_.decryptVec(dropped)), 1e-4);
+}
+
+TEST_F(FheBasicTest, OpCounterRecordsOperations)
+{
+    OpCounter counter;
+    h_.eval.setCounter(&counter);
+    auto a = randomComplexVec(h_.ctx.slots(), 27);
+    auto ct = h_.encryptVec(a);
+    auto t = h_.eval.add(ct, ct);
+    t = h_.eval.rescale(h_.eval.mulRelin(t, t));
+    t = h_.eval.rotate(t, 1);
+    h_.eval.setCounter(nullptr);
+
+    EXPECT_EQ(counter.count(HeOpType::HAdd), 1u);
+    EXPECT_EQ(counter.count(HeOpType::CMult), 1u);
+    EXPECT_EQ(counter.count(HeOpType::Rescale), 1u);
+    EXPECT_EQ(counter.count(HeOpType::Rotate), 1u);
+    EXPECT_GE(counter.count(HeOpType::KeySwitch), 2u);
+}
+
+TEST_F(FheBasicTest, HybridOfEverything)
+{
+    // (rot(a,1) * b + conj(a)) * 0.5 checked against plaintext.
+    size_t s = h_.ctx.slots();
+    auto a = randomComplexVec(s, 28);
+    auto b = randomComplexVec(s, 29);
+    auto ca = h_.encryptVec(a);
+    auto cb = h_.encryptVec(b);
+
+    auto t = h_.eval.rescale(h_.eval.mulRelin(h_.eval.rotate(ca, 1), cb));
+    auto cj = h_.eval.dropToLevel(h_.eval.conjugate(ca), t.level());
+    cj.scale = t.scale; // same up to fp drift of one rescale
+    auto out = h_.decryptVec(h_.eval.mulConstantRescale(
+        h_.eval.add(t, cj), cplx(0.5, 0.0), h_.ctx.params().scale()));
+
+    for (size_t j = 0; j < s; ++j) {
+        cplx expect = (a[(j + 1) % s] * b[j] + std::conj(a[j])) * 0.5;
+        EXPECT_NEAR(std::abs(out[j] - expect), 0.0, 1e-3);
+    }
+}
+
+} // namespace
+} // namespace hydra

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Homomorphic convolution / pooling / Chebyshev activation tests
+ * against plaintext references (the functional side of the paper's
+ * ConvBN, Pooling and Non-linear procedures).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fhe/chebyshev.hh"
+#include "fhe/convolution.hh"
+#include "fhe_test_util.hh"
+
+namespace hydra {
+namespace {
+
+using test::FheHarness;
+
+CkksParams
+convParams()
+{
+    CkksParams p = CkksParams::unitTest();
+    p.n = 1 << 8; // 128 slots = 16 x 8 image
+    p.levels = 8;
+    return p;
+}
+
+std::vector<double>
+testImage(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> img(n);
+    for (auto& x : img)
+        x = rng.uniformReal(-0.5, 0.5);
+    return img;
+}
+
+class ConvTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ConvTest, MatchesPlainConvolution)
+{
+    size_t k = GetParam();
+    size_t h = 16, w = 8;
+    ConvKernel kernel;
+    kernel.k = k;
+    Rng rng(60 + k);
+    kernel.weights.resize(k * k);
+    for (auto& x : kernel.weights)
+        x = rng.uniformReal(-0.3, 0.3);
+    kernel.bias = 0.125;
+
+    CkksParams p = convParams();
+    FheHarness harness(p, convRotations(w, k));
+    auto img = testImage(h * w, 61);
+    auto expect = conv2dRef(img, kernel, h, w);
+
+    Ciphertext ct = harness.encryptor.encrypt(harness.encoder.encode(
+        img, p.scale(), harness.ctx.levels()));
+    Ciphertext out = conv2d(harness.eval, ct, kernel, h, w);
+    auto got = harness.decryptVec(out);
+    for (size_t j = 0; j < expect.size(); ++j)
+        EXPECT_NEAR(got[j].real(), expect[j], 1e-3) << "slot " << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ConvTest, ::testing::Values(1, 3, 5));
+
+TEST(Convolution, SparseKernelSkipsZeroTaps)
+{
+    // Identity kernel: output == input, zero rotations needed.
+    size_t h = 16, w = 8;
+    ConvKernel id;
+    id.k = 3;
+    id.weights.assign(9, 0.0);
+    id.weights[4] = 1.0;
+    CkksParams p = convParams();
+    FheHarness harness(p, {});
+    auto img = testImage(h * w, 62);
+    Ciphertext ct = harness.encryptor.encrypt(harness.encoder.encode(
+        img, p.scale(), harness.ctx.levels()));
+
+    OpCounter counter;
+    harness.eval.setCounter(&counter);
+    Ciphertext out = conv2d(harness.eval, ct, id, h, w);
+    harness.eval.setCounter(nullptr);
+    EXPECT_EQ(counter.count(HeOpType::Rotate), 0u);
+    auto got = harness.decryptVec(out);
+    for (size_t j = 0; j < img.size(); ++j)
+        EXPECT_NEAR(got[j].real(), img[j], 1e-4);
+}
+
+TEST(Convolution, AvgPoolMatchesReference)
+{
+    size_t h = 16, w = 8, k = 2;
+    CkksParams p = convParams();
+    FheHarness harness(p, convRotations(w, k));
+    auto img = testImage(h * w, 63);
+    auto expect = avgPoolRef(img, k, h, w);
+    Ciphertext ct = harness.encryptor.encrypt(harness.encoder.encode(
+        img, p.scale(), harness.ctx.levels()));
+    auto got = harness.decryptVec(avgPool(harness.eval, ct, k, h, w));
+    for (size_t j = 0; j < expect.size(); ++j)
+        EXPECT_NEAR(got[j].real(), expect[j], 1e-3);
+}
+
+TEST(Convolution, RotationSetIsMinimal)
+{
+    auto steps = convRotations(8, 3);
+    EXPECT_EQ(steps.size(), 8u); // 3x3 minus the zero shift
+    for (int s : steps)
+        EXPECT_NE(s, 0);
+}
+
+TEST(Chebyshev, FitReproducesSmoothFunction)
+{
+    auto f = [](double x) { return std::exp(0.8 * x) - 0.3 * x; };
+    ChebyshevPoly poly = chebyshevFit(f, 12, -1.0, 1.0);
+    for (double x = -1.0; x <= 1.0; x += 0.05)
+        EXPECT_NEAR(poly(x), f(x), 1e-8);
+}
+
+TEST(Chebyshev, PowerBasisConversionIsExact)
+{
+    auto f = [](double x) { return 0.2 + x - 0.7 * x * x * x; };
+    ChebyshevPoly poly = chebyshevFit(f, 7, -2.0, 1.5);
+    auto monos = poly.toPowerBasis();
+    for (double x = -2.0; x <= 1.5; x += 0.1) {
+        cplx acc(0, 0);
+        cplx xp(1, 0);
+        for (const auto& c : monos) {
+            acc += c * xp;
+            xp *= x;
+        }
+        EXPECT_NEAR(acc.real(), poly(x), 1e-7);
+    }
+}
+
+TEST(Chebyshev, HomomorphicSoftReluActivation)
+{
+    CkksParams p = convParams();
+    p.levels = 9;
+    FheHarness harness(p, {});
+    auto f = [](double x) { return softRelu(x); };
+    ChebyshevPoly poly = chebyshevFit(f, 15, -1.0, 1.0);
+
+    auto v = test::randomRealVec(harness.ctx.slots(), 64, 0.95);
+    Ciphertext ct = harness.encryptVec(v);
+    auto got = harness.decryptVec(evalChebyshev(harness.eval, ct, poly));
+    for (size_t j = 0; j < v.size(); ++j)
+        EXPECT_NEAR(got[j].real(), poly(v[j].real()), 5e-2)
+            << "slot " << j;
+}
+
+TEST(Chebyshev, ApproximatesReluShape)
+{
+    ChebyshevPoly poly = chebyshevFit([](double x) { return softRelu(x); },
+                                      15, -1.0, 1.0);
+    // Negative side flat-ish, positive side ~identity.
+    EXPECT_NEAR(poly(-0.9), 0.0, 0.02);
+    EXPECT_NEAR(poly(0.9), 0.9, 0.02);
+    EXPECT_NEAR(poly(0.0), 0.0, 0.02);
+}
+
+} // namespace
+} // namespace hydra

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Hoisted-rotation tests: NTT-domain automorphisms and shared-digit
+ * keyswitching must agree with the naive per-rotation path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fhe_test_util.hh"
+#include "math/poly.hh"
+
+namespace hydra {
+namespace {
+
+using test::FheHarness;
+using test::maxError;
+using test::randomComplexVec;
+
+TEST(NttAutomorphism, MatchesCoefficientDomain)
+{
+    CkksParams p = CkksParams::unitTest();
+    p.n = 1 << 8;
+    CkksContext ctx(p);
+    Rng rng(81);
+    std::vector<i64> c(ctx.n());
+    for (auto& x : c)
+        x = static_cast<i64>(rng.uniformU64(4000)) - 2000;
+    RnsPoly a = RnsPoly::fromSigned(ctx.basis(), 3, true, c);
+
+    for (u64 g : {u64{5}, u64{25}, u64{125}, u64{2 * ctx.n() - 1}}) {
+        RnsPoly ref = a.automorphism(g);
+        ref.toNtt();
+        RnsPoly b = a;
+        b.toNtt();
+        RnsPoly got = b.automorphismNtt(g);
+        for (size_t k = 0; k < ref.limbCount(); ++k)
+            EXPECT_EQ(ref.limb(k), got.limb(k)) << "g=" << g;
+    }
+}
+
+TEST(NttAutomorphism, MapIsAPermutation)
+{
+    for (size_t n : {16, 64, 1024}) {
+        for (u64 g : {u64{5}, u64{2 * n - 1}}) {
+            auto map = RnsPoly::nttAutomorphismMap(n, g);
+            std::vector<bool> seen(n, false);
+            for (size_t j : map) {
+                ASSERT_LT(j, n);
+                EXPECT_FALSE(seen[j]);
+                seen[j] = true;
+            }
+        }
+    }
+}
+
+class HoistingTest : public ::testing::Test
+{
+  protected:
+    HoistingTest()
+        : h_(params(), {1, 2, 3, 5, 7})
+    {
+    }
+
+    static CkksParams
+    params()
+    {
+        CkksParams p = CkksParams::unitTest();
+        p.n = 1 << 8;
+        return p;
+    }
+
+    FheHarness h_;
+};
+
+TEST_F(HoistingTest, MatchesNaiveRotations)
+{
+    auto v = randomComplexVec(h_.ctx.slots(), 82);
+    auto ct = h_.encryptVec(v);
+    std::vector<int> steps = {1, 3, 5, 7};
+    auto hoisted = h_.eval.rotateHoisted(ct, steps);
+    ASSERT_EQ(hoisted.size(), steps.size());
+    for (size_t i = 0; i < steps.size(); ++i) {
+        auto naive = h_.decryptVec(h_.eval.rotate(ct, steps[i]));
+        auto fast = h_.decryptVec(hoisted[i]);
+        EXPECT_LT(maxError(naive, fast), 1e-4) << "step " << steps[i];
+    }
+}
+
+TEST_F(HoistingTest, ZeroStepReturnsInput)
+{
+    auto v = randomComplexVec(h_.ctx.slots(), 83);
+    auto ct = h_.encryptVec(v);
+    auto out = h_.eval.rotateHoisted(ct, {0, 1});
+    EXPECT_LT(maxError(v, h_.decryptVec(out[0])), 1e-4);
+}
+
+TEST_F(HoistingTest, WorksAtLowerLevels)
+{
+    auto v = randomComplexVec(h_.ctx.slots(), 84);
+    auto ct = h_.eval.dropToLevel(h_.encryptVec(v), 2);
+    auto out = h_.eval.rotateHoisted(ct, {2, 3});
+    size_t s = h_.ctx.slots();
+    auto g2 = h_.decryptVec(out[0]);
+    for (size_t j = 0; j < s; ++j)
+        EXPECT_NEAR(std::abs(g2[j] - v[(j + 2) % s]), 0.0, 1e-3);
+}
+
+TEST_F(HoistingTest, SemanticallyCorrectRotation)
+{
+    size_t s = h_.ctx.slots();
+    auto v = randomComplexVec(s, 85);
+    auto ct = h_.encryptVec(v);
+    auto out = h_.eval.rotateHoisted(ct, {5});
+    auto got = h_.decryptVec(out[0]);
+    for (size_t j = 0; j < s; ++j)
+        EXPECT_NEAR(std::abs(got[j] - v[(j + 5) % s]), 0.0, 1e-3);
+}
+
+TEST_F(HoistingTest, HoistedResultSupportsFurtherOps)
+{
+    auto v = randomComplexVec(h_.ctx.slots(), 86, 0.9);
+    auto ct = h_.encryptVec(v);
+    auto rot = h_.eval.rotateHoisted(ct, {1})[0];
+    auto sq = h_.decryptVec(h_.eval.rescale(h_.eval.mulRelin(rot, rot)));
+    size_t s = h_.ctx.slots();
+    for (size_t j = 0; j < s; ++j) {
+        cplx e = v[(j + 1) % s] * v[(j + 1) % s];
+        EXPECT_NEAR(std::abs(sq[j] - e), 0.0, 1e-3);
+    }
+}
+
+} // namespace
+} // namespace hydra

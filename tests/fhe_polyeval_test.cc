@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Homomorphic polynomial evaluation tests against plain Horner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fhe/polyeval.hh"
+#include "fhe_test_util.hh"
+
+namespace hydra {
+namespace {
+
+using test::FheHarness;
+using test::maxError;
+using test::randomRealVec;
+
+cplx
+hornerRef(const std::vector<cplx>& coeffs, cplx x)
+{
+    cplx acc(0, 0);
+    for (size_t k = coeffs.size(); k-- > 0;)
+        acc = acc * x + coeffs[k];
+    return acc;
+}
+
+class PolyEvalTest : public ::testing::TestWithParam<size_t>
+{
+  protected:
+    PolyEvalTest()
+        : h_(params(), {})
+    {
+    }
+
+    static CkksParams
+    params()
+    {
+        CkksParams p = CkksParams::unitTest();
+        p.n = 1 << 8;
+        p.levels = 9; // degree 31 ladder (5) + alignment (1) + slack
+        return p;
+    }
+
+    FheHarness h_;
+};
+
+TEST_P(PolyEvalTest, MatchesPlainHorner)
+{
+    size_t deg = GetParam();
+    Rng rng(40 + deg);
+    std::vector<cplx> coeffs(deg + 1);
+    for (auto& c : coeffs)
+        c = cplx(rng.uniformReal(-1, 1), rng.uniformReal(-1, 1));
+
+    auto v = randomRealVec(h_.ctx.slots(), 41, 0.9);
+    auto ct = h_.encryptVec(v);
+    auto got = h_.decryptVec(evalPolynomial(h_.eval, ct, coeffs));
+    for (size_t j = 0; j < v.size(); ++j)
+        EXPECT_NEAR(std::abs(got[j] - hornerRef(coeffs, v[j])), 0.0, 5e-2)
+            << "degree " << deg << " slot " << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyEvalTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 15, 31));
+
+TEST(PolyEvalSpecial, SparsePolynomial)
+{
+    CkksParams p = CkksParams::unitTest();
+    p.n = 1 << 8;
+    p.levels = 7;
+    FheHarness h(p, {});
+    // x^8 - 0.5 (only two nonzero coefficients)
+    std::vector<cplx> coeffs(9, cplx(0, 0));
+    coeffs[8] = cplx(1, 0);
+    coeffs[0] = cplx(-0.5, 0);
+
+    auto v = randomRealVec(h.ctx.slots(), 42, 0.9);
+    auto got = h.decryptVec(evalPolynomial(h.eval, h.encryptVec(v), coeffs));
+    for (size_t j = 0; j < v.size(); ++j) {
+        double x = v[j].real();
+        double expect = std::pow(x, 8) - 0.5;
+        EXPECT_NEAR(std::abs(got[j] - expect), 0.0, 1e-2);
+    }
+}
+
+TEST(PolyEvalSpecial, ReluLikeApproximation)
+{
+    // Degree-7 polynomial approximation of a smooth sign-ish function,
+    // the workhorse of the paper's Non-linear layers.
+    CkksParams p = CkksParams::unitTest();
+    p.n = 1 << 8;
+    p.levels = 7;
+    FheHarness h(p, {});
+    // Odd polynomial 1.5x - 0.5x^3-ish (soft sign on [-1, 1]).
+    std::vector<cplx> coeffs = {
+        {0, 0}, {1.875, 0}, {0, 0}, {-1.25, 0},
+        {0, 0}, {0.375, 0},
+    };
+    auto v = randomRealVec(h.ctx.slots(), 43, 1.0);
+    auto got = h.decryptVec(evalPolynomial(h.eval, h.encryptVec(v), coeffs));
+    for (size_t j = 0; j < v.size(); ++j) {
+        double x = v[j].real();
+        double expect = 1.875 * x - 1.25 * x * x * x +
+                        0.375 * std::pow(x, 5);
+        EXPECT_NEAR(std::abs(got[j] - expect), 0.0, 1e-2);
+    }
+}
+
+TEST(PolyEvalSpecial, DepthAccounting)
+{
+    EXPECT_EQ(polyEvalDepth(1), 1u);
+    EXPECT_EQ(polyEvalDepth(2), 3u);
+    EXPECT_EQ(polyEvalDepth(7), 4u);
+    EXPECT_EQ(polyEvalDepth(31), 6u);
+
+    CkksParams p = CkksParams::unitTest();
+    p.n = 1 << 8;
+    p.levels = 9;
+    FheHarness h(p, {});
+    std::vector<cplx> coeffs(8, cplx(0.1, 0));
+    auto ct = h.encryptVec(randomRealVec(h.ctx.slots(), 44, 0.5));
+    auto out = evalPolynomial(h.eval, ct, coeffs);
+    EXPECT_GE(ct.level() - out.level(), 1u);
+    EXPECT_LE(ct.level() - out.level(), polyEvalDepth(7));
+}
+
+} // namespace
+} // namespace hydra

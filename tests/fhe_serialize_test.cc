@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Wire-format tests: ciphertext/plaintext/key round trips, size
+ * accounting, and rejection of corrupted or mismatched blobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fhe/serialize.hh"
+#include "fhe_test_util.hh"
+
+namespace hydra {
+namespace {
+
+using test::FheHarness;
+using test::maxError;
+using test::randomComplexVec;
+
+CkksParams
+serParams()
+{
+    CkksParams p = CkksParams::unitTest();
+    p.n = 1 << 8;
+    return p;
+}
+
+TEST(Serialize, CiphertextRoundTripDecrypts)
+{
+    FheHarness h(serParams(), {1});
+    auto v = randomComplexVec(h.ctx.slots(), 101);
+    Ciphertext ct = h.encryptVec(v);
+
+    Bytes blob = serialize(ct);
+    EXPECT_EQ(blob.size(), serializedCiphertextBytes(ct));
+    Ciphertext back = deserializeCiphertext(blob, h.ctx.basis());
+    EXPECT_EQ(back.level(), ct.level());
+    EXPECT_DOUBLE_EQ(back.scale, ct.scale);
+    EXPECT_LT(maxError(v, h.decryptVec(back)), 1e-4);
+}
+
+TEST(Serialize, DeserializedCiphertextComputes)
+{
+    FheHarness h(serParams(), {1});
+    auto v = randomComplexVec(h.ctx.slots(), 102, 0.9);
+    Ciphertext ct =
+        deserializeCiphertext(serialize(h.encryptVec(v)), h.ctx.basis());
+    auto sq = h.decryptVec(h.eval.rescale(h.eval.mulRelin(ct, ct)));
+    for (size_t j = 0; j < v.size(); ++j)
+        EXPECT_NEAR(std::abs(sq[j] - v[j] * v[j]), 0.0, 1e-3);
+}
+
+TEST(Serialize, LowLevelCiphertextKeepsShape)
+{
+    FheHarness h(serParams(), {});
+    auto v = randomComplexVec(h.ctx.slots(), 103);
+    Ciphertext ct = h.eval.dropToLevel(h.encryptVec(v), 2);
+    Ciphertext back = deserializeCiphertext(serialize(ct), h.ctx.basis());
+    EXPECT_EQ(back.level(), 2u);
+    EXPECT_LT(maxError(v, h.decryptVec(back)), 1e-4);
+}
+
+TEST(Serialize, PlaintextRoundTrip)
+{
+    FheHarness h(serParams(), {});
+    auto v = randomComplexVec(h.ctx.slots(), 104);
+    Plaintext pt = h.encoder.encode(v, h.ctx.params().scale(), 3);
+    Plaintext back = deserializePlaintext(serialize(pt), h.ctx.basis());
+    EXPECT_LT(maxError(v, h.encoder.decode(back)), 1e-5);
+}
+
+TEST(Serialize, EvalKeyRoundTripRelinearizes)
+{
+    FheHarness h(serParams(), {});
+    EvalKey relin2 =
+        deserializeEvalKey(serialize(h.relin), h.ctx.basis());
+    Evaluator eval2(h.ctx, h.encoder);
+    eval2.setRelinKey(&relin2);
+
+    auto v = randomComplexVec(h.ctx.slots(), 105, 0.9);
+    auto ct = h.encryptVec(v);
+    auto prod = h.decryptVec(eval2.rescale(eval2.mulRelin(ct, ct)));
+    for (size_t j = 0; j < v.size(); ++j)
+        EXPECT_NEAR(std::abs(prod[j] - v[j] * v[j]), 0.0, 1e-3);
+}
+
+TEST(Serialize, PolyRoundTripExact)
+{
+    FheHarness h(serParams(), {});
+    Rng rng(106);
+    std::vector<i64> c(h.ctx.n());
+    for (auto& x : c)
+        x = static_cast<i64>(rng.uniformU64(1000)) - 500;
+    RnsPoly p = RnsPoly::fromSigned(h.ctx.basis(), 4, true, c);
+    p.toNtt();
+    RnsPoly back = deserializePoly(serialize(p), h.ctx.basis());
+    EXPECT_TRUE(back.nttForm());
+    EXPECT_TRUE(back.hasSpecial());
+    for (size_t k = 0; k < p.limbCount(); ++k)
+        EXPECT_EQ(p.limb(k), back.limb(k));
+}
+
+TEST(Serialize, RejectsWrongTypeTag)
+{
+    FheHarness h(serParams(), {});
+    auto v = randomComplexVec(h.ctx.slots(), 107);
+    Bytes blob = serialize(h.encryptVec(v));
+    EXPECT_EXIT(deserializePlaintext(blob, h.ctx.basis()),
+                ::testing::ExitedWithCode(1), "type tag");
+}
+
+TEST(Serialize, RejectsTruncatedBlob)
+{
+    FheHarness h(serParams(), {});
+    auto v = randomComplexVec(h.ctx.slots(), 108);
+    Bytes blob = serialize(h.encryptVec(v));
+    blob.resize(blob.size() / 2);
+    EXPECT_EXIT(deserializeCiphertext(blob, h.ctx.basis()),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(Serialize, RejectsForeignParameters)
+{
+    FheHarness h(serParams(), {});
+    auto v = randomComplexVec(h.ctx.slots(), 109);
+    Bytes blob = serialize(h.encryptVec(v));
+
+    CkksParams other = serParams();
+    other.levels = 4; // different chain -> different fingerprint
+    CkksContext other_ctx(other);
+    EXPECT_EXIT(deserializeCiphertext(blob, other_ctx.basis()),
+                ::testing::ExitedWithCode(1), "parameters");
+}
+
+TEST(Serialize, RejectsCorruptedResidues)
+{
+    FheHarness h(serParams(), {});
+    auto v = randomComplexVec(h.ctx.slots(), 110);
+    Bytes blob = serialize(h.encryptVec(v));
+    // Smash a residue word past the header into an impossible value.
+    std::fill(blob.end() - 8, blob.end(), 0xff);
+    EXPECT_EXIT(deserializeCiphertext(blob, h.ctx.basis()),
+                ::testing::ExitedWithCode(1), "out-of-range");
+}
+
+TEST(Serialize, FingerprintDistinguishesBases)
+{
+    CkksContext a(serParams());
+    CkksParams p2 = serParams();
+    p2.levels = 4;
+    CkksContext b(p2);
+    EXPECT_NE(basisFingerprint(*a.basis()), basisFingerprint(*b.basis()));
+    EXPECT_EQ(basisFingerprint(*a.basis()), basisFingerprint(*a.basis()));
+}
+
+} // namespace
+} // namespace hydra

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared fixture utilities for CKKS functional tests.
+ */
+
+#ifndef HYDRA_TESTS_FHE_TEST_UTIL_HH
+#define HYDRA_TESTS_FHE_TEST_UTIL_HH
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "fhe/bootstrap.hh"
+#include "fhe/context.hh"
+#include "fhe/encoder.hh"
+#include "fhe/encryptor.hh"
+#include "fhe/evaluator.hh"
+#include "fhe/keygen.hh"
+
+namespace hydra::test {
+
+/** Everything needed to exercise the scheme, wired together. */
+struct FheHarness
+{
+    explicit FheHarness(const CkksParams& params,
+                        const std::vector<int>& rotations = {},
+                        bool conjugation = true)
+        : ctx(params),
+          encoder(ctx),
+          keygen(ctx),
+          sk(keygen.secretKey()),
+          pk(keygen.publicKey(sk)),
+          relin(keygen.relinKey(sk)),
+          galois(keygen.galoisKeys(sk, rotations, conjugation)),
+          encryptor(ctx, pk),
+          decryptor(ctx, sk),
+          eval(ctx, encoder)
+    {
+        eval.setRelinKey(&relin);
+        eval.setGaloisKeys(&galois);
+    }
+
+    Ciphertext
+    encryptVec(const std::vector<cplx>& v, size_t levels = 0)
+    {
+        if (levels == 0)
+            levels = ctx.levels();
+        return encryptor.encrypt(
+            encoder.encode(v, ctx.params().scale(), levels));
+    }
+
+    std::vector<cplx>
+    decryptVec(const Ciphertext& ct)
+    {
+        return encoder.decode(decryptor.decrypt(ct));
+    }
+
+    CkksContext ctx;
+    CkksEncoder encoder;
+    KeyGenerator keygen;
+    SecretKey sk;
+    PublicKey pk;
+    EvalKey relin;
+    GaloisKeys galois;
+    Encryptor encryptor;
+    Decryptor decryptor;
+    Evaluator eval;
+};
+
+/** Max |a_i - b_i| over paired entries. */
+inline double
+maxError(const std::vector<cplx>& a, const std::vector<cplx>& b)
+{
+    double m = 0.0;
+    for (size_t i = 0; i < std::min(a.size(), b.size()); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+/** Deterministic complex test vector with entries in the unit box. */
+inline std::vector<cplx>
+randomComplexVec(size_t count, uint64_t seed, double magnitude = 1.0)
+{
+    Rng rng(seed);
+    std::vector<cplx> v(count);
+    for (auto& x : v)
+        x = cplx(rng.uniformReal(-magnitude, magnitude),
+                 rng.uniformReal(-magnitude, magnitude));
+    return v;
+}
+
+inline std::vector<cplx>
+randomRealVec(size_t count, uint64_t seed, double magnitude = 1.0)
+{
+    Rng rng(seed);
+    std::vector<cplx> v(count);
+    for (auto& x : v)
+        x = cplx(rng.uniformReal(-magnitude, magnitude), 0.0);
+    return v;
+}
+
+} // namespace hydra::test
+
+#endif // HYDRA_TESTS_FHE_TEST_UTIL_HH

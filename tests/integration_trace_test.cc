@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Cross-layer integration tests: a REAL homomorphic computation is
+ * traced by the evaluator's OpCounter and re-priced by the
+ * architecture model (the two-layer design DESIGN.md §5 describes).
+ * Also covers arbitrary-step rotation decomposition and cross-config
+ * parameter sweeps of the functional library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/opcost.hh"
+#include "fhe_test_util.hh"
+
+namespace hydra {
+namespace {
+
+using test::FheHarness;
+using test::maxError;
+using test::randomComplexVec;
+
+TEST(TraceBridge, RealRunPricesOnTheCardModel)
+{
+    CkksParams p = CkksParams::unitTest();
+    p.n = 1 << 8;
+    FheHarness h(p, {1, 2});
+    OpCounter counter;
+    h.eval.setCounter(&counter);
+
+    auto v = randomComplexVec(h.ctx.slots(), 71);
+    auto ct = h.encryptVec(v);
+    auto t = h.eval.add(ct, h.eval.rotate(ct, 1));
+    t = h.eval.rescale(h.eval.mulRelin(t, t));
+    t = h.eval.rotate(t, 2);
+    h.eval.setCounter(nullptr);
+
+    OpCostModel model(FpgaParams{}, size_t{1} << 16, 4);
+    OpCost priced = counterCost(model, counter);
+    EXPECT_GT(priced.cycles, 0u);
+    EXPECT_GT(priced.hbmBytes, 0u);
+
+    // Manual reconstruction: ops at their recorded levels.
+    OpCost manual;
+    manual += model.cost(HeOpType::HAdd, 6);
+    manual += model.cost(HeOpType::Rotate, 6);
+    manual += model.cost(HeOpType::CMult, 6);
+    manual += model.cost(HeOpType::Rescale, 6);
+    manual += model.cost(HeOpType::Rotate, 5);
+    // Average-limb rounding makes the totals match within ~20%.
+    double ratio = static_cast<double>(priced.cycles) /
+                   static_cast<double>(manual.cycles);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 1.25);
+}
+
+TEST(TraceBridge, LatencyScalesWithWork)
+{
+    CkksParams p = CkksParams::unitTest();
+    p.n = 1 << 8;
+    FheHarness h(p, {1});
+    OpCostModel model(FpgaParams{}, size_t{1} << 16, 4);
+
+    OpCounter small, big;
+    auto v = randomComplexVec(h.ctx.slots(), 72);
+    auto ct = h.encryptVec(v);
+    h.eval.setCounter(&small);
+    (void)h.eval.rotate(ct, 1);
+    h.eval.setCounter(&big);
+    for (int i = 0; i < 5; ++i)
+        (void)h.eval.rotate(ct, 1);
+    h.eval.setCounter(nullptr);
+
+    Tick t_small = model.latency(counterCost(model, small));
+    Tick t_big = model.latency(counterCost(model, big));
+    EXPECT_NEAR(static_cast<double>(t_big) /
+                    static_cast<double>(t_small),
+                5.0, 0.01);
+}
+
+TEST(RotateDecomposed, ReachesArbitrarySteps)
+{
+    CkksParams p = CkksParams::unitTest();
+    p.n = 1 << 8;
+    CkksContext probe(p);
+    (void)probe;
+    // Keys: powers of two only.
+    FheHarness h(p, {}, true);
+    GaloisKeys pow2 = h.keygen.galoisKeys(
+        h.sk, h.keygen.powerOfTwoSteps(), false);
+    h.eval.setGaloisKeys(&pow2);
+
+    size_t s = h.ctx.slots();
+    auto v = randomComplexVec(s, 73);
+    auto ct = h.encryptVec(v);
+    for (int r : {3, 7, 21, 100, static_cast<int>(s - 1)}) {
+        auto got = h.decryptVec(h.eval.rotateDecomposed(ct, r));
+        for (size_t j = 0; j < s; ++j)
+            EXPECT_NEAR(std::abs(got[j] - v[(j + r) % s]), 0.0, 1e-2)
+                << "r=" << r << " slot " << j;
+    }
+}
+
+TEST(RotateDecomposed, NegativeStepsWrap)
+{
+    CkksParams p = CkksParams::unitTest();
+    p.n = 1 << 8;
+    FheHarness h(p, {});
+    GaloisKeys pow2 = h.keygen.galoisKeys(
+        h.sk, h.keygen.powerOfTwoSteps(), false);
+    h.eval.setGaloisKeys(&pow2);
+    size_t s = h.ctx.slots();
+    auto v = randomComplexVec(s, 74);
+    auto ct = h.encryptVec(v);
+    auto got = h.decryptVec(h.eval.rotateDecomposed(ct, -3));
+    for (size_t j = 0; j < s; ++j)
+        EXPECT_NEAR(std::abs(got[j] - v[(j + s - 3) % s]), 0.0, 1e-2);
+}
+
+TEST(KeyGen, PowerOfTwoStepsCoverSlots)
+{
+    CkksParams p = CkksParams::unitTest();
+    p.n = 1 << 10;
+    CkksContext ctx(p);
+    KeyGenerator kg(ctx);
+    auto steps = kg.powerOfTwoSteps();
+    EXPECT_EQ(steps.size(), 9u); // log2(512)
+    size_t sum = 0;
+    for (int s : steps)
+        sum += static_cast<size_t>(s);
+    EXPECT_EQ(sum, ctx.slots() - 1);
+}
+
+/** Cross-configuration sweep of the full op set. */
+class ConfigSweepTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, int>>
+{
+};
+
+TEST_P(ConfigSweepTest, CoreOpsStayAccurate)
+{
+    auto [n, levels, scale_bits] = GetParam();
+    CkksParams p;
+    p.n = n;
+    p.levels = levels;
+    p.scaleBits = scale_bits;
+    p.firstPrimeBits = std::max(50, scale_bits);
+    p.specialPrimeBits = std::max(52, scale_bits + 2);
+    FheHarness h(p, {1});
+
+    auto a = randomComplexVec(h.ctx.slots(), 75, 0.9);
+    auto b = randomComplexVec(h.ctx.slots(), 76, 0.9);
+    auto ca = h.encryptVec(a);
+    auto cb = h.encryptVec(b);
+
+    auto sum = h.decryptVec(h.eval.add(ca, cb));
+    auto prod = h.decryptVec(h.eval.rescale(h.eval.mulRelin(ca, cb)));
+    auto rot = h.decryptVec(h.eval.rotate(ca, 1));
+    double tol = std::ldexp(1.0, -(scale_bits - 18)); // noise-scaled
+    size_t s = h.ctx.slots();
+    for (size_t j = 0; j < s; ++j) {
+        EXPECT_NEAR(std::abs(sum[j] - (a[j] + b[j])), 0.0, tol);
+        EXPECT_NEAR(std::abs(prod[j] - a[j] * b[j]), 0.0, tol);
+        EXPECT_NEAR(std::abs(rot[j] - a[(j + 1) % s]), 0.0, tol);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConfigSweepTest,
+    ::testing::Values(std::make_tuple(size_t{1} << 7, size_t{3}, 30),
+                      std::make_tuple(size_t{1} << 8, size_t{4}, 35),
+                      std::make_tuple(size_t{1} << 9, size_t{8}, 40),
+                      std::make_tuple(size_t{1} << 11, size_t{5}, 45),
+                      std::make_tuple(size_t{1} << 12, size_t{3}, 50)));
+
+TEST(ParamsValidation, RejectsBadConfigs)
+{
+    auto dies = [](CkksParams p) {
+        EXPECT_EXIT({ CkksContext ctx(p); }, ::testing::ExitedWithCode(1),
+                    "");
+    };
+    CkksParams p;
+    p.n = 1000; // not a power of two
+    dies(p);
+    p = CkksParams{};
+    p.scaleBits = 10; // too small
+    dies(p);
+    p = CkksParams{};
+    p.levels = 0;
+    dies(p);
+    p = CkksParams{};
+    p.firstPrimeBits = p.scaleBits - 1;
+    dies(p);
+}
+
+TEST(NoiseGrowth, RotationNoiseStaysBounded)
+{
+    // 20 chained rotations must not blow up the message: keyswitch
+    // noise is additive and divided by the special prime.
+    CkksParams p = CkksParams::unitTest();
+    p.n = 1 << 8;
+    FheHarness h(p, {1});
+    auto v = randomComplexVec(h.ctx.slots(), 77);
+    auto ct = h.encryptVec(v);
+    for (int i = 0; i < 20; ++i)
+        ct = h.eval.rotate(ct, 1);
+    auto got = h.decryptVec(ct);
+    size_t s = h.ctx.slots();
+    for (size_t j = 0; j < s; ++j)
+        EXPECT_NEAR(std::abs(got[j] - v[(j + 20) % s]), 0.0, 1e-3);
+}
+
+} // namespace
+} // namespace hydra

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit and property tests for Barrett/Shoup modular arithmetic,
+ * primality testing and prime generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "math/modarith.hh"
+#include "math/primes.hh"
+
+namespace hydra {
+namespace {
+
+TEST(Modulus, BasicOps)
+{
+    Modulus m(17);
+    EXPECT_EQ(m.addMod(9, 9), 1u);
+    EXPECT_EQ(m.subMod(3, 9), 11u);
+    EXPECT_EQ(m.mulMod(5, 7), 35u % 17u);
+    EXPECT_EQ(m.negMod(0), 0u);
+    EXPECT_EQ(m.negMod(5), 12u);
+    EXPECT_EQ(m.powMod(3, 16), 1u); // Fermat
+    EXPECT_EQ(m.mulMod(m.invMod(5), 5), 1u);
+}
+
+TEST(Modulus, CenteredRepresentative)
+{
+    Modulus m(17);
+    EXPECT_EQ(m.toCentered(0), 0);
+    EXPECT_EQ(m.toCentered(8), 8);
+    EXPECT_EQ(m.toCentered(9), -8);
+    EXPECT_EQ(m.toCentered(16), -1);
+    EXPECT_EQ(m.reduceI64(-1), 16u);
+    EXPECT_EQ(m.reduceI64(-17), 0u);
+    EXPECT_EQ(m.reduceI64(-18), 16u);
+}
+
+class ModulusRandomTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ModulusRandomTest, BarrettMatchesNaive)
+{
+    int bits = GetParam();
+    std::mt19937_64 rng(12345 + bits);
+    auto primes = nttPrimes(1024, bits, 2);
+    for (u64 qv : primes) {
+        Modulus q(qv);
+        for (int iter = 0; iter < 2000; ++iter) {
+            u64 a = rng() % qv;
+            u64 b = rng() % qv;
+            u64 expect =
+                static_cast<u64>(static_cast<u128>(a) * b % qv);
+            EXPECT_EQ(q.mulMod(a, b), expect);
+            EXPECT_EQ(q.reduce(static_cast<u128>(a) * b), expect);
+        }
+    }
+}
+
+TEST_P(ModulusRandomTest, ShoupMatchesBarrett)
+{
+    int bits = GetParam();
+    std::mt19937_64 rng(777 + bits);
+    u64 qv = nttPrimes(2048, bits, 1)[0];
+    Modulus q(qv);
+    for (int iter = 0; iter < 500; ++iter) {
+        u64 w = rng() % qv;
+        ShoupMul s(w, q);
+        for (int k = 0; k < 20; ++k) {
+            u64 a = rng() % qv;
+            EXPECT_EQ(s.mulMod(a, q), q.mulMod(a, w));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ModulusRandomTest,
+                         ::testing::Values(20, 30, 40, 45, 50, 55, 59, 61));
+
+TEST(Primes, MillerRabinKnownValues)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(65537));
+    EXPECT_FALSE(isPrime(65536));
+    EXPECT_TRUE(isPrime((1ULL << 61) - 1)); // Mersenne prime M61
+    EXPECT_FALSE(isPrime((1ULL << 59) - 1));
+    // Carmichael numbers must not fool the test.
+    EXPECT_FALSE(isPrime(561));
+    EXPECT_FALSE(isPrime(41041));
+    EXPECT_FALSE(isPrime(825265));
+}
+
+TEST(Primes, NttPrimesHaveRightResidue)
+{
+    size_t n = 4096;
+    auto primes = nttPrimes(n, 45, 8);
+    EXPECT_EQ(primes.size(), 8u);
+    for (u64 p : primes) {
+        EXPECT_TRUE(isPrime(p));
+        EXPECT_EQ((p - 1) % (2 * n), 0u);
+        EXPECT_LT(p, 1ULL << 45);
+        EXPECT_GT(p, 1ULL << 44);
+    }
+    // Distinct
+    for (size_t i = 0; i < primes.size(); ++i)
+        for (size_t j = i + 1; j < primes.size(); ++j)
+            EXPECT_NE(primes[i], primes[j]);
+}
+
+TEST(Primes, ExclusionRespected)
+{
+    size_t n = 1024;
+    auto first = nttPrimes(n, 40, 3);
+    auto more = nttPrimes(n, 40, 3, first);
+    for (u64 p : more)
+        for (u64 q : first)
+            EXPECT_NE(p, q);
+}
+
+TEST(Primes, PrimitiveRootHasFullOrder)
+{
+    size_t n = 1024;
+    u64 qv = nttPrimes(n, 40, 1)[0];
+    Modulus q(qv);
+    u64 psi = primitiveRoot2N(q, n);
+    // psi^n = -1, psi^2n = 1, and no smaller power of two order.
+    EXPECT_EQ(q.powMod(psi, n), qv - 1);
+    EXPECT_EQ(q.powMod(psi, 2 * n), 1u);
+    EXPECT_NE(q.powMod(psi, n / 2), qv - 1);
+}
+
+} // namespace
+} // namespace hydra

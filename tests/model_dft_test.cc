@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Eq. 1 DFT performance model and Radix/bs optimizer tests (Table V).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/prototypes.hh"
+#include "model/dft_model.hh"
+
+namespace hydra {
+namespace {
+
+DftOpTimes
+unitTimes()
+{
+    DftOpTimes t;
+    t.rot = 1.0;
+    t.pmult = 0.2;
+    t.hadd = 0.05;
+    t.com = 0.5;
+    return t;
+}
+
+TEST(DftModel, GsPerNodeClampsToOne)
+{
+    DftLevelPlan p{8, 4};
+    EXPECT_EQ(p.gsPerNode(1), 4u);   // 16 / 4
+    EXPECT_EQ(p.gsPerNode(4), 1u);   // 16 / 16
+    EXPECT_EQ(p.gsPerNode(64), 1u);  // clamped
+}
+
+TEST(DftModel, LevelTimeMatchesFormula)
+{
+    DftOpTimes t = unitTimes();
+    DftLevelPlan p{16, 4}; // gs = 32/4 = 8 on one card
+    double expect = 4 * t.rot +
+                    8.0 * (4 * t.pmult + 3 * t.hadd + t.rot) +
+                    7.0 * t.hadd; // no comm on 1 card
+    EXPECT_NEAR(dftLevelTime(p, 1, t), expect, 1e-12);
+}
+
+TEST(DftModel, CommunicationTermOnlyWithMultipleCards)
+{
+    DftOpTimes t = unitTimes();
+    DftLevelPlan p{16, 4};
+    double single = dftLevelTime(p, 1, t);
+    DftOpTimes t_free = t;
+    t_free.com = 0.0;
+    // With com = 0, multi-card is never slower than its own com > 0.
+    EXPECT_LT(dftLevelTime(p, 8, t_free), dftLevelTime(p, 8, t));
+    EXPECT_GT(single, 0.0);
+}
+
+TEST(DftModel, MoreCardsNeverSlowerWithFreeComm)
+{
+    DftOpTimes t = unitTimes();
+    t.com = 0.0;
+    DftLevelPlan p{64, 2};
+    double prev = dftLevelTime(p, 1, t);
+    for (size_t cards : {2, 4, 8, 16}) {
+        double cur = dftLevelTime(p, cards, t);
+        EXPECT_LE(cur, prev + 1e-12);
+        prev = cur;
+    }
+}
+
+class OptimizerTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(OptimizerTest, RadixCompositionCoversSlots)
+{
+    size_t log_slots = GetParam();
+    DftOpTimes t = unitTimes();
+    for (size_t cards : {1, 8, 64}) {
+        DftPlan plan = optimizeDftPlan(3, log_slots, cards, t);
+        ASSERT_EQ(plan.levels.size(), 3u);
+        size_t log_sum = 0;
+        for (const auto& lvl : plan.levels) {
+            EXPECT_GE(lvl.radix, 2u);
+            size_t lg = 0;
+            while ((size_t{1} << lg) < lvl.radix)
+                ++lg;
+            EXPECT_EQ(size_t{1} << lg, lvl.radix); // power of two
+            log_sum += lg;
+            // bs must be a power of two not exceeding 2 * radix.
+            EXPECT_LE(lvl.bs, 2 * lvl.radix);
+        }
+        EXPECT_EQ(log_sum, log_slots);
+    }
+}
+
+TEST_P(OptimizerTest, OptimalBeatsAlternatives)
+{
+    size_t log_slots = GetParam();
+    DftOpTimes t = unitTimes();
+    DftPlan best = optimizeDftPlan(3, log_slots, 8, t);
+    double best_time = dftTime(best, 8, t);
+    // A deliberately skewed plan must not beat the optimum.
+    DftPlan skew;
+    skew.levels = {{size_t{1} << (log_slots - 2), 1},
+                   {2, 1},
+                   {2, 1}};
+    EXPECT_LE(best_time, dftTime(skew, 8, t) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotCounts, OptimizerTest,
+                         ::testing::Values(12, 13, 14, 15));
+
+TEST(DftModel, BabyStepsShrinkWithMoreCards)
+{
+    // Table V's headline shape: Hydra-L picks smaller bs than Hydra-S.
+    PrototypeSpec spec = hydraSSpec();
+    OpCostModel cost(spec.fpga, size_t{1} << 16, spec.dnum);
+    SwitchedNetwork net(NetParams{}, hydraL());
+    DftOpTimes t = DftOpTimes::fromCostModel(cost, net, 18);
+
+    for (size_t log_slots = 12; log_slots <= 15; ++log_slots) {
+        DftPlan s = optimizeDftPlan(3, log_slots, 1, t);
+        DftPlan l = optimizeDftPlan(3, log_slots, 64, t);
+        size_t bs_s = 0, bs_l = 0;
+        for (size_t i = 0; i < 3; ++i) {
+            bs_s += s.levels[i].bs;
+            bs_l += l.levels[i].bs;
+        }
+        EXPECT_LT(bs_l, bs_s) << "logSlots " << log_slots;
+    }
+}
+
+TEST(DftModel, SingleCardMatchesPaperAtLogSlots12)
+{
+    // Paper Table V, Hydra-S, logSlots 12: Radix (16,16,16), bs (4,4,4).
+    PrototypeSpec spec = hydraSSpec();
+    OpCostModel cost(spec.fpga, size_t{1} << 16, spec.dnum);
+    SwitchedNetwork net(NetParams{}, hydraS());
+    DftOpTimes t = DftOpTimes::fromCostModel(cost, net, 18);
+    DftPlan plan = optimizeDftPlan(3, 12, 1, t);
+    for (const auto& lvl : plan.levels)
+        EXPECT_EQ(lvl.radix, 16u);
+}
+
+TEST(DftModel, FewerLevelsCostMoreTime)
+{
+    // The Section III-B trade-off: squeezing the DFT into fewer levels
+    // (bigger radices) raises its time under Eq. 1.
+    DftOpTimes t = unitTimes();
+    double t2 = dftTime(optimizeDftPlan(2, 15, 8, t), 8, t);
+    double t4 = dftTime(optimizeDftPlan(4, 15, 8, t), 8, t);
+    EXPECT_GT(t2, t4);
+}
+
+TEST(DftModel, DescribeFormatsPlan)
+{
+    DftPlan p;
+    p.levels = {{16, 4}, {32, 8}};
+    EXPECT_EQ(p.describe(), "(16,32) bs=(4,8)");
+}
+
+} // namespace
+} // namespace hydra

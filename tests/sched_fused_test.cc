@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fused-queue scheduling tests (paper Section IV-D: multiple tasks
+ * preloaded per card).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/prototypes.hh"
+
+namespace hydra {
+namespace {
+
+TEST(Fused, NeverSlowerThanStepwise)
+{
+    for (const auto& wl : {makeResNet20Cifar(), makeBertBase()}) {
+        for (auto spec : {hydraMSpec(), hydraLSpec()}) {
+            InferenceRunner runner(spec);
+            Tick stepwise = runner.run(wl).total.makespan;
+            Tick fused = runner.runFused(wl).makespan;
+            EXPECT_LE(fused, stepwise)
+                << wl.name << " on " << spec.name;
+        }
+    }
+}
+
+TEST(Fused, SingleCardMatchesStepwiseCompute)
+{
+    // With one card there is no cross-card slack to reclaim; the fused
+    // makespan equals the stepwise makespan minus the sync gaps.
+    WorkloadModel wl = makeResNet20Cifar();
+    InferenceRunner runner(hydraSSpec());
+    InferenceResult stepwise = runner.run(wl);
+    RunStats fused = runner.runFused(wl);
+    Tick busy_stepwise = 0;
+    for (const auto& s : stepwise.steps)
+        busy_stepwise += s.stats.computeBusy[0];
+    EXPECT_EQ(fused.computeBusy[0], busy_stepwise);
+    EXPECT_EQ(fused.makespan, fused.computeBusy[0]);
+}
+
+TEST(Fused, WorkIsConserved)
+{
+    WorkloadModel wl = makeResNet18();
+    InferenceRunner runner(hydraMSpec());
+    InferenceResult stepwise = runner.run(wl);
+    RunStats fused = runner.runFused(wl);
+    Tick sw = 0, fu = 0;
+    for (Tick t : stepwise.total.computeBusy)
+        sw += t;
+    for (Tick t : fused.computeBusy)
+        fu += t;
+    EXPECT_EQ(sw, fu);
+    EXPECT_EQ(stepwise.total.netBytes, fused.netBytes);
+}
+
+TEST(Fused, Deterministic)
+{
+    WorkloadModel wl = makeBertBase();
+    InferenceRunner runner(hydraLSpec());
+    EXPECT_EQ(runner.runFused(wl).makespan,
+              runner.runFused(wl).makespan);
+}
+
+} // namespace
+} // namespace hydra

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Property/fuzz tests of the Procedure-1 executor: randomized programs
+ * with consistent message ordering must always complete (no deadlock),
+ * deterministically, with conserved compute time -- under both
+ * overlapping (Hydra) and blocking (FAB) networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sync/executor.hh"
+
+namespace hydra {
+namespace {
+
+class FuzzNetwork : public NetworkModel
+{
+  public:
+    FuzzNetwork(Tick per_byte, Tick setup, bool overlaps)
+        : perByte_(per_byte), setup_(setup), overlaps_(overlaps)
+    {
+    }
+
+    Tick
+    transferTime(uint64_t b, size_t, size_t) const override
+    {
+        return 100 + perByte_ * b;
+    }
+
+    Tick
+    broadcastTime(uint64_t b, size_t, size_t) const override
+    {
+        return 150 + perByte_ * b;
+    }
+
+    Tick setupLatency() const override { return setup_; }
+    bool overlapsCompute() const override { return overlaps_; }
+    Tick stepSyncLatency() const override { return 0; }
+
+  private:
+    Tick perByte_;
+    Tick setup_;
+    bool overlaps_;
+};
+
+/**
+ * Generate a random but deadlock-free program: messages get a global
+ * total order; each card's comm queue lists its sends/recvs in that
+ * order, which matches the executor's head-of-queue handshake.
+ */
+Program
+randomProgram(size_t cards, uint64_t seed, size_t n_messages,
+              size_t n_computes, Tick& total_compute)
+{
+    Rng rng(seed);
+    ProgramBuilder pb(cards);
+    uint32_t label = pb.label("fuzz");
+    total_compute = 0;
+
+    // Seed compute work per card so sends have producers.
+    std::vector<uint64_t> last_compute(cards, 0);
+    for (size_t c = 0; c < cards; ++c) {
+        Tick d = 10 + rng.uniformU64(200);
+        total_compute += d;
+        last_compute[c] = pb.addCompute(c, d, OpCost{}, label);
+    }
+
+    std::vector<uint64_t> msgs;
+    for (size_t m = 0; m < n_messages; ++m) {
+        size_t src = rng.uniformU64(cards);
+        if (cards < 2)
+            break;
+        if (rng.uniformU64(4) == 0) {
+            // Broadcast.
+            msgs.push_back(pb.broadcastFrom(src, 1 + rng.uniformU64(999),
+                                            last_compute[src]));
+        } else {
+            size_t dst = rng.uniformU64(cards);
+            if (dst == src)
+                dst = (dst + 1) % cards;
+            msgs.push_back(pb.sendTo(src, dst, 1 + rng.uniformU64(999),
+                                     last_compute[src]));
+        }
+        // Interleave more compute, sometimes data-dependent (CT_d).
+        size_t c = rng.uniformU64(cards);
+        std::vector<uint64_t> waits;
+        if (!msgs.empty() && rng.uniformU64(2) == 0) {
+            // Wait only on a message this card actually receives:
+            // broadcast msgs reach everyone; for point-to-point we
+            // conservatively skip (receipt not guaranteed for c).
+            // Use the last broadcast if any.
+        }
+        Tick d = 5 + rng.uniformU64(100);
+        total_compute += d;
+        last_compute[c] = pb.addCompute(c, d, OpCost{}, label, waits);
+    }
+    for (size_t k = 0; k < n_computes; ++k) {
+        size_t c = rng.uniformU64(cards);
+        Tick d = 1 + rng.uniformU64(50);
+        total_compute += d;
+        last_compute[c] = pb.addCompute(c, d, OpCost{}, label);
+    }
+    return pb.take();
+}
+
+class FuzzTest
+    : public ::testing::TestWithParam<std::tuple<size_t, bool, uint64_t>>
+{
+};
+
+TEST_P(FuzzTest, CompletesDeterministically)
+{
+    auto [cards, overlaps, seed] = GetParam();
+    ClusterConfig cfg{1, cards};
+    FuzzNetwork net(3, 20, overlaps);
+    ClusterExecutor ex(cfg, net);
+
+    Tick total_a = 0, total_b = 0;
+    Program pa = randomProgram(cards, seed, 40, 30, total_a);
+    Program pb = randomProgram(cards, seed, 40, 30, total_b);
+    RunStats a = ex.run(pa);
+    RunStats b = ex.run(pb);
+
+    // Determinism.
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.netBytes, b.netBytes);
+
+    // Work conservation.
+    Tick busy = 0;
+    for (Tick t : a.computeBusy)
+        busy += t;
+    EXPECT_EQ(busy, total_a);
+
+    // Makespan bounds: at least the busiest card, at most the sum of
+    // everything serialized.
+    EXPECT_GE(a.makespan, a.maxComputeBusy());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, FuzzTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8, 16),
+                       ::testing::Bool(),
+                       ::testing::Values(11, 22, 33, 44)));
+
+TEST(FuzzEdge, EmptyProgramFinishesInstantly)
+{
+    ClusterConfig cfg{1, 4};
+    FuzzNetwork net(1, 1, true);
+    ClusterExecutor ex(cfg, net);
+    Program p(4);
+    RunStats st = ex.run(p);
+    EXPECT_EQ(st.makespan, 0u);
+}
+
+TEST(FuzzEdge, ZeroDurationChainsResolve)
+{
+    ClusterConfig cfg{1, 2};
+    FuzzNetwork net(0, 0, true);
+    ClusterExecutor ex(cfg, net);
+    ProgramBuilder pb(2);
+    uint32_t l = pb.label("z");
+    uint64_t prev = 0;
+    uint64_t msg = 0;
+    for (int i = 0; i < 50; ++i) {
+        prev = pb.addCompute(0, 0, OpCost{}, l,
+                             msg ? std::vector<uint64_t>{msg}
+                                 : std::vector<uint64_t>{});
+        msg = pb.sendTo(0, 1, 1, prev);
+        uint64_t echo = pb.addCompute(1, 0, OpCost{}, l, {msg});
+        msg = pb.sendTo(1, 0, 1, echo);
+    }
+    pb.addCompute(0, 0, OpCost{}, l, {msg});
+    RunStats st = ex.run(pb.take());
+    // 100 transfers at fixed cost 100 each dominate.
+    EXPECT_EQ(st.makespan, 100u * 100u);
+}
+
+TEST(FuzzEdge, LongPipelineManyCards)
+{
+    // Ring pipeline across 32 cards, 10 waves: each card computes then
+    // forwards to its neighbour.
+    size_t cards = 32;
+    ClusterConfig cfg{4, 8};
+    FuzzNetwork net(0, 0, true);
+    ClusterExecutor ex(cfg, net);
+    ProgramBuilder pb(cards);
+    uint32_t l = pb.label("ring");
+    uint64_t msg = 0;
+    for (int wave = 0; wave < 10; ++wave) {
+        for (size_t c = 0; c < cards; ++c) {
+            uint64_t id = pb.addCompute(
+                c, 10, OpCost{}, l,
+                msg ? std::vector<uint64_t>{msg}
+                    : std::vector<uint64_t>{});
+            msg = pb.sendTo(c, (c + 1) % cards, 1, id);
+        }
+    }
+    pb.addCompute(0, 10, OpCost{}, l, {msg});
+    RunStats st = ex.run(pb.take());
+    // 320 hops of (10 compute + 100 transfer) + final compute.
+    EXPECT_EQ(st.makespan, 320u * 110u + 10u);
+}
+
+} // namespace
+} // namespace hydra
