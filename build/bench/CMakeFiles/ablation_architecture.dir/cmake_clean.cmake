@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_architecture.dir/ablation_architecture.cc.o"
+  "CMakeFiles/ablation_architecture.dir/ablation_architecture.cc.o.d"
+  "ablation_architecture"
+  "ablation_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

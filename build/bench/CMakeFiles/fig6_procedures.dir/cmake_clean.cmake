@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_procedures.dir/fig6_procedures.cc.o"
+  "CMakeFiles/fig6_procedures.dir/fig6_procedures.cc.o.d"
+  "fig6_procedures"
+  "fig6_procedures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_procedures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_energy.dir/fig7_energy.cc.o"
+  "CMakeFiles/fig7_energy.dir/fig7_energy.cc.o.d"
+  "fig7_energy"
+  "fig7_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

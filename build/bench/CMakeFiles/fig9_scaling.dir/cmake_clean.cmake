@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_scaling.dir/fig9_scaling.cc.o"
+  "CMakeFiles/fig9_scaling.dir/fig9_scaling.cc.o.d"
+  "fig9_scaling"
+  "fig9_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

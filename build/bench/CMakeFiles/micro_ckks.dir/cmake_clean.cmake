@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ckks.dir/micro_ckks.cc.o"
+  "CMakeFiles/micro_ckks.dir/micro_ckks.cc.o.d"
+  "micro_ckks"
+  "micro_ckks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_resnet20.dir/motivation_resnet20.cc.o"
+  "CMakeFiles/motivation_resnet20.dir/motivation_resnet20.cc.o.d"
+  "motivation_resnet20"
+  "motivation_resnet20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_resnet20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

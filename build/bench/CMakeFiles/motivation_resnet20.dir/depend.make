@@ -1,0 +1,2 @@
+# Empty dependencies file for motivation_resnet20.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_parallelism.dir/table1_parallelism.cc.o"
+  "CMakeFiles/table1_parallelism.dir/table1_parallelism.cc.o.d"
+  "table1_parallelism"
+  "table1_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_fullsystem.dir/table2_fullsystem.cc.o"
+  "CMakeFiles/table2_fullsystem.dir/table2_fullsystem.cc.o.d"
+  "table2_fullsystem"
+  "table2_fullsystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fullsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_edap.dir/table3_edap.cc.o"
+  "CMakeFiles/table3_edap.dir/table3_edap.cc.o.d"
+  "table3_edap"
+  "table3_edap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_edap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

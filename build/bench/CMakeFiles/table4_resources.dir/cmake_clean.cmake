@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_resources.dir/table4_resources.cc.o"
+  "CMakeFiles/table4_resources.dir/table4_resources.cc.o.d"
+  "table4_resources"
+  "table4_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_dft_params.dir/table5_dft_params.cc.o"
+  "CMakeFiles/table5_dft_params.dir/table5_dft_params.cc.o.d"
+  "table5_dft_params"
+  "table5_dft_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_dft_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootstrap_explorer.dir/bootstrap_explorer.cpp.o"
+  "CMakeFiles/bootstrap_explorer.dir/bootstrap_explorer.cpp.o.d"
+  "bootstrap_explorer"
+  "bootstrap_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootstrap_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

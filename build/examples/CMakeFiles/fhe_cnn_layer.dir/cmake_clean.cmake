@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhe_cnn_layer.dir/fhe_cnn_layer.cpp.o"
+  "CMakeFiles/fhe_cnn_layer.dir/fhe_cnn_layer.cpp.o.d"
+  "fhe_cnn_layer"
+  "fhe_cnn_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhe_cnn_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

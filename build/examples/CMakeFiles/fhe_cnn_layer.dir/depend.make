@@ -1,0 +1,2 @@
+# Empty dependencies file for fhe_cnn_layer.
+# This may be replaced when dependencies are built.

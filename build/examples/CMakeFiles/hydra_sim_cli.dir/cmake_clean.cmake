@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_sim_cli.dir/hydra_sim_cli.cpp.o"
+  "CMakeFiles/hydra_sim_cli.dir/hydra_sim_cli.cpp.o.d"
+  "hydra_sim_cli"
+  "hydra_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

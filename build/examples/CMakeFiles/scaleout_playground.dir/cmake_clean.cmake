@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleout_playground.dir/scaleout_playground.cpp.o"
+  "CMakeFiles/scaleout_playground.dir/scaleout_playground.cpp.o.d"
+  "scaleout_playground"
+  "scaleout_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

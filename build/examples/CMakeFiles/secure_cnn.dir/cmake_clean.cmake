@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_cnn.dir/secure_cnn.cpp.o"
+  "CMakeFiles/secure_cnn.dir/secure_cnn.cpp.o.d"
+  "secure_cnn"
+  "secure_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_llm.dir/secure_llm.cpp.o"
+  "CMakeFiles/secure_llm.dir/secure_llm.cpp.o.d"
+  "secure_llm"
+  "secure_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_analysis.dir/energy.cc.o"
+  "CMakeFiles/hydra_analysis.dir/energy.cc.o.d"
+  "CMakeFiles/hydra_analysis.dir/resources.cc.o"
+  "CMakeFiles/hydra_analysis.dir/resources.cc.o.d"
+  "libhydra_analysis.a"
+  "libhydra_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_arch.dir/network.cc.o"
+  "CMakeFiles/hydra_arch.dir/network.cc.o.d"
+  "CMakeFiles/hydra_arch.dir/opcost.cc.o"
+  "CMakeFiles/hydra_arch.dir/opcost.cc.o.d"
+  "libhydra_arch.a"
+  "libhydra_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

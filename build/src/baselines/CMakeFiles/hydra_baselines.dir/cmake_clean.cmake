@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_baselines.dir/prototypes.cc.o"
+  "CMakeFiles/hydra_baselines.dir/prototypes.cc.o.d"
+  "libhydra_baselines.a"
+  "libhydra_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

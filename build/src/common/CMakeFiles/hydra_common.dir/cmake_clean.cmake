@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_common.dir/logging.cc.o"
+  "CMakeFiles/hydra_common.dir/logging.cc.o.d"
+  "CMakeFiles/hydra_common.dir/table.cc.o"
+  "CMakeFiles/hydra_common.dir/table.cc.o.d"
+  "libhydra_common.a"
+  "libhydra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fhe/bootstrap.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/bootstrap.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/bootstrap.cc.o.d"
+  "/root/repo/src/fhe/chebyshev.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/chebyshev.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/chebyshev.cc.o.d"
+  "/root/repo/src/fhe/context.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/context.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/context.cc.o.d"
+  "/root/repo/src/fhe/convolution.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/convolution.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/convolution.cc.o.d"
+  "/root/repo/src/fhe/encoder.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/encoder.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/encoder.cc.o.d"
+  "/root/repo/src/fhe/encryptor.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/encryptor.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/encryptor.cc.o.d"
+  "/root/repo/src/fhe/evaluator.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/evaluator.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/evaluator.cc.o.d"
+  "/root/repo/src/fhe/keygen.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/keygen.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/keygen.cc.o.d"
+  "/root/repo/src/fhe/lintrans.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/lintrans.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/lintrans.cc.o.d"
+  "/root/repo/src/fhe/matmul.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/matmul.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/matmul.cc.o.d"
+  "/root/repo/src/fhe/params.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/params.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/params.cc.o.d"
+  "/root/repo/src/fhe/polyeval.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/polyeval.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/polyeval.cc.o.d"
+  "/root/repo/src/fhe/serialize.cc" "src/fhe/CMakeFiles/hydra_fhe.dir/serialize.cc.o" "gcc" "src/fhe/CMakeFiles/hydra_fhe.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/hydra_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hydra_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hydra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_fhe.dir/bootstrap.cc.o"
+  "CMakeFiles/hydra_fhe.dir/bootstrap.cc.o.d"
+  "CMakeFiles/hydra_fhe.dir/chebyshev.cc.o"
+  "CMakeFiles/hydra_fhe.dir/chebyshev.cc.o.d"
+  "CMakeFiles/hydra_fhe.dir/context.cc.o"
+  "CMakeFiles/hydra_fhe.dir/context.cc.o.d"
+  "CMakeFiles/hydra_fhe.dir/convolution.cc.o"
+  "CMakeFiles/hydra_fhe.dir/convolution.cc.o.d"
+  "CMakeFiles/hydra_fhe.dir/encoder.cc.o"
+  "CMakeFiles/hydra_fhe.dir/encoder.cc.o.d"
+  "CMakeFiles/hydra_fhe.dir/encryptor.cc.o"
+  "CMakeFiles/hydra_fhe.dir/encryptor.cc.o.d"
+  "CMakeFiles/hydra_fhe.dir/evaluator.cc.o"
+  "CMakeFiles/hydra_fhe.dir/evaluator.cc.o.d"
+  "CMakeFiles/hydra_fhe.dir/keygen.cc.o"
+  "CMakeFiles/hydra_fhe.dir/keygen.cc.o.d"
+  "CMakeFiles/hydra_fhe.dir/lintrans.cc.o"
+  "CMakeFiles/hydra_fhe.dir/lintrans.cc.o.d"
+  "CMakeFiles/hydra_fhe.dir/matmul.cc.o"
+  "CMakeFiles/hydra_fhe.dir/matmul.cc.o.d"
+  "CMakeFiles/hydra_fhe.dir/params.cc.o"
+  "CMakeFiles/hydra_fhe.dir/params.cc.o.d"
+  "CMakeFiles/hydra_fhe.dir/polyeval.cc.o"
+  "CMakeFiles/hydra_fhe.dir/polyeval.cc.o.d"
+  "CMakeFiles/hydra_fhe.dir/serialize.cc.o"
+  "CMakeFiles/hydra_fhe.dir/serialize.cc.o.d"
+  "libhydra_fhe.a"
+  "libhydra_fhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_fhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

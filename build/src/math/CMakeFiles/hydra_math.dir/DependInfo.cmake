@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/bigint.cc" "src/math/CMakeFiles/hydra_math.dir/bigint.cc.o" "gcc" "src/math/CMakeFiles/hydra_math.dir/bigint.cc.o.d"
+  "/root/repo/src/math/ntt.cc" "src/math/CMakeFiles/hydra_math.dir/ntt.cc.o" "gcc" "src/math/CMakeFiles/hydra_math.dir/ntt.cc.o.d"
+  "/root/repo/src/math/poly.cc" "src/math/CMakeFiles/hydra_math.dir/poly.cc.o" "gcc" "src/math/CMakeFiles/hydra_math.dir/poly.cc.o.d"
+  "/root/repo/src/math/primes.cc" "src/math/CMakeFiles/hydra_math.dir/primes.cc.o" "gcc" "src/math/CMakeFiles/hydra_math.dir/primes.cc.o.d"
+  "/root/repo/src/math/rns.cc" "src/math/CMakeFiles/hydra_math.dir/rns.cc.o" "gcc" "src/math/CMakeFiles/hydra_math.dir/rns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hydra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

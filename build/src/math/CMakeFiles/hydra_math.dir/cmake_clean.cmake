@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_math.dir/bigint.cc.o"
+  "CMakeFiles/hydra_math.dir/bigint.cc.o.d"
+  "CMakeFiles/hydra_math.dir/ntt.cc.o"
+  "CMakeFiles/hydra_math.dir/ntt.cc.o.d"
+  "CMakeFiles/hydra_math.dir/poly.cc.o"
+  "CMakeFiles/hydra_math.dir/poly.cc.o.d"
+  "CMakeFiles/hydra_math.dir/primes.cc.o"
+  "CMakeFiles/hydra_math.dir/primes.cc.o.d"
+  "CMakeFiles/hydra_math.dir/rns.cc.o"
+  "CMakeFiles/hydra_math.dir/rns.cc.o.d"
+  "libhydra_math.a"
+  "libhydra_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

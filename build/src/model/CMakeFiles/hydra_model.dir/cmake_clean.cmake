@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_model.dir/dft_model.cc.o"
+  "CMakeFiles/hydra_model.dir/dft_model.cc.o.d"
+  "libhydra_model.a"
+  "libhydra_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

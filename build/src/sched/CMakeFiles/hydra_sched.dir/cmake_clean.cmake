@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_sched.dir/mapping.cc.o"
+  "CMakeFiles/hydra_sched.dir/mapping.cc.o.d"
+  "CMakeFiles/hydra_sched.dir/runner.cc.o"
+  "CMakeFiles/hydra_sched.dir/runner.cc.o.d"
+  "libhydra_sched.a"
+  "libhydra_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_sim.dir/eventq.cc.o"
+  "CMakeFiles/hydra_sim.dir/eventq.cc.o.d"
+  "libhydra_sim.a"
+  "libhydra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_sync.dir/executor.cc.o"
+  "CMakeFiles/hydra_sync.dir/executor.cc.o.d"
+  "CMakeFiles/hydra_sync.dir/task.cc.o"
+  "CMakeFiles/hydra_sync.dir/task.cc.o.d"
+  "libhydra_sync.a"
+  "libhydra_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhydra_sync.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_trace.dir/heop.cc.o"
+  "CMakeFiles/hydra_trace.dir/heop.cc.o.d"
+  "libhydra_trace.a"
+  "libhydra_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_workloads.dir/model.cc.o"
+  "CMakeFiles/hydra_workloads.dir/model.cc.o.d"
+  "libhydra_workloads.a"
+  "libhydra_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_capacity_test.dir/arch_capacity_test.cc.o"
+  "CMakeFiles/arch_capacity_test.dir/arch_capacity_test.cc.o.d"
+  "arch_capacity_test"
+  "arch_capacity_test.pdb"
+  "arch_capacity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_capacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_opcost_test.dir/arch_opcost_test.cc.o"
+  "CMakeFiles/arch_opcost_test.dir/arch_opcost_test.cc.o.d"
+  "arch_opcost_test"
+  "arch_opcost_test.pdb"
+  "arch_opcost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_opcost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhe_basic_test.dir/fhe_basic_test.cc.o"
+  "CMakeFiles/fhe_basic_test.dir/fhe_basic_test.cc.o.d"
+  "fhe_basic_test"
+  "fhe_basic_test.pdb"
+  "fhe_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhe_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhe_bootstrap_test.dir/fhe_bootstrap_test.cc.o"
+  "CMakeFiles/fhe_bootstrap_test.dir/fhe_bootstrap_test.cc.o.d"
+  "fhe_bootstrap_test"
+  "fhe_bootstrap_test.pdb"
+  "fhe_bootstrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhe_bootstrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

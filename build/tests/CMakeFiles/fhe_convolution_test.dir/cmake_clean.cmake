@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhe_convolution_test.dir/fhe_convolution_test.cc.o"
+  "CMakeFiles/fhe_convolution_test.dir/fhe_convolution_test.cc.o.d"
+  "fhe_convolution_test"
+  "fhe_convolution_test.pdb"
+  "fhe_convolution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhe_convolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

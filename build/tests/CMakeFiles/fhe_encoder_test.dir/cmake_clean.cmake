@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhe_encoder_test.dir/fhe_encoder_test.cc.o"
+  "CMakeFiles/fhe_encoder_test.dir/fhe_encoder_test.cc.o.d"
+  "fhe_encoder_test"
+  "fhe_encoder_test.pdb"
+  "fhe_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhe_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

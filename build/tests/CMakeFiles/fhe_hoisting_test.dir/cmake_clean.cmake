@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhe_hoisting_test.dir/fhe_hoisting_test.cc.o"
+  "CMakeFiles/fhe_hoisting_test.dir/fhe_hoisting_test.cc.o.d"
+  "fhe_hoisting_test"
+  "fhe_hoisting_test.pdb"
+  "fhe_hoisting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhe_hoisting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

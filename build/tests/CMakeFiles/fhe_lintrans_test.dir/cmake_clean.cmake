@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhe_lintrans_test.dir/fhe_lintrans_test.cc.o"
+  "CMakeFiles/fhe_lintrans_test.dir/fhe_lintrans_test.cc.o.d"
+  "fhe_lintrans_test"
+  "fhe_lintrans_test.pdb"
+  "fhe_lintrans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhe_lintrans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

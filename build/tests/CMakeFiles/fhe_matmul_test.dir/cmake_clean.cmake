@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhe_matmul_test.dir/fhe_matmul_test.cc.o"
+  "CMakeFiles/fhe_matmul_test.dir/fhe_matmul_test.cc.o.d"
+  "fhe_matmul_test"
+  "fhe_matmul_test.pdb"
+  "fhe_matmul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhe_matmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhe_polyeval_test.dir/fhe_polyeval_test.cc.o"
+  "CMakeFiles/fhe_polyeval_test.dir/fhe_polyeval_test.cc.o.d"
+  "fhe_polyeval_test"
+  "fhe_polyeval_test.pdb"
+  "fhe_polyeval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhe_polyeval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhe_serialize_test.dir/fhe_serialize_test.cc.o"
+  "CMakeFiles/fhe_serialize_test.dir/fhe_serialize_test.cc.o.d"
+  "fhe_serialize_test"
+  "fhe_serialize_test.pdb"
+  "fhe_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhe_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

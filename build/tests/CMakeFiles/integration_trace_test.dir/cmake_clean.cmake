@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_trace_test.dir/integration_trace_test.cc.o"
+  "CMakeFiles/integration_trace_test.dir/integration_trace_test.cc.o.d"
+  "integration_trace_test"
+  "integration_trace_test.pdb"
+  "integration_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

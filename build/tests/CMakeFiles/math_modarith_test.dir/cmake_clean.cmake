@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_modarith_test.dir/math_modarith_test.cc.o"
+  "CMakeFiles/math_modarith_test.dir/math_modarith_test.cc.o.d"
+  "math_modarith_test"
+  "math_modarith_test.pdb"
+  "math_modarith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_modarith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

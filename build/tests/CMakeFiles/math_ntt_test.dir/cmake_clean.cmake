@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_ntt_test.dir/math_ntt_test.cc.o"
+  "CMakeFiles/math_ntt_test.dir/math_ntt_test.cc.o.d"
+  "math_ntt_test"
+  "math_ntt_test.pdb"
+  "math_ntt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_ntt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_rns_test.dir/math_rns_test.cc.o"
+  "CMakeFiles/math_rns_test.dir/math_rns_test.cc.o.d"
+  "math_rns_test"
+  "math_rns_test.pdb"
+  "math_rns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_rns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

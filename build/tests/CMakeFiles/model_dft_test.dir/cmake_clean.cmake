@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_dft_test.dir/model_dft_test.cc.o"
+  "CMakeFiles/model_dft_test.dir/model_dft_test.cc.o.d"
+  "model_dft_test"
+  "model_dft_test.pdb"
+  "model_dft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_dft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

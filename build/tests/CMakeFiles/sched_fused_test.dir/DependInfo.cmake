@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched_fused_test.cc" "tests/CMakeFiles/sched_fused_test.dir/sched_fused_test.cc.o" "gcc" "tests/CMakeFiles/sched_fused_test.dir/sched_fused_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/hydra_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hydra_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/hydra_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hydra_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hydra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hydra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hydra_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hydra_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hydra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

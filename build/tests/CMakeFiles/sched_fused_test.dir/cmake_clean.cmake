@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_fused_test.dir/sched_fused_test.cc.o"
+  "CMakeFiles/sched_fused_test.dir/sched_fused_test.cc.o.d"
+  "sched_fused_test"
+  "sched_fused_test.pdb"
+  "sched_fused_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_fused_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_mapping_test.dir/sched_mapping_test.cc.o"
+  "CMakeFiles/sched_mapping_test.dir/sched_mapping_test.cc.o.d"
+  "sched_mapping_test"
+  "sched_mapping_test.pdb"
+  "sched_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_runner_test.dir/sched_runner_test.cc.o"
+  "CMakeFiles/sched_runner_test.dir/sched_runner_test.cc.o.d"
+  "sched_runner_test"
+  "sched_runner_test.pdb"
+  "sched_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

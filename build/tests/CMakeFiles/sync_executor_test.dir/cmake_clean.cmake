@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_executor_test.dir/sync_executor_test.cc.o"
+  "CMakeFiles/sync_executor_test.dir/sync_executor_test.cc.o.d"
+  "sync_executor_test"
+  "sync_executor_test.pdb"
+  "sync_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

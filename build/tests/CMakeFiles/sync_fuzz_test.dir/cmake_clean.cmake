@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_fuzz_test.dir/sync_fuzz_test.cc.o"
+  "CMakeFiles/sync_fuzz_test.dir/sync_fuzz_test.cc.o.d"
+  "sync_fuzz_test"
+  "sync_fuzz_test.pdb"
+  "sync_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/math_modarith_test[1]_include.cmake")
+include("/root/repo/build/tests/math_ntt_test[1]_include.cmake")
+include("/root/repo/build/tests/math_rns_test[1]_include.cmake")
+include("/root/repo/build/tests/fhe_encoder_test[1]_include.cmake")
+include("/root/repo/build/tests/fhe_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/fhe_lintrans_test[1]_include.cmake")
+include("/root/repo/build/tests/fhe_polyeval_test[1]_include.cmake")
+include("/root/repo/build/tests/fhe_bootstrap_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_eventq_test[1]_include.cmake")
+include("/root/repo/build/tests/arch_opcost_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/model_dft_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_mapping_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_runner_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/fhe_convolution_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/arch_capacity_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_fused_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/fhe_hoisting_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/fhe_matmul_test[1]_include.cmake")
+include("/root/repo/build/tests/fhe_serialize_test[1]_include.cmake")
