@@ -1,0 +1,202 @@
+#include "common/parallel.hh"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+namespace {
+
+/** Set while a thread is executing inside a parallelFor region. */
+thread_local bool tls_in_parallel_region = false;
+
+size_t
+defaultThreadCount()
+{
+    if (const char* env = std::getenv("HYDRA_THREADS")) {
+        char* end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && v >= 1)
+            return static_cast<size_t>(v);
+        warn("ignoring invalid HYDRA_THREADS value '%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+/** Static partition: chunk w of [begin, end) over nchunks chunks. */
+inline std::pair<size_t, size_t>
+chunkRange(size_t begin, size_t end, size_t w, size_t nchunks)
+{
+    size_t count = end - begin;
+    size_t base = count / nchunks;
+    size_t rem = count % nchunks;
+    size_t lo = begin + w * base + std::min(w, rem);
+    size_t hi = lo + base + (w < rem ? 1 : 0);
+    return {lo, hi};
+}
+
+} // namespace
+
+struct ThreadPool::Impl
+{
+    std::vector<std::thread> workers;
+
+    std::mutex m;
+    std::condition_variable cvStart;
+    std::condition_variable cvDone;
+
+    // Current job, valid while pending > 0.
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t jobBegin = 0;
+    size_t jobEnd = 0;
+    size_t jobChunks = 0;
+    /** Incremented per job so workers detect new work. */
+    std::uint64_t generation = 0;
+    /** Worker chunks not yet finished for the current job. */
+    size_t pending = 0;
+    bool shutdown = false;
+
+    void
+    workerLoop(size_t id, std::uint64_t seen)
+    {
+        for (;;) {
+            std::unique_lock<std::mutex> lk(m);
+            cvStart.wait(lk, [&] {
+                return shutdown || generation != seen;
+            });
+            if (shutdown)
+                return;
+            seen = generation;
+            // Worker `id` owns chunk id+1 (the caller runs chunk 0).
+            size_t w = id + 1;
+            const std::function<void(size_t)>* f = fn;
+            size_t b = jobBegin, e = jobEnd, nchunks = jobChunks;
+            lk.unlock();
+
+            if (w < nchunks) {
+                auto [lo, hi] = chunkRange(b, e, w, nchunks);
+                tls_in_parallel_region = true;
+                for (size_t i = lo; i < hi; ++i)
+                    (*f)(i);
+                tls_in_parallel_region = false;
+            }
+
+            lk.lock();
+            if (--pending == 0)
+                cvDone.notify_one();
+        }
+    }
+
+    void
+    start(size_t n_workers)
+    {
+        // Fresh workers must treat the current generation as already
+        // handled: after a stop()/start() cycle the counter keeps its
+        // old value, and a zero-initialized `seen` would make them wake
+        // instantly on a phantom job with a stale fn pointer.
+        std::uint64_t gen = generation;
+        workers.reserve(n_workers);
+        for (size_t i = 0; i < n_workers; ++i)
+            workers.emplace_back([this, i, gen] { workerLoop(i, gen); });
+    }
+
+    void
+    stop()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m);
+            shutdown = true;
+        }
+        cvStart.notify_all();
+        for (auto& t : workers)
+            t.join();
+        workers.clear();
+        shutdown = false;
+    }
+};
+
+ThreadPool::ThreadPool()
+    : impl_(new Impl)
+{
+    nThreads_ = defaultThreadCount();
+    if (nThreads_ > 1)
+        impl_->start(nThreads_ - 1);
+}
+
+ThreadPool::~ThreadPool()
+{
+    impl_->stop();
+    delete impl_;
+}
+
+ThreadPool&
+ThreadPool::instance()
+{
+    // Intentionally leaked: running the destructor at exit would join
+    // workers from a static destructor (fragile ordering), and a
+    // fork()ed child -- e.g. a gtest death test -- would crash joining
+    // threads that do not exist in the child.  Workers die with the
+    // process.
+    static ThreadPool* pool = new ThreadPool;
+    return *pool;
+}
+
+void
+ThreadPool::setThreadCount(size_t n)
+{
+    if (n == 0)
+        n = defaultThreadCount();
+    if (n == nThreads_)
+        return;
+    impl_->stop();
+    nThreads_ = n;
+    if (nThreads_ > 1)
+        impl_->start(nThreads_ - 1);
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)>& fn)
+{
+    if (begin >= end)
+        return;
+    size_t count = end - begin;
+    size_t nchunks = std::min(nThreads_, count);
+    if (nchunks <= 1 || tls_in_parallel_region) {
+        // Serial fallback: single thread configured, tiny range, or a
+        // nested call from inside a worker chunk.
+        for (size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(impl_->m);
+        impl_->fn = &fn;
+        impl_->jobBegin = begin;
+        impl_->jobEnd = end;
+        impl_->jobChunks = nchunks;
+        impl_->pending = nThreads_ - 1;
+        ++impl_->generation;
+    }
+    impl_->cvStart.notify_all();
+
+    // The caller executes chunk 0 while workers run the rest.
+    auto [lo, hi] = chunkRange(begin, end, 0, nchunks);
+    tls_in_parallel_region = true;
+    for (size_t i = lo; i < hi; ++i)
+        fn(i);
+    tls_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> lk(impl_->m);
+    impl_->cvDone.wait(lk, [&] { return impl_->pending == 0; });
+    impl_->fn = nullptr;
+}
+
+} // namespace hydra

@@ -1,12 +1,41 @@
 #include "fhe/encoder.hh"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <numbers>
 
 #include "common/logging.hh"
 #include "math/ntt.hh"
 
 namespace hydra {
+
+/** Per-level memo of NTT-form restricted plaintext polynomials. */
+struct Plaintext::NttCache
+{
+    std::mutex m;
+    std::map<size_t, RnsPoly> byLevel;
+};
+
+const RnsPoly&
+Plaintext::nttRestricted(size_t levels) const
+{
+    HYDRA_ASSERT(levels >= 1 && levels <= poly.nLimbs() &&
+                     !poly.hasSpecial(),
+                 "cannot restrict plaintext to this level");
+    if (!cache_)
+        cache_ = std::make_shared<NttCache>();
+    std::lock_guard<std::mutex> lock(cache_->m);
+    auto [it, inserted] = cache_->byLevel.try_emplace(levels);
+    if (inserted) {
+        RnsPoly pp(poly.basis(), levels, false, poly.nttForm());
+        for (size_t k = 0; k < levels; ++k)
+            pp.limb(k) = poly.limb(k);
+        pp.toNtt();
+        it->second = std::move(pp);
+    }
+    return it->second;
+}
 
 CkksEncoder::CkksEncoder(const CkksContext& ctx)
     : ctx_(ctx),

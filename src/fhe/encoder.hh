@@ -9,6 +9,7 @@
 #define HYDRA_FHE_ENCODER_HH
 
 #include <complex>
+#include <memory>
 #include <vector>
 
 #include "fhe/context.hh"
@@ -23,6 +24,44 @@ struct Plaintext
 {
     RnsPoly poly;
     double scale = 0.0;
+
+    Plaintext() = default;
+
+    Plaintext(RnsPoly p, double s)
+        : poly(std::move(p)), scale(s)
+    {
+    }
+
+    /** Copies start with a cold cache so edits to `poly` stay safe. */
+    Plaintext(const Plaintext& o)
+        : poly(o.poly), scale(o.scale)
+    {
+    }
+
+    Plaintext&
+    operator=(const Plaintext& o)
+    {
+        poly = o.poly;
+        scale = o.scale;
+        cache_.reset();
+        return *this;
+    }
+
+    Plaintext(Plaintext&&) = default;
+    Plaintext& operator=(Plaintext&&) = default;
+
+    /**
+     * NTT-form copy of `poly` restricted to its first `levels` limbs,
+     * built on first use and memoized per level.  Repeated
+     * plaintext-ciphertext operations against the same plaintext (the
+     * BSGS inner loop) pay the restrict + forward NTT exactly once.
+     * Do not mutate `poly` after calling this.
+     */
+    const RnsPoly& nttRestricted(size_t levels) const;
+
+  private:
+    struct NttCache;
+    mutable std::shared_ptr<NttCache> cache_;
 };
 
 /** Encode/decode between C^{n/2} and R = Z[X]/(X^n+1). */

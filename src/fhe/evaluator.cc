@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace hydra {
 
@@ -73,10 +74,8 @@ Evaluator::addPlain(const Ciphertext& a, const Plaintext& p) const
 {
     checkScalesMatch(a.scale, p.scale);
     HYDRA_ASSERT(p.poly.nLimbs() >= a.level(), "plaintext level too low");
-    RnsPoly pp = restrictTo(p.poly, a.level());
-    pp.toNtt();
     Ciphertext out = a;
-    out.c0.add(pp);
+    out.c0.add(p.nttRestricted(a.level()));
     count(HeOpType::HAdd, out.level());
     return out;
 }
@@ -85,8 +84,7 @@ Ciphertext
 Evaluator::mulPlain(const Ciphertext& a, const Plaintext& p) const
 {
     HYDRA_ASSERT(p.poly.nLimbs() >= a.level(), "plaintext level too low");
-    RnsPoly pp = restrictTo(p.poly, a.level());
-    pp.toNtt();
+    const RnsPoly& pp = p.nttRestricted(a.level());
     Ciphertext out = a;
     out.c0.mulPointwise(pp);
     out.c1.mulPointwise(pp);
@@ -199,19 +197,22 @@ Evaluator::decomposeDigits(const RnsPoly& d) const
     size_t n = d.n();
     const RnsBasis& basis = *ctx_.basis();
 
-    std::vector<RnsPoly> digits;
-    digits.reserve(levels);
-    std::vector<i64> centered(n);
-    for (size_t i = 0; i < levels; ++i) {
+    // Digits are independent: each lifts one centered residue limb to
+    // the full basis and NTTs it, so the digit loop parallelizes whole
+    // (the nested limb loops inside fromSigned/toNtt fall back to
+    // serial under the pool's re-entrancy guard).
+    std::vector<RnsPoly> digits(levels);
+    parallelFor(0, levels, [&](size_t i) {
         const Modulus& qi = basis.mod(i);
         const auto& src = d.limb(i);
+        std::vector<i64> centered(n);
         for (size_t t = 0; t < n; ++t)
             centered[t] = qi.toCentered(src[t]);
         RnsPoly dig = RnsPoly::fromSigned(ctx_.basis(), levels, true,
                                           centered);
         dig.toNtt();
-        digits.push_back(std::move(dig));
-    }
+        digits[i] = std::move(dig);
+    });
     return digits;
 }
 
@@ -224,28 +225,42 @@ Evaluator::accumulateKey(const std::vector<RnsPoly>& digits,
     RnsPoly acc0(ctx_.basis(), levels, true, true);
     RnsPoly acc1(ctx_.basis(), levels, true, true);
 
-    for (size_t i = 0; i < digits.size(); ++i) {
-        // Hoisting: the Galois map commutes with digit decomposition,
-        // so a permutation of the precomputed NTT-form digit stands in
-        // for decomposing the rotated polynomial.
-        RnsPoly permuted;
-        const RnsPoly& dig =
-            galois == 1 ? digits[i]
-                        : (permuted = digits[i].automorphismNtt(galois));
-        for (size_t kpos = 0; kpos <= levels; ++kpos) {
-            size_t key_pos = kpos < levels ? kpos : key_special_pos;
-            const Modulus& mj = dig.mod(kpos);
-            const auto& dl = dig.limb(kpos);
+    // Hoisting: the Galois map commutes with digit decomposition, so a
+    // permutation of the precomputed NTT-form digits stands in for
+    // decomposing the rotated polynomial.  The permutation is the same
+    // for every limb and digit, so it is fetched once from the memo and
+    // applied as a gather inside the accumulation loop.
+    const std::vector<size_t>* map = nullptr;
+    if (galois != 1)
+        map = &RnsPoly::nttAutomorphismMapCached(acc0.n(), galois);
+
+    // The levels+1 output limbs are independent: each accumulates every
+    // digit against its own key limb.  This is the dominant cost of
+    // mulRelin/rotate and the same limb-level parallelism the paper's
+    // compute units exploit, so the output-limb loop goes to the pool.
+    parallelFor(0, levels + 1, [&](size_t kpos) {
+        size_t key_pos = kpos < levels ? kpos : key_special_pos;
+        const Modulus& mj = acc0.mod(kpos);
+        auto& a0 = acc0.limb(kpos);
+        auto& a1 = acc1.limb(kpos);
+        for (size_t i = 0; i < digits.size(); ++i) {
+            const auto& dl = digits[i].limb(kpos);
             const auto& bkey = key.b[i].limb(key_pos);
             const auto& akey = key.a[i].limb(key_pos);
-            auto& a0 = acc0.limb(kpos);
-            auto& a1 = acc1.limb(kpos);
-            for (size_t t = 0; t < dl.size(); ++t) {
-                a0[t] = mj.addMod(a0[t], mj.mulMod(dl[t], bkey[t]));
-                a1[t] = mj.addMod(a1[t], mj.mulMod(dl[t], akey[t]));
+            if (map) {
+                for (size_t t = 0; t < dl.size(); ++t) {
+                    u64 dv = dl[(*map)[t]];
+                    a0[t] = mj.addMod(a0[t], mj.mulMod(dv, bkey[t]));
+                    a1[t] = mj.addMod(a1[t], mj.mulMod(dv, akey[t]));
+                }
+            } else {
+                for (size_t t = 0; t < dl.size(); ++t) {
+                    a0[t] = mj.addMod(a0[t], mj.mulMod(dl[t], bkey[t]));
+                    a1[t] = mj.addMod(a1[t], mj.mulMod(dl[t], akey[t]));
+                }
             }
         }
-    }
+    });
 
     // ModDown: divide by the special prime.
     acc0.divideRoundByLast();

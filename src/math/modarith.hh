@@ -176,6 +176,21 @@ class ShoupMul
         return r >= m.value() ? r - m.value() : r;
     }
 
+    /**
+     * Harvey-style lazy product: congruent to a * w mod q but only
+     * reduced into [0, 2q).  The quotient estimate floor(a * w' / 2^64)
+     * with w' = floor(w * 2^64 / q) errs by at most one, for ANY u64
+     * input a -- so lazy [0, 4q) NTT operands are fine.  Skipping the
+     * final correction keeps the butterfly at two multiplies plus one
+     * subtraction.
+     */
+    u64
+    mulModLazy(u64 a, u64 q) const
+    {
+        u64 hi = static_cast<u64>((static_cast<u128>(a) * wShoup_) >> 64);
+        return a * w_ - hi * q;
+    }
+
   private:
     u64 w_ = 0;
     u64 wShoup_ = 0;

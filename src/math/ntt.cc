@@ -34,6 +34,14 @@ NttTable::NttTable(size_t n, Modulus q)
 void
 NttTable::forward(u64* a) const
 {
+    // Harvey lazy butterflies: array values live in [0, 4q) between
+    // stages.  Each butterfly conditionally pulls its top input into
+    // [0, 2q), takes the twiddle product lazily in [0, 2q), and emits
+    // sums/differences in [0, 4q) with no per-element reduction.  One
+    // normalization pass at the end restores canonical [0, q) values,
+    // so outputs are bit-identical to the fully-reduced form.
+    const u64 q = q_.value();
+    const u64 two_q = 2 * q;
     size_t t = n_;
     for (size_t m = 1; m < n_; m <<= 1) {
         t >>= 1;
@@ -42,17 +50,32 @@ NttTable::forward(u64* a) const
             const ShoupMul& s = rootPow_[m + i];
             for (size_t j = j1; j < j1 + t; ++j) {
                 u64 u = a[j];
-                u64 v = s.mulMod(a[j + t], q_);
-                a[j] = q_.addMod(u, v);
-                a[j + t] = q_.subMod(u, v);
+                if (u >= two_q)
+                    u -= two_q;
+                u64 v = s.mulModLazy(a[j + t], q);
+                a[j] = u + v;
+                a[j + t] = u - v + two_q;
             }
         }
+    }
+    for (size_t j = 0; j < n_; ++j) {
+        u64 x = a[j];
+        if (x >= two_q)
+            x -= two_q;
+        if (x >= q)
+            x -= q;
+        a[j] = x;
     }
 }
 
 void
 NttTable::forwardRadix4(u64* a) const
 {
+    // Same lazy [0, 4q) discipline as forward(), applied to the fused
+    // two-stage pass: the stage-1 outputs feed stage 2 through the same
+    // conditional 2q pull-down a fresh butterfly load would get.
+    const u64 q = q_.value();
+    const u64 two_q = 2 * q;
     size_t m = 1;
     while (m * 2 < n_) {
         // Fuse stages m and 2m: one pass applies both butterflies.
@@ -65,23 +88,29 @@ NttTable::forwardRadix4(u64* a) const
             const ShoupMul& s2b = rootPow_[2 * m + 2 * i + 1];
             for (size_t j = j1; j < j1 + t2; ++j) {
                 u64 x0 = a[j];
+                if (x0 >= two_q)
+                    x0 -= two_q;
                 u64 x1 = a[j + t2];
-                u64 x2 = a[j + t1];
-                u64 x3 = a[j + t1 + t2];
+                if (x1 >= two_q)
+                    x1 -= two_q;
                 // Stage 1: pairs (x0,x2) and (x1,x3), twiddle S1.
-                u64 v0 = s1.mulMod(x2, q_);
-                u64 v1 = s1.mulMod(x3, q_);
-                u64 u0 = q_.addMod(x0, v0);
-                u64 u2 = q_.subMod(x0, v0);
-                u64 u1 = q_.addMod(x1, v1);
-                u64 u3 = q_.subMod(x1, v1);
+                u64 v0 = s1.mulModLazy(a[j + t1], q);
+                u64 v1 = s1.mulModLazy(a[j + t1 + t2], q);
+                u64 u0 = x0 + v0;
+                u64 u2 = x0 - v0 + two_q;
+                u64 u1 = x1 + v1;
+                u64 u3 = x1 - v1 + two_q;
+                if (u0 >= two_q)
+                    u0 -= two_q;
+                if (u2 >= two_q)
+                    u2 -= two_q;
                 // Stage 2: (u0,u1) with S2a, (u2,u3) with S2b.
-                u64 w0 = s2a.mulMod(u1, q_);
-                u64 w1 = s2b.mulMod(u3, q_);
-                a[j] = q_.addMod(u0, w0);
-                a[j + t2] = q_.subMod(u0, w0);
-                a[j + t1] = q_.addMod(u2, w1);
-                a[j + t1 + t2] = q_.subMod(u2, w1);
+                u64 w0 = s2a.mulModLazy(u1, q);
+                u64 w1 = s2b.mulModLazy(u3, q);
+                a[j] = u0 + w0;
+                a[j + t2] = u0 - w0 + two_q;
+                a[j + t1] = u2 + w1;
+                a[j + t1 + t2] = u2 - w1 + two_q;
             }
         }
         m <<= 2;
@@ -94,17 +123,33 @@ NttTable::forwardRadix4(u64* a) const
             const ShoupMul& s = rootPow_[m + i];
             for (size_t j = j1; j < j1 + t; ++j) {
                 u64 u = a[j];
-                u64 v = s.mulMod(a[j + t], q_);
-                a[j] = q_.addMod(u, v);
-                a[j + t] = q_.subMod(u, v);
+                if (u >= two_q)
+                    u -= two_q;
+                u64 v = s.mulModLazy(a[j + t], q);
+                a[j] = u + v;
+                a[j + t] = u - v + two_q;
             }
         }
+    }
+    for (size_t j = 0; j < n_; ++j) {
+        u64 x = a[j];
+        if (x >= two_q)
+            x -= two_q;
+        if (x >= q)
+            x -= q;
+        a[j] = x;
     }
 }
 
 void
 NttTable::inverse(u64* a) const
 {
+    // Lazy Gentleman-Sande: values stay in [0, 2q) across stages (the
+    // sum gets one conditional 2q pull-down, the difference is absorbed
+    // by the lazy twiddle product).  The final n^-1 scaling reduces to
+    // canonical [0, q).
+    const u64 q = q_.value();
+    const u64 two_q = 2 * q;
     size_t t = 1;
     for (size_t m = n_; m > 1; m >>= 1) {
         size_t j1 = 0;
@@ -114,15 +159,20 @@ NttTable::inverse(u64* a) const
             for (size_t j = j1; j < j1 + t; ++j) {
                 u64 u = a[j];
                 u64 v = a[j + t];
-                a[j] = q_.addMod(u, v);
-                a[j + t] = s.mulMod(q_.subMod(u, v), q_);
+                u64 sum = u + v;
+                if (sum >= two_q)
+                    sum -= two_q;
+                a[j] = sum;
+                a[j + t] = s.mulModLazy(u - v + two_q, q);
             }
             j1 += 2 * t;
         }
         t <<= 1;
     }
-    for (size_t j = 0; j < n_; ++j)
-        a[j] = nInv_.mulMod(a[j], q_);
+    for (size_t j = 0; j < n_; ++j) {
+        u64 x = nInv_.mulModLazy(a[j], q);
+        a[j] = x >= q ? x - q : x;
+    }
 }
 
 } // namespace hydra

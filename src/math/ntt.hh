@@ -4,8 +4,11 @@
  *
  * Iterative Cooley-Tukey (forward) / Gentleman-Sande (inverse) with
  * bit-reversed twiddle tables and Shoup multiplication, following the
- * Longa-Naehrig formulation.  This is the functional counterpart of the
- * paper's radix-based NTT compute unit.
+ * Longa-Naehrig formulation with Harvey lazy reduction: intermediate
+ * butterfly values live in [0, 2q) / [0, 4q) and are normalized to the
+ * canonical [0, q) representative only once per transform, so outputs
+ * match the fully-reduced form bit for bit.  This is the functional
+ * counterpart of the paper's radix-based NTT compute unit.
  */
 
 #ifndef HYDRA_MATH_NTT_HH

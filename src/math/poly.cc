@@ -1,8 +1,11 @@
 #include "math/poly.hh"
 
 #include <bit>
+#include <map>
+#include <mutex>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "math/ntt.hh"
 
 namespace hydra {
@@ -53,36 +56,36 @@ void
 RnsPoly::add(const RnsPoly& other)
 {
     HYDRA_ASSERT(sameShape(other), "shape mismatch in add");
-    for (size_t k = 0; k < limbs_.size(); ++k) {
+    parallelFor(0, limbs_.size(), [&](size_t k) {
         const Modulus& m = mod(k);
         auto& a = limbs_[k];
         const auto& b = other.limbs_[k];
         for (size_t i = 0; i < a.size(); ++i)
             a[i] = m.addMod(a[i], b[i]);
-    }
+    });
 }
 
 void
 RnsPoly::sub(const RnsPoly& other)
 {
     HYDRA_ASSERT(sameShape(other), "shape mismatch in sub");
-    for (size_t k = 0; k < limbs_.size(); ++k) {
+    parallelFor(0, limbs_.size(), [&](size_t k) {
         const Modulus& m = mod(k);
         auto& a = limbs_[k];
         const auto& b = other.limbs_[k];
         for (size_t i = 0; i < a.size(); ++i)
             a[i] = m.subMod(a[i], b[i]);
-    }
+    });
 }
 
 void
 RnsPoly::negate()
 {
-    for (size_t k = 0; k < limbs_.size(); ++k) {
+    parallelFor(0, limbs_.size(), [&](size_t k) {
         const Modulus& m = mod(k);
         for (auto& x : limbs_[k])
             x = m.negMod(x);
-    }
+    });
 }
 
 void
@@ -90,13 +93,13 @@ RnsPoly::mulPointwise(const RnsPoly& other)
 {
     HYDRA_ASSERT(sameShape(other) && nttForm_,
                  "mulPointwise requires matching NTT-form operands");
-    for (size_t k = 0; k < limbs_.size(); ++k) {
+    parallelFor(0, limbs_.size(), [&](size_t k) {
         const Modulus& m = mod(k);
         auto& a = limbs_[k];
         const auto& b = other.limbs_[k];
         for (size_t i = 0; i < a.size(); ++i)
             a[i] = m.mulMod(a[i], b[i]);
-    }
+    });
 }
 
 void
@@ -104,36 +107,36 @@ RnsPoly::addMulPointwise(const RnsPoly& a, const RnsPoly& b)
 {
     HYDRA_ASSERT(sameShape(a) && sameShape(b) && nttForm_,
                  "addMulPointwise requires matching NTT-form operands");
-    for (size_t k = 0; k < limbs_.size(); ++k) {
+    parallelFor(0, limbs_.size(), [&](size_t k) {
         const Modulus& m = mod(k);
         auto& dst = limbs_[k];
         const auto& x = a.limbs_[k];
         const auto& y = b.limbs_[k];
         for (size_t i = 0; i < dst.size(); ++i)
             dst[i] = m.addMod(dst[i], m.mulMod(x[i], y[i]));
-    }
+    });
 }
 
 void
 RnsPoly::mulScalar(u64 a)
 {
-    for (size_t k = 0; k < limbs_.size(); ++k) {
+    parallelFor(0, limbs_.size(), [&](size_t k) {
         const Modulus& m = mod(k);
         u64 ak = m.reduceU64(a);
         for (auto& x : limbs_[k])
             x = m.mulMod(x, ak);
-    }
+    });
 }
 
 void
 RnsPoly::mulScalarPerLimb(const std::vector<u64>& a)
 {
     HYDRA_ASSERT(a.size() == limbs_.size(), "per-limb scalar count");
-    for (size_t k = 0; k < limbs_.size(); ++k) {
+    parallelFor(0, limbs_.size(), [&](size_t k) {
         const Modulus& m = mod(k);
         for (auto& x : limbs_[k])
             x = m.mulMod(x, a[k]);
-    }
+    });
 }
 
 void
@@ -141,8 +144,9 @@ RnsPoly::toNtt()
 {
     if (nttForm_)
         return;
-    for (size_t k = 0; k < limbs_.size(); ++k)
+    parallelFor(0, limbs_.size(), [&](size_t k) {
         basis_->ntt(basisIndex(k)).forward(limbs_[k]);
+    });
     nttForm_ = true;
 }
 
@@ -151,8 +155,9 @@ RnsPoly::fromNtt()
 {
     if (!nttForm_)
         return;
-    for (size_t k = 0; k < limbs_.size(); ++k)
+    parallelFor(0, limbs_.size(), [&](size_t k) {
         basis_->ntt(basisIndex(k)).inverse(limbs_[k]);
+    });
     nttForm_ = false;
 }
 
@@ -165,7 +170,7 @@ RnsPoly::automorphism(u64 galois) const
     HYDRA_ASSERT((galois & 1) == 1 && galois < two_n, "bad Galois element");
 
     RnsPoly out(basis_, nLimbs_, hasSpecial_, false);
-    for (size_t k = 0; k < limbs_.size(); ++k) {
+    parallelFor(0, limbs_.size(), [&](size_t k) {
         const Modulus& m = mod(k);
         const auto& src = limbs_[k];
         auto& dst = out.limbs_[k];
@@ -176,7 +181,7 @@ RnsPoly::automorphism(u64 galois) const
             else
                 dst[j - nn] = m.negMod(src[i]);
         }
-    }
+    });
     return out;
 }
 
@@ -198,18 +203,30 @@ RnsPoly::nttAutomorphismMap(size_t n, u64 galois)
     return map;
 }
 
+const std::vector<size_t>&
+RnsPoly::nttAutomorphismMapCached(size_t n, u64 galois)
+{
+    static std::mutex memo_mutex;
+    static std::map<std::pair<size_t, u64>, std::vector<size_t>> memo;
+    std::lock_guard<std::mutex> lock(memo_mutex);
+    auto [it, inserted] = memo.try_emplace({n, galois});
+    if (inserted)
+        it->second = nttAutomorphismMap(n, galois);
+    return it->second;
+}
+
 RnsPoly
 RnsPoly::automorphismNtt(u64 galois) const
 {
     HYDRA_ASSERT(nttForm_, "automorphismNtt requires NTT domain");
-    std::vector<size_t> map = nttAutomorphismMap(n(), galois);
+    const std::vector<size_t>& map = nttAutomorphismMapCached(n(), galois);
     RnsPoly out(basis_, nLimbs_, hasSpecial_, true);
-    for (size_t k = 0; k < limbs_.size(); ++k) {
+    parallelFor(0, limbs_.size(), [&](size_t k) {
         const auto& src = limbs_[k];
         auto& dst = out.limbs_[k];
         for (size_t j = 0; j < src.size(); ++j)
             dst[j] = src[map[j]];
-    }
+    });
     return out;
 }
 
@@ -232,7 +249,7 @@ RnsPoly::divideRoundByLast()
     for (size_t i = 0; i < nn; ++i)
         centered[i] = ql.toCentered(corr[i]);
 
-    for (size_t k = 0; k < last; ++k) {
+    parallelFor(0, last, [&](size_t k) {
         size_t kb = basisIndex(k);
         const Modulus& m = basis_->mod(kb);
         u64 inv = basis_->invQlModQj(last_basis, kb);
@@ -251,7 +268,7 @@ RnsPoly::divideRoundByLast()
                 limb[i] = m.mulMod(m.subMod(limb[i], c), inv);
             }
         }
-    }
+    });
 
     limbs_.pop_back();
     if (hasSpecial_)

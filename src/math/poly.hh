@@ -116,6 +116,16 @@ class RnsPoly
     static std::vector<size_t> nttAutomorphismMap(size_t n, u64 galois);
 
     /**
+     * Memoized variant of nttAutomorphismMap: entries are computed once
+     * per (n, galois) pair in a mutex-guarded cache and returned by
+     * reference.  BSGS linear transforms and bootstrapping issue
+     * hundreds of rotations over a handful of Galois elements, so the
+     * n-entry modular-index computation amortizes to a lookup.
+     */
+    static const std::vector<size_t>& nttAutomorphismMapCached(size_t n,
+                                                               u64 galois);
+
+    /**
      * Exact divide-and-round by the modulus of the last limb, dropping
      * that limb: implements both Rescale (last limb = q_l) and ModDown
      * (last limb = special prime).  Works in either domain and preserves

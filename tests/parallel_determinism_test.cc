@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Bit-exactness of the parallel RNS execution layer: every operation
+ * must produce byte-identical limbs whatever the thread count, because
+ * parallelFor partitions index ranges statically and each index writes
+ * only its own outputs.  Also covers the lazy-reduction NTT rewrite:
+ * roundtrip identity and radix-4 vs radix-2 equivalence on both even
+ * and odd log2(n).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "fhe_test_util.hh"
+#include "math/primes.hh"
+
+namespace hydra {
+namespace {
+
+using test::FheHarness;
+
+bool
+polysIdentical(const RnsPoly& a, const RnsPoly& b)
+{
+    if (a.limbCount() != b.limbCount() || a.nttForm() != b.nttForm())
+        return false;
+    for (size_t k = 0; k < a.limbCount(); ++k)
+        if (a.limb(k) != b.limb(k))
+            return false;
+    return true;
+}
+
+bool
+ciphertextsIdentical(const Ciphertext& a, const Ciphertext& b)
+{
+    return a.scale == b.scale && polysIdentical(a.c0, b.c0) &&
+           polysIdentical(a.c1, b.c1);
+}
+
+/** Restore the previous pool size even if an assertion throws. */
+struct ThreadCountGuard
+{
+    explicit ThreadCountGuard(size_t n)
+        : saved(ThreadPool::instance().threadCount())
+    {
+        ThreadPool::instance().setThreadCount(n);
+    }
+
+    ~ThreadCountGuard() { ThreadPool::instance().setThreadCount(saved); }
+
+    size_t saved;
+};
+
+CkksParams
+smallParams()
+{
+    CkksParams p;
+    p.n = 1 << 8;
+    p.levels = 4;
+    return p;
+}
+
+TEST(ParallelDeterminism, MulRelinRotateBitExactAcrossThreadCounts)
+{
+    FheHarness h(smallParams(), {1, 3});
+    auto v = test::randomComplexVec(h.ctx.slots(), 7);
+    Ciphertext ct = h.encryptVec(v);
+
+    Ciphertext prod_serial, rot_serial, hoist_serial;
+    {
+        ThreadCountGuard tc(1);
+        prod_serial = h.eval.mulRelin(ct, ct);
+        rot_serial = h.eval.rotate(ct, 1);
+        hoist_serial = h.eval.rotateHoisted(ct, {3})[0];
+    }
+    for (size_t threads : {4u, 8u}) {
+        ThreadCountGuard tc(threads);
+        EXPECT_TRUE(
+            ciphertextsIdentical(prod_serial, h.eval.mulRelin(ct, ct)))
+            << "mulRelin diverges at " << threads << " threads";
+        EXPECT_TRUE(
+            ciphertextsIdentical(rot_serial, h.eval.rotate(ct, 1)))
+            << "rotate diverges at " << threads << " threads";
+        EXPECT_TRUE(ciphertextsIdentical(
+            hoist_serial, h.eval.rotateHoisted(ct, {3})[0]))
+            << "hoisted rotate diverges at " << threads << " threads";
+    }
+}
+
+TEST(ParallelDeterminism, BootstrapStepBitExactAcrossThreadCounts)
+{
+    CkksParams p = CkksParams::bootstrapTest();
+    p.n = 1 << 8;
+
+    // The bootstrap C2S stage (BSGS linear transform over hoisted
+    // rotations) exercises decomposeDigits, accumulateKey, the
+    // automorphism memo and the plaintext NTT cache all at once.
+    CkksContext probe_ctx(p);
+    CkksEncoder probe_enc(probe_ctx);
+    Bootstrapper probe_boot(probe_ctx, probe_enc);
+    FheHarness h(p, probe_boot.requiredRotations());
+    Bootstrapper boot(h.ctx, h.encoder);
+
+    auto v = test::randomRealVec(h.ctx.slots(), 11, 0.01);
+    Ciphertext ct = h.encryptVec(v, 1);
+    Ciphertext raised = boot.modRaise(ct);
+
+    std::pair<Ciphertext, Ciphertext> serial;
+    {
+        ThreadCountGuard tc(1);
+        serial = boot.coeffToSlot(h.eval, raised);
+    }
+    {
+        ThreadCountGuard tc(8);
+        auto parallel = boot.coeffToSlot(h.eval, raised);
+        EXPECT_TRUE(ciphertextsIdentical(serial.first, parallel.first));
+        EXPECT_TRUE(ciphertextsIdentical(serial.second, parallel.second));
+    }
+}
+
+class NttEquivalenceTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(NttEquivalenceTest, RoundtripAndRadix4MatchRadix2)
+{
+    size_t n = GetParam();
+    Modulus q(nttPrimes(n, 50, 1)[0]);
+    NttTable table(n, q);
+
+    Rng rng(0xfeedu + n);
+    std::vector<u64> orig(n);
+    for (auto& x : orig)
+        x = rng.uniformU64(q.value());
+
+    // Roundtrip: inverse(forward(a)) == a with canonical residues.
+    std::vector<u64> a = orig;
+    table.forward(a);
+    for (u64 x : a)
+        ASSERT_LT(x, q.value()) << "forward output not normalized";
+    table.inverse(a);
+    EXPECT_EQ(a, orig);
+
+    // Radix-4 fused passes must stay bit-identical to radix-2.
+    std::vector<u64> r2 = orig, r4 = orig;
+    table.forward(r2.data());
+    table.forwardRadix4(r4.data());
+    EXPECT_EQ(r2, r4);
+}
+
+// 2^10 and 2^12 exercise even log2(n) (pure radix-4); 2^9 and 2^13 end
+// with the odd-log residual radix-2 stage.
+INSTANTIATE_TEST_SUITE_P(EvenAndOddLogN, NttEquivalenceTest,
+                         ::testing::Values(1 << 9, 1 << 10, 1 << 12,
+                                           1 << 13));
+
+TEST(ParallelDeterminism, ParallelForCoversRangeOnce)
+{
+    ThreadCountGuard tc(8);
+    std::vector<int> hits(1013, 0);
+    parallelFor(0, hits.size(), [&](size_t i) { hits[i] += 1; });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+
+    // Nested calls degrade to serial but still cover the range.
+    std::vector<int> nested(64 * 16, 0);
+    parallelFor(0, 64, [&](size_t i) {
+        parallelFor(0, 16, [&](size_t j) { nested[i * 16 + j] += 1; });
+    });
+    for (size_t i = 0; i < nested.size(); ++i)
+        ASSERT_EQ(nested[i], 1) << "nested index " << i;
+}
+
+TEST(ParallelDeterminism, PlaintextNttCacheMatchesUncachedPath)
+{
+    FheHarness h(smallParams());
+    auto v = test::randomComplexVec(h.ctx.slots(), 23);
+    Plaintext pt = h.encoder.encode(v, h.ctx.params().scale(),
+                                    h.ctx.levels());
+    Ciphertext ct = h.encryptVec(v, 2);
+
+    // First call builds the level-2 entry, second call must reuse it
+    // and yield the identical product.
+    Ciphertext first = h.eval.mulPlain(ct, pt);
+    Ciphertext second = h.eval.mulPlain(ct, pt);
+    EXPECT_TRUE(ciphertextsIdentical(first, second));
+
+    // The cached polynomial equals an explicit restrict + NTT.
+    RnsPoly manual(pt.poly.basis(), 2, false, false);
+    for (size_t k = 0; k < 2; ++k)
+        manual.limb(k) = pt.poly.limb(k);
+    manual.toNtt();
+    EXPECT_TRUE(polysIdentical(manual, pt.nttRestricted(2)));
+}
+
+} // namespace
+} // namespace hydra
