@@ -24,31 +24,40 @@ namespace {
 class NoOverlapNetwork : public NetworkModel
 {
   public:
-    explicit NoOverlapNetwork(const NetworkModel& inner) : inner_(inner) {}
+    explicit NoOverlapNetwork(const NetworkModel& inner)
+        : inner_(inner.clone())
+    {
+    }
+
+    std::unique_ptr<NetworkModel>
+    clone() const override
+    {
+        return std::make_unique<NoOverlapNetwork>(*inner_);
+    }
 
     Tick
     transferTime(uint64_t b, size_t s, size_t d) const override
     {
-        return inner_.transferTime(b, s, d);
+        return inner_->transferTime(b, s, d);
     }
 
     Tick
     broadcastTime(uint64_t b, size_t s, size_t n) const override
     {
-        return inner_.broadcastTime(b, s, n);
+        return inner_->broadcastTime(b, s, n);
     }
 
-    Tick setupLatency() const override { return inner_.setupLatency(); }
+    Tick setupLatency() const override { return inner_->setupLatency(); }
     bool overlapsCompute() const override { return false; }
 
     Tick
     stepSyncLatency() const override
     {
-        return inner_.stepSyncLatency();
+        return inner_->stepSyncLatency();
     }
 
   private:
-    const NetworkModel& inner_;
+    std::unique_ptr<NetworkModel> inner_;
 };
 
 /** Wraps a network model, replacing broadcast by sequential unicast. */
@@ -56,34 +65,40 @@ class UnicastOnlyNetwork : public NetworkModel
 {
   public:
     explicit UnicastOnlyNetwork(const NetworkModel& inner)
-        : inner_(inner)
+        : inner_(inner.clone())
     {
+    }
+
+    std::unique_ptr<NetworkModel>
+    clone() const override
+    {
+        return std::make_unique<UnicastOnlyNetwork>(*inner_);
     }
 
     Tick
     transferTime(uint64_t b, size_t s, size_t d) const override
     {
-        return inner_.transferTime(b, s, d);
+        return inner_->transferTime(b, s, d);
     }
 
     Tick
     broadcastTime(uint64_t b, size_t s, size_t n) const override
     {
         // The sender serializes n-1 point-to-point transfers.
-        return static_cast<Tick>(n - 1) * inner_.transferTime(b, s, 0);
+        return static_cast<Tick>(n - 1) * inner_->transferTime(b, s, 0);
     }
 
-    Tick setupLatency() const override { return inner_.setupLatency(); }
+    Tick setupLatency() const override { return inner_->setupLatency(); }
     bool overlapsCompute() const override { return true; }
 
     Tick
     stepSyncLatency() const override
     {
-        return inner_.stepSyncLatency();
+        return inner_->stepSyncLatency();
     }
 
   private:
-    const NetworkModel& inner_;
+    std::unique_ptr<NetworkModel> inner_;
 };
 
 double

@@ -9,8 +9,13 @@
  *                 [--workload resnet18|resnet50|bert|opt|resnet20]
  *                 [--cards N]          (custom Hydra with N cards)
  *                 [--fused]            (Section IV-D preloading)
+ *                 [--faults SPEC]      (fault injection; SPEC is a
+ *                  comma list: seed=N,drop=P,corrupt=P,degrade=F,
+ *                  dropfirst=K,straggle=CARD:F,kill=CARD@SECONDS)
+ *                 [--max-attempts N]   (per-transfer retry budget)
  */
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -73,8 +78,10 @@ main(int argc, char** argv)
 {
     std::string machine = "hydra-m";
     std::string workload = "resnet18";
+    std::string faultSpec;
     size_t cards = 0;
     bool fused = false;
+    RetryPolicy retry;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -90,6 +97,11 @@ main(int argc, char** argv)
             cards = std::strtoul(next().c_str(), nullptr, 10);
         else if (arg == "--fused")
             fused = true;
+        else if (arg == "--faults")
+            faultSpec = next();
+        else if (arg == "--max-attempts")
+            retry.maxAttempts = static_cast<uint32_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
         else
             fatal("unknown argument '%s' (see the file header)",
                   arg.c_str());
@@ -105,7 +117,25 @@ main(int argc, char** argv)
     std::printf("workload: %s (%zu steps)\n\n", wl.name.c_str(),
                 wl.steps.size());
 
+    FaultPlan plan = FaultPlan::parse(faultSpec);
+    if (!plan.empty())
+        std::printf("faults  : %s\n\n", plan.describe().c_str());
+
     if (fused) {
+        if (!plan.empty()) {
+            RunResult rr = runner.runFused(wl, plan, retry);
+            if (!rr.ok()) {
+                std::printf("fused run failed [%s]: %s\n",
+                            RunError::kindName(rr.error.kind),
+                            rr.error.message.c_str());
+                return 1;
+            }
+            std::printf("fused execution: %.3f s (%" PRIu64
+                        " retries, %" PRIu64 " drops)\n",
+                        ticksToSeconds(rr.stats.makespan),
+                        rr.stats.retries, rr.stats.droppedTransfers);
+            return 0;
+        }
         RunStats st = runner.runFused(wl);
         std::printf("fused execution: %.3f s, comm overhead %.2f%%\n",
                     ticksToSeconds(st.makespan),
@@ -117,11 +147,38 @@ main(int argc, char** argv)
         return 0;
     }
 
-    InferenceResult res = runner.run(wl);
+    InferenceResult res =
+        plan.empty() ? runner.run(wl) : runner.run(wl, plan, retry);
+    if (!res.ok()) {
+        std::printf("run failed [%s]: %s\n",
+                    RunError::kindName(res.error.kind),
+                    res.error.message.c_str());
+        if (res.error.kind == RunError::Kind::Deadlock)
+            std::printf("%s\n", res.error.deadlock.describe().c_str());
+        return 1;
+    }
     std::printf("end to end: %.3f s, comm overhead %.2f%%, "
                 "%.2f GiB moved\n\n",
                 res.seconds(), res.commFraction() * 100,
                 static_cast<double>(res.total.netBytes) / (1 << 30));
+    if (!plan.empty()) {
+        std::printf("fault recovery: %" PRIu64 " retries (%" PRIu64
+                    " dropped, %" PRIu64 " corrupted, %" PRIu64
+                    " timed out)\n",
+                    res.total.retries, res.total.droppedTransfers,
+                    res.total.corruptedTransfers,
+                    res.total.timedOutTransfers);
+        if (res.degraded()) {
+            std::printf("degraded: lost card(s)");
+            for (size_t c : res.failedCards)
+                std::printf(" %zu", c);
+            std::printf(", %zu re-dispatch(es), recovery penalty "
+                        "%.3f s\n",
+                        res.redispatches,
+                        ticksToSeconds(res.recoveryPenalty));
+        }
+        std::printf("\n");
+    }
 
     TextTable t("per-procedure budget");
     t.header({"procedure", "steps", "time (s)", "share", "comm%"});

@@ -4,7 +4,12 @@
  * map a single procedure onto it, execute, and print a Fig. 5-style
  * per-card timeline of compute vs communication occupancy.
  *
- * Usage: scaleout_playground [servers] [cards_per_server]
+ * Usage: scaleout_playground [servers] [cards_per_server] [faults]
+ *
+ * The optional third argument is a fault-injection spec (see
+ * FaultPlan::parse), e.g. "seed=7,drop=0.3" or "kill=2@0.0005";
+ * faulty runs print retry statistics and, on failure, the structured
+ * error -- including the full deadlock report when relevant.
  */
 
 #include <cstdio>
@@ -22,8 +27,11 @@ main(int argc, char** argv)
 {
     size_t servers = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2;
     size_t per_server = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+    FaultPlan plan =
+        FaultPlan::parse(argc > 3 ? argv[3] : std::string());
     if (!servers || !per_server) {
-        std::fprintf(stderr, "usage: %s [servers] [cards_per_server]\n",
+        std::fprintf(stderr,
+                     "usage: %s [servers] [cards_per_server] [faults]\n",
                      argv[0]);
         return 1;
     }
@@ -56,11 +64,37 @@ main(int argc, char** argv)
     };
 
     executor.setRecordTimeline(true);
+    if (!plan.empty()) {
+        std::printf("Faults : %s\n\n", plan.describe().c_str());
+        executor.setFaultPlan(plan);
+    }
     for (const auto& demo : demos) {
         Program prog = mapper.mapStep(demo.step);
-        RunStats st = executor.run(prog);
+        RunResult rr = executor.tryRun(prog);
+        if (!rr.ok()) {
+            std::printf("--- %s ---\n", demo.title);
+            std::printf("run failed [%s]: %s\n",
+                        RunError::kindName(rr.error.kind),
+                        rr.error.message.c_str());
+            if (rr.error.kind == RunError::Kind::Deadlock)
+                std::printf("%s\n",
+                            rr.error.deadlock.describe().c_str());
+            std::printf("\n");
+            continue;
+        }
+        RunStats st = rr.stats;
 
         std::printf("--- %s ---\n", demo.title);
+        if (!plan.empty())
+            std::printf("retries %llu (dropped %llu, corrupted %llu, "
+                        "timed out %llu)\n",
+                        static_cast<unsigned long long>(st.retries),
+                        static_cast<unsigned long long>(
+                            st.droppedTransfers),
+                        static_cast<unsigned long long>(
+                            st.corruptedTransfers),
+                        static_cast<unsigned long long>(
+                            st.timedOutTransfers));
         std::printf("makespan %.3f ms, comm overhead %.3f ms, "
                     "%.2f MiB over the fabric\n",
                     ticksToSeconds(st.makespan) * 1e3,

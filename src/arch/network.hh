@@ -13,6 +13,7 @@
 #define HYDRA_ARCH_NETWORK_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "arch/hwparams.hh"
 
@@ -23,6 +24,13 @@ class NetworkModel
 {
   public:
     virtual ~NetworkModel() = default;
+
+    /**
+     * Deep copy.  Long-lived holders (e.g. ClusterExecutor) clone the
+     * model instead of keeping a reference, so a temporary network
+     * passed to a constructor can never dangle.
+     */
+    virtual std::unique_ptr<NetworkModel> clone() const = 0;
 
     /** Wire time of a point-to-point transfer of `bytes`. */
     virtual Tick transferTime(uint64_t bytes, size_t src,
@@ -49,6 +57,12 @@ class SwitchedNetwork : public NetworkModel
     SwitchedNetwork(const NetParams& net, const ClusterConfig& cluster)
         : net_(net), cluster_(cluster)
     {
+    }
+
+    std::unique_ptr<NetworkModel>
+    clone() const override
+    {
+        return std::make_unique<SwitchedNetwork>(*this);
     }
 
     Tick transferTime(uint64_t bytes, size_t src,
@@ -78,6 +92,12 @@ class HostMediatedNetwork : public NetworkModel
                         const ClusterConfig& cluster)
         : net_(net), cluster_(cluster)
     {
+    }
+
+    std::unique_ptr<NetworkModel>
+    clone() const override
+    {
+        return std::make_unique<HostMediatedNetwork>(*this);
     }
 
     Tick transferTime(uint64_t bytes, size_t src,

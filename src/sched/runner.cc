@@ -92,4 +92,114 @@ InferenceRunner::run(const WorkloadModel& workload) const
     return result;
 }
 
+namespace {
+
+/** Re-key per-card fault entries after card `dead` left the cluster. */
+FaultPlan
+remapPlanAfterDeath(const FaultPlan& plan, size_t dead)
+{
+    FaultPlan out = plan;
+    out.stragglers.clear();
+    out.cardFailAt.clear();
+    for (const auto& [card, f] : plan.stragglers)
+        if (card != dead)
+            out.stragglers[card > dead ? card - 1 : card] = f;
+    for (const auto& [card, t] : plan.cardFailAt)
+        if (card != dead)
+            out.cardFailAt[card > dead ? card - 1 : card] = t;
+    return out;
+}
+
+} // namespace
+
+InferenceResult
+InferenceRunner::run(const WorkloadModel& workload,
+                     const FaultPlan& faults,
+                     const RetryPolicy& retry) const
+{
+    InferenceResult result;
+    result.machine = spec_.name;
+    result.workload = workload.name;
+
+    // alive[i] = original index of the card currently mapped as i.
+    std::vector<size_t> alive(spec_.cluster.totalCards());
+    for (size_t i = 0; i < alive.size(); ++i)
+        alive[i] = i;
+
+    // cardFailAt ticks are interpreted as *global* inference time;
+    // each step's executor run restarts its clock, so the plan handed
+    // to a step is shifted by the time elapsed so far.
+    FaultPlan plan = faults;
+    ClusterConfig cluster = spec_.cluster;
+    auto mapper = std::make_unique<StepMapper>(
+        cost_, *net_, cluster.totalCards(), workload.logSlots,
+        spec_.mapping);
+    auto executor = std::make_unique<ClusterExecutor>(cluster, *net_);
+    executor->setRetryPolicy(retry);
+
+    for (const auto& step : workload.steps) {
+        for (;;) {
+            Tick elapsed = result.total.makespan;
+            FaultPlan stepPlan = plan;
+            stepPlan.cardFailAt.clear();
+            for (const auto& [card, t] : plan.cardFailAt)
+                stepPlan.cardFailAt[card] = t > elapsed ? t - elapsed : 0;
+            executor->setFaultPlan(stepPlan);
+
+            Program prog = mapper->mapStep(step);
+            RunResult rr = executor->tryRun(prog);
+            if (rr.ok()) {
+                result.total.append(rr.stats, net_->stepSyncLatency());
+                result.steps.push_back(
+                    StepResult{step.name, step.kind, rr.stats});
+                break;
+            }
+            if (rr.error.kind != RunError::Kind::CardFailed) {
+                // Exhausted retries / deadlock: unrecoverable.
+                result.error = std::move(rr.error);
+                return result;
+            }
+
+            // Permanent card failure: charge the aborted attempt,
+            // shrink the cluster, and re-dispatch this step onto the
+            // survivors (modelled as a flat single-switch cluster).
+            size_t dead = rr.error.card;
+            result.recoveryPenalty += rr.stats.makespan;
+            result.total.append(rr.stats, 0);
+            result.failedCards.push_back(alive[dead]);
+            ++result.redispatches;
+            alive.erase(alive.begin() + dead);
+            if (alive.empty()) {
+                result.error = std::move(rr.error);
+                result.error.message += " (no surviving cards left)";
+                return result;
+            }
+            plan = remapPlanAfterDeath(plan, dead);
+            cluster = ClusterConfig{1, alive.size()};
+            mapper = std::make_unique<StepMapper>(
+                cost_, *net_, cluster.totalCards(), workload.logSlots,
+                spec_.mapping);
+            executor = std::make_unique<ClusterExecutor>(cluster, *net_);
+            executor->setRetryPolicy(retry);
+        }
+    }
+    return result;
+}
+
+RunResult
+InferenceRunner::runFused(const WorkloadModel& workload,
+                          const FaultPlan& faults,
+                          const RetryPolicy& retry) const
+{
+    StepMapper mapper(cost_, *net_, spec_.cluster.totalCards(),
+                      workload.logSlots, spec_.mapping);
+    ClusterExecutor executor(spec_.cluster, *net_);
+    executor.setFaultPlan(faults);
+    executor.setRetryPolicy(retry);
+    ProgramBuilder pb(spec_.cluster.totalCards());
+    for (const auto& step : workload.steps)
+        mapper.mapStepInto(pb, step);
+    return executor.tryRun(pb.take());
+}
+
 } // namespace hydra

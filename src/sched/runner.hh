@@ -53,6 +53,21 @@ struct InferenceResult
     std::vector<StepResult> steps;
     RunStats total;
 
+    /** Cards (original indices) that failed permanently during the
+     *  run; the affected steps were re-dispatched onto survivors. */
+    std::vector<size_t> failedCards;
+    /** Number of step re-dispatches triggered by card failures. */
+    size_t redispatches = 0;
+    /** Simulated time wasted in aborted step attempts (included in
+     *  total.makespan): the makespan penalty of degraded execution. */
+    Tick recoveryPenalty = 0;
+    /** Terminal error when even the degraded path could not finish
+     *  (retry budget exhausted, deadlock, all cards dead). */
+    RunError error;
+
+    bool ok() const { return error.ok(); }
+    bool degraded() const { return !failedCards.empty(); }
+
     double seconds() const { return ticksToSeconds(total.makespan); }
 
     /** Summed makespan of all steps of one procedure kind. */
@@ -82,12 +97,35 @@ class InferenceRunner
     InferenceResult run(const WorkloadModel& workload) const;
 
     /**
+     * Fault-aware execution (Procedure-2 robustness).  Runs each step
+     * under the given fault plan and retry policy.  On a permanent
+     * card failure the failed step is re-mapped onto the surviving
+     * cards (modelled as a flat single-switch cluster) and re-run;
+     * the wasted attempt time is charged to the makespan and reported
+     * as InferenceResult::recoveryPenalty.  Unrecoverable failures
+     * (exhausted retry budget, deadlock, no survivors left) terminate
+     * the run with InferenceResult::error set — never abort.
+     */
+    InferenceResult run(const WorkloadModel& workload,
+                        const FaultPlan& faults,
+                        const RetryPolicy& retry = {}) const;
+
+    /**
      * Fused execution: all steps preloaded into the card queues as one
      * program (paper Section IV-D), removing per-step barriers -- a
      * card may start the next step while its peers drain the current
      * one.  Returns the single merged run's statistics.
      */
     RunStats runFused(const WorkloadModel& workload) const;
+
+    /**
+     * Fused execution under a fault plan.  Fused queues cannot be
+     * re-dispatched mid-stream, so a permanent card failure surfaces
+     * as a structured error instead of degrading.
+     */
+    RunResult runFused(const WorkloadModel& workload,
+                       const FaultPlan& faults,
+                       const RetryPolicy& retry = {}) const;
 
     const OpCostModel& costModel() const { return cost_; }
     const NetworkModel& network() const { return *net_; }

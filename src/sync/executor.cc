@@ -38,21 +38,36 @@ RunStats::append(const RunStats& next, Tick step_gap)
     netBytes += next.netBytes;
     netMessages += next.netMessages;
     totalCost += next.totalCost;
+    retries += next.retries;
+    droppedTransfers += next.droppedTransfers;
+    corruptedTransfers += next.corruptedTransfers;
+    timedOutTransfers += next.timedOutTransfers;
+    retryBackoffTicks += next.retryBackoffTicks;
     for (const auto& [label, t] : next.labelComputeTicks)
         labelComputeTicks[label] += t;
 }
 
 namespace {
 
+/** Deterministic duration scaling for stragglers / link degradation. */
+Tick
+scaleTick(Tick t, double factor)
+{
+    return static_cast<Tick>(static_cast<double>(t) * factor);
+}
+
 /** All mutable execution state, local to one run() call. */
 struct Engine
 {
     Engine(const Program& prog, const ClusterConfig& cluster,
-           const NetworkModel& net)
-        : prog(prog), cluster(cluster), net(net),
+           const NetworkModel& net, const FaultPlan& plan,
+           const RetryPolicy& retry)
+        : prog(prog), cluster(cluster), net(net), plan(plan),
+          retry(retry),
           cards(prog.cardCount()),
           received(prog.cardCount()),
-          overlap(net.overlapsCompute())
+          overlap(net.overlapsCompute()),
+          faultsActive(!plan.empty())
     {
         // Map message -> sender card so ready-posts can kick the sender.
         for (size_t c = 0; c < prog.cardCount(); ++c)
@@ -64,6 +79,8 @@ struct Engine
     const Program& prog;
     const ClusterConfig& cluster;
     const NetworkModel& net;
+    const FaultPlan& plan;
+    const RetryPolicy& retry;
 
     struct CardState
     {
@@ -82,9 +99,16 @@ struct Engine
     std::set<uint64_t> doneCompute;
     std::map<uint64_t, std::set<size_t>> readyFor; // msg -> ready cards
     std::map<uint64_t, size_t> senderOf;
+    std::map<uint64_t, uint32_t> attempts; // msg -> failed attempts
     RunStats stats;
+    RunError err;
     bool overlap;
+    bool faultsActive;
+    bool halted = false;
     bool record = false;
+    /** Time of the last completed piece of work (drives makespan, so
+     *  a post-completion card-kill event cannot inflate it). */
+    Tick finishTick = 0;
 
     void
     emit(size_t card, Tick start, Tick end, TaskEvent::Kind kind,
@@ -95,13 +119,54 @@ struct Engine
                                                label});
     }
 
+    bool
+    allDone() const
+    {
+        for (size_t c = 0; c < prog.cardCount(); ++c)
+            if (cards[c].computeIdx != prog.cards[c].compute.size() ||
+                cards[c].commIdx != prog.cards[c].comm.size())
+                return false;
+        return true;
+    }
+
+    void
+    halt(RunError e)
+    {
+        halted = true;
+        finishTick = eq.now();
+        err = std::move(e);
+    }
+
     void
     kick(size_t c)
     {
+        if (halted)
+            return;
         eq.scheduleAfter(0, [this, c] {
             tryCompute(c);
             tryComm(c);
         });
+    }
+
+    void
+    scheduleCardFailures()
+    {
+        for (const auto& [card, tick] : plan.cardFailAt) {
+            if (card >= prog.cardCount())
+                continue;
+            eq.schedule(tick, [this, card = card] {
+                if (halted || allDone())
+                    return; // program already drained; nothing to kill
+                RunError e;
+                e.kind = RunError::Kind::CardFailed;
+                e.card = card;
+                e.tick = eq.now();
+                e.message =
+                    strf("card %zu failed permanently at %.6f s", card,
+                         ticksToSeconds(eq.now()));
+                halt(std::move(e));
+            });
+        }
     }
 
     bool
@@ -116,6 +181,8 @@ struct Engine
     void
     tryCompute(size_t c)
     {
+        if (halted)
+            return;
         auto& st = cards[c];
         const auto& queue = prog.cards[c].compute;
         if (st.computeBusy || st.computeIdx >= queue.size())
@@ -126,18 +193,27 @@ struct Engine
         if (!msgsReceived(c, task.waitMsgs))
             return; // CT_d waiting for its recv signal
 
+        Tick dur = task.duration;
+        if (faultsActive) {
+            double f = plan.stragglerFactor(c);
+            if (f != 1.0)
+                dur = scaleTick(dur, f);
+        }
         st.computeBusy = true;
         Tick start = eq.now();
-        eq.scheduleAfter(task.duration, [this, c, &task, start] {
+        eq.scheduleAfter(dur, [this, c, &task, start, dur] {
+            if (halted)
+                return;
             auto& s = cards[c];
             s.computeBusy = false;
-            s.computeBusyTicks += task.duration;
+            s.computeBusyTicks += dur;
             emit(c, start, eq.now(), TaskEvent::Kind::Compute,
                  task.label);
-            stats.labelComputeTicks[task.label] += task.duration;
+            stats.labelComputeTicks[task.label] += dur;
             stats.totalCost += task.cost;
             doneCompute.insert(task.id);
             ++s.computeIdx;
+            finishTick = eq.now();
             if (overlap) {
                 kick(c);
             } else {
@@ -152,6 +228,8 @@ struct Engine
     void
     tryComm(size_t c)
     {
+        if (halted)
+            return;
         auto& st = cards[c];
         const auto& queue = prog.cards[c].comm;
         if (st.commBusy || st.commIdx >= queue.size())
@@ -164,14 +242,17 @@ struct Engine
             // Configure the DMA, then post ready to the sender.
             st.commBusy = true;
             eq.scheduleAfter(net.setupLatency(), [this, c, &task] {
+                if (halted)
+                    return;
                 auto& s = cards[c];
                 s.commBusy = false;
                 s.recvConfigured = true;
                 readyFor[task.msg].insert(c);
                 auto it = senderOf.find(task.msg);
-                HYDRA_ASSERT(it != senderOf.end(),
-                             "recv with no matching send");
-                kick(it->second);
+                // An unmatched recv quiesces here and is reported by
+                // the deadlock diagnostics (no abort).
+                if (it != senderOf.end())
+                    kick(it->second);
             });
             return;
         }
@@ -205,69 +286,384 @@ struct Engine
         Tick dur = task.peer == kBroadcast
                        ? net.broadcastTime(task.bytes, c, prog.cardCount())
                        : net.transferTime(task.bytes, c, task.peer);
+
+        // Resolve this attempt's fate against the fault plan.  On the
+        // fault-free path the outcome is always Ok with the exact wire
+        // time, keeping event timing tick-identical to a build without
+        // the fault layer.
+        enum class Outcome : uint8_t { Ok, Drop, Timeout, Corrupt };
+        Outcome out = Outcome::Ok;
+        uint32_t attempt = 0;
+        Tick consumed = dur;
+        if (faultsActive) {
+            auto it = attempts.find(task.msg);
+            if (it != attempts.end())
+                attempt = it->second;
+            if (plan.linkDegrade > 1.0)
+                dur = scaleTick(dur, plan.linkDegrade);
+            consumed = dur;
+            if (plan.dropsTransfer(task.msg, attempt)) {
+                // The data never arrives; the DTU's ack timer fires at
+                // the timeout (or at the expected wire time if no
+                // timer is configured).
+                out = Outcome::Drop;
+                consumed = retry.timeout ? retry.timeout : dur;
+            } else if (retry.timeout && dur > retry.timeout) {
+                out = Outcome::Timeout;
+                consumed = retry.timeout;
+            } else if (plan.corruptsTransfer(task.msg, attempt)) {
+                out = Outcome::Corrupt; // checksum fails on arrival
+            }
+        }
+
         st.commBusy = true;
         for (size_t r : receivers)
             cards[r].commBusy = true;
         stats.netBytes += task.bytes * receivers.size();
-        ++stats.netMessages;
+        if (attempt == 0)
+            ++stats.netMessages;
 
         Tick t_start = eq.now();
-        eq.scheduleAfter(dur, [this, c, receivers, dur, t_start,
-                               msg = task.msg] {
+        if (out == Outcome::Ok) {
+            eq.scheduleAfter(consumed, [this, c, receivers,
+                                        dur = consumed, t_start,
+                                        msg = task.msg] {
+                if (halted)
+                    return;
+                auto& s = cards[c];
+                s.commBusy = false;
+                s.commBusyTicks += dur;
+                emit(c, t_start, eq.now(), TaskEvent::Kind::Transfer, 0);
+                ++s.commIdx;
+                for (size_t r : receivers) {
+                    auto& rs = cards[r];
+                    rs.commBusy = false;
+                    rs.recvConfigured = false;
+                    rs.commBusyTicks += dur;
+                    emit(r, t_start, eq.now(), TaskEvent::Kind::Transfer,
+                         0);
+                    ++rs.commIdx;
+                    received[r].insert(msg);
+                    kick(r);
+                }
+                readyFor.erase(msg);
+                finishTick = eq.now();
+                kick(c);
+            });
+            return;
+        }
+
+        // Failed attempt: the wire/DTU stays occupied for `consumed`
+        // ticks, then the sender backs off exponentially and retries
+        // the same head-of-queue task.  Receivers keep their DMA
+        // configured (ready state survives a retry).
+        eq.scheduleAfter(consumed, [this, c, receivers, consumed,
+                                    t_start, msg = task.msg, attempt,
+                                    out] {
+            if (halted)
+                return;
             auto& s = cards[c];
             s.commBusy = false;
-            s.commBusyTicks += dur;
+            s.commBusyTicks += consumed;
             emit(c, t_start, eq.now(), TaskEvent::Kind::Transfer, 0);
-            ++s.commIdx;
             for (size_t r : receivers) {
                 auto& rs = cards[r];
                 rs.commBusy = false;
-                rs.recvConfigured = false;
-                rs.commBusyTicks += dur;
+                rs.commBusyTicks += consumed;
                 emit(r, t_start, eq.now(), TaskEvent::Kind::Transfer, 0);
-                ++rs.commIdx;
-                received[r].insert(msg);
-                kick(r);
             }
-            readyFor.erase(msg);
-            kick(c);
+            switch (out) {
+            case Outcome::Drop:
+                ++stats.droppedTransfers;
+                break;
+            case Outcome::Timeout:
+                ++stats.timedOutTransfers;
+                break;
+            case Outcome::Corrupt:
+                ++stats.corruptedTransfers;
+                break;
+            case Outcome::Ok:
+                break;
+            }
+            finishTick = eq.now();
+            uint32_t next = attempt + 1;
+            attempts[msg] = next;
+            if (next >= retry.maxAttempts) {
+                RunError e;
+                e.kind = RunError::Kind::TransferFailed;
+                e.card = c;
+                e.msg = msg;
+                e.attempts = next;
+                e.tick = eq.now();
+                e.message = strf(
+                    "transfer of msg %llu from card %zu failed after "
+                    "%u attempt(s) (%llu dropped, %llu corrupted, "
+                    "%llu timed out this run)",
+                    static_cast<unsigned long long>(msg), c, next,
+                    static_cast<unsigned long long>(
+                        stats.droppedTransfers),
+                    static_cast<unsigned long long>(
+                        stats.corruptedTransfers),
+                    static_cast<unsigned long long>(
+                        stats.timedOutTransfers));
+                halt(std::move(e));
+                return;
+            }
+            ++stats.retries;
+            Tick backoff = retry.backoffFor(attempt);
+            stats.retryBackoffTicks += backoff;
+            eq.scheduleAfter(backoff, [this, c] {
+                if (!halted) {
+                    tryCompute(c);
+                    tryComm(c);
+                }
+            });
+            if (!overlap) {
+                // Freed endpoints may compute during the backoff
+                // window; the sender re-arbitrates at retry time.
+                for (size_t r : receivers)
+                    kick(r);
+            }
         });
+    }
+
+    /** Build wait-for diagnostics once the queue quiesced undrained. */
+    DeadlockReport
+    buildDeadlockReport() const
+    {
+        DeadlockReport report;
+        const size_t n = prog.cardCount();
+
+        // Pending compute ids -> owning card (for SAC blockers).
+        std::map<uint64_t, size_t> pendingComputeOwner;
+        for (size_t c = 0; c < n; ++c)
+            for (size_t i = cards[c].computeIdx;
+                 i < prog.cards[c].compute.size(); ++i)
+                pendingComputeOwner[prog.cards[c].compute[i].id] = c;
+
+        std::set<uint64_t> unmatched;
+        std::vector<std::vector<size_t>> edges(n);
+
+        for (size_t c = 0; c < n; ++c) {
+            const auto& st = cards[c];
+            const auto& compute = prog.cards[c].compute;
+            const auto& comm = prog.cards[c].comm;
+            if (st.computeIdx == compute.size() &&
+                st.commIdx == comm.size())
+                continue;
+
+            StuckCard sc;
+            sc.card = c;
+            sc.computeIdx = st.computeIdx;
+            sc.computeTotal = compute.size();
+            sc.commIdx = st.commIdx;
+            sc.commTotal = comm.size();
+            std::string why;
+
+            if (st.computeIdx < compute.size()) {
+                const ComputeTask& t = compute[st.computeIdx];
+                for (uint64_t m : t.waitMsgs) {
+                    if (received[c].count(m))
+                        continue;
+                    auto s = senderOf.find(m);
+                    if (s != senderOf.end()) {
+                        edges[c].push_back(s->second);
+                        why += strf("compute %llu waits msg %llu from "
+                                    "card %zu; ",
+                                    static_cast<unsigned long long>(t.id),
+                                    static_cast<unsigned long long>(m),
+                                    s->second);
+                    } else {
+                        unmatched.insert(m);
+                        why += strf("compute %llu waits msg %llu that "
+                                    "has no sender; ",
+                                    static_cast<unsigned long long>(t.id),
+                                    static_cast<unsigned long long>(m));
+                    }
+                }
+            }
+            if (st.commIdx < comm.size()) {
+                const CommTask& t = comm[st.commIdx];
+                auto msgU = static_cast<unsigned long long>(t.msg);
+                if (t.kind == CommTask::Kind::Send) {
+                    if (t.afterCompute != 0 &&
+                        !doneCompute.count(t.afterCompute)) {
+                        auto o = pendingComputeOwner.find(t.afterCompute);
+                        auto idU = static_cast<unsigned long long>(
+                            t.afterCompute);
+                        if (o != pendingComputeOwner.end()) {
+                            edges[c].push_back(o->second);
+                            why += strf("send msg %llu waits compute "
+                                        "%llu on card %zu; ",
+                                        msgU, idU, o->second);
+                        } else {
+                            why += strf("send msg %llu waits dangling "
+                                        "compute id %llu; ",
+                                        msgU, idU);
+                        }
+                    } else {
+                        std::vector<size_t> rx;
+                        if (t.peer == kBroadcast) {
+                            for (size_t r = 0; r < n; ++r)
+                                if (r != c)
+                                    rx.push_back(r);
+                        } else if (t.peer < n) {
+                            rx.push_back(t.peer);
+                        }
+                        auto rit = readyFor.find(t.msg);
+                        for (size_t r : rx) {
+                            if (rit != readyFor.end() &&
+                                rit->second.count(r))
+                                continue;
+                            edges[c].push_back(r);
+                            why += strf("send msg %llu waits ready "
+                                        "from card %zu; ",
+                                        msgU, r);
+                        }
+                    }
+                } else if (st.recvConfigured) {
+                    auto s = senderOf.find(t.msg);
+                    if (s != senderOf.end()) {
+                        edges[c].push_back(s->second);
+                        why += strf("recv msg %llu waits data from "
+                                    "card %zu; ",
+                                    msgU, s->second);
+                    } else {
+                        unmatched.insert(t.msg);
+                        why += strf("recv msg %llu has no matching "
+                                    "send; ",
+                                    msgU);
+                    }
+                }
+            }
+            if (why.empty())
+                why = "quiesced with pending work";
+            sc.waitingOn = std::move(why);
+            report.stuck.push_back(std::move(sc));
+        }
+
+        report.unmatchedMsgs.assign(unmatched.begin(), unmatched.end());
+        report.cycle = findCycle(edges);
+        return report;
+    }
+
+    /** First wait-for cycle among the cards, if any (iterative DFS). */
+    static std::vector<size_t>
+    findCycle(const std::vector<std::vector<size_t>>& edges)
+    {
+        const size_t n = edges.size();
+        enum : uint8_t { White, Grey, Black };
+        std::vector<uint8_t> color(n, White);
+        std::vector<size_t> stack;
+
+        // Recursive DFS expressed with an explicit stack of (node,
+        // next-edge-index) frames.
+        for (size_t root = 0; root < n; ++root) {
+            if (color[root] != White)
+                continue;
+            std::vector<std::pair<size_t, size_t>> frames;
+            frames.emplace_back(root, 0);
+            color[root] = Grey;
+            stack.push_back(root);
+            while (!frames.empty()) {
+                auto& [node, idx] = frames.back();
+                if (idx < edges[node].size()) {
+                    size_t next = edges[node][idx++];
+                    if (next >= n)
+                        continue;
+                    if (color[next] == Grey) {
+                        // Found a cycle: slice the grey stack.
+                        auto it = std::find(stack.begin(), stack.end(),
+                                            next);
+                        return std::vector<size_t>(it, stack.end());
+                    }
+                    if (color[next] == White) {
+                        color[next] = Grey;
+                        stack.push_back(next);
+                        frames.emplace_back(next, 0);
+                    }
+                } else {
+                    color[node] = Black;
+                    stack.pop_back();
+                    frames.pop_back();
+                }
+            }
+        }
+        return {};
     }
 };
 
 } // namespace
 
-RunStats
-ClusterExecutor::run(const Program& program)
+RunResult
+ClusterExecutor::tryRun(const Program& program)
 {
-    HYDRA_ASSERT(program.cardCount() == cluster_.totalCards(),
-                 "program size does not match the cluster");
-    Engine eng(program, cluster_, network_);
-    eng.record = recordTimeline_;
-    for (size_t c = 0; c < program.cardCount(); ++c)
-        eng.kick(c);
-    Tick end = eng.eq.run();
-
-    // Detect deadlock: every queue must have drained.
-    for (size_t c = 0; c < program.cardCount(); ++c) {
-        const auto& st = eng.cards[c];
-        if (st.computeIdx != program.cards[c].compute.size() ||
-            st.commIdx != program.cards[c].comm.size()) {
-            panic("deadlock: card %zu stuck at compute %zu/%zu, "
-                  "comm %zu/%zu",
-                  c, st.computeIdx, program.cards[c].compute.size(),
-                  st.commIdx, program.cards[c].comm.size());
+    RunResult res;
+    if (program.cardCount() != cluster_.totalCards()) {
+        res.error.kind = RunError::Kind::InvalidProgram;
+        res.error.message =
+            strf("program spans %zu card(s) but the cluster has %zu",
+                 program.cardCount(), cluster_.totalCards());
+        return res;
+    }
+    if (prevalidate_) {
+        auto issues = program.validate();
+        if (!issues.empty()) {
+            res.error.kind = RunError::Kind::InvalidProgram;
+            res.error.message = strf(
+                "program validation found %zu issue(s); first: [%s] %s",
+                issues.size(),
+                programIssueKindName(issues.front().kind),
+                issues.front().detail.c_str());
+            res.error.issues = std::move(issues);
+            return res;
         }
     }
 
-    eng.stats.makespan = end;
+    Engine eng(program, cluster_, *network_, faults_, retry_);
+    eng.record = recordTimeline_;
+    eng.scheduleCardFailures();
+    for (size_t c = 0; c < program.cardCount(); ++c)
+        eng.kick(c);
+    eng.eq.run();
+
+    if (eng.err.ok() && !eng.allDone()) {
+        eng.err.kind = RunError::Kind::Deadlock;
+        eng.err.tick = eng.eq.now();
+        eng.err.deadlock = eng.buildDeadlockReport();
+        eng.err.message = strf(
+            "deadlock: %zu card(s) quiesced with pending work%s",
+            eng.err.deadlock.stuck.size(),
+            eng.err.deadlock.cycle.empty() ? ""
+                                           : " (wait-for cycle found)");
+    }
+
+    eng.stats.makespan = eng.finishTick;
     eng.stats.computeBusy.resize(program.cardCount());
     eng.stats.commBusy.resize(program.cardCount());
     for (size_t c = 0; c < program.cardCount(); ++c) {
         eng.stats.computeBusy[c] = eng.cards[c].computeBusyTicks;
         eng.stats.commBusy[c] = eng.cards[c].commBusyTicks;
     }
-    return eng.stats;
+    res.stats = std::move(eng.stats);
+    res.error = std::move(eng.err);
+    return res;
+}
+
+RunStats
+ClusterExecutor::run(const Program& program)
+{
+    RunResult res = tryRun(program);
+    if (!res.ok()) {
+        std::string detail = res.error.message;
+        if (res.error.kind == RunError::Kind::Deadlock)
+            detail += "\n" + res.error.deadlock.describe();
+        // A user-visible, clean exit (never abort): callers that need
+        // to survive failures use tryRun() and inspect the RunError.
+        fatal("cluster run failed [%s]: %s",
+              RunError::kindName(res.error.kind), detail.c_str());
+    }
+    return std::move(res.stats);
 }
 
 } // namespace hydra

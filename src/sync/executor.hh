@@ -11,16 +11,25 @@
  *  - with an overlapping network (Hydra DTU) transfers proceed in
  *    parallel with compute; with a host-mediated network (FAB) data
  *    movement and compute mutually exclude.
+ *
+ * Robustness layer: a FaultPlan injects transfer drops/corruption,
+ * link degradation, stragglers and permanent card failures; the DTU
+ * retries failed transfers with timeout + exponential backoff; runs
+ * that cannot complete return a structured RunError (deadlock
+ * diagnostics with a wait-for graph, retry-budget exhaustion, card
+ * death) instead of aborting the process.
  */
 
 #ifndef HYDRA_SYNC_EXECUTOR_HH
 #define HYDRA_SYNC_EXECUTOR_HH
 
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "arch/network.hh"
+#include "sync/fault.hh"
 #include "sync/task.hh"
 
 namespace hydra {
@@ -52,6 +61,14 @@ struct RunStats
     /** Per-label compute time summed over cards. */
     std::map<uint32_t, Tick> labelComputeTicks;
 
+    /** Retry accounting (all zero on fault-free runs). */
+    uint64_t retries = 0;
+    uint64_t droppedTransfers = 0;
+    uint64_t corruptedTransfers = 0;
+    uint64_t timedOutTransfers = 0;
+    /** Total backoff time spent waiting between attempts. */
+    Tick retryBackoffTicks = 0;
+
     /** Longest per-card compute occupancy — the compute-bound floor. */
     Tick maxComputeBusy() const;
 
@@ -66,25 +83,61 @@ struct RunStats
     std::vector<TaskEvent> timeline;
 };
 
+/** Outcome of ClusterExecutor::tryRun: stats plus a structured error. */
+struct RunResult
+{
+    RunStats stats;
+    RunError error;
+
+    bool ok() const { return error.ok(); }
+};
+
 /** Executes programs on a modelled cluster. */
 class ClusterExecutor
 {
   public:
+    /**
+     * The network model is cloned: the executor owns its copy, so the
+     * referenced model may be a temporary and may be destroyed freely
+     * after this constructor returns.
+     */
     ClusterExecutor(const ClusterConfig& cluster,
                     const NetworkModel& network)
-        : cluster_(cluster), network_(network)
+        : cluster_(cluster), network_(network.clone())
     {
     }
 
-    /** Run one program to completion; panics on deadlock. */
+    /**
+     * Run one program to completion.  On any structured failure
+     * (invalid program, deadlock, exhausted retries, card death) this
+     * compatibility wrapper reports the diagnostics via fatal() —
+     * clean exit, never abort().  Prefer tryRun() in library code.
+     */
     RunStats run(const Program& program);
+
+    /** Run one program, returning stats plus a structured error. */
+    RunResult tryRun(const Program& program);
+
+    /** Install the fault plan for subsequent runs (empty = off). */
+    void setFaultPlan(FaultPlan plan) { faults_ = std::move(plan); }
+    const FaultPlan& faultPlan() const { return faults_; }
+
+    /** DTU retry/timeout/backoff policy for failed transfers. */
+    void setRetryPolicy(const RetryPolicy& p) { retry_ = p; }
+    const RetryPolicy& retryPolicy() const { return retry_; }
+
+    /** Run Program::validate() before executing (default on). */
+    void setPrevalidate(bool on) { prevalidate_ = on; }
 
     /** Record per-task occupancy intervals into RunStats::timeline. */
     void setRecordTimeline(bool on) { recordTimeline_ = on; }
 
   private:
     ClusterConfig cluster_;
-    const NetworkModel& network_;
+    std::unique_ptr<const NetworkModel> network_;
+    FaultPlan faults_;
+    RetryPolicy retry_;
+    bool prevalidate_ = true;
     bool recordTimeline_ = false;
 };
 

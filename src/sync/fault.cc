@@ -1,0 +1,191 @@
+#include "sync/fault.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+namespace {
+
+/** splitmix64: well-mixed 64-bit hash for order-independent draws. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic uniform draw in [0,1) from (seed, msg, attempt, salt). */
+double
+hashDraw(uint64_t seed, uint64_t msg, uint32_t attempt, uint64_t salt)
+{
+    uint64_t h = mix64(seed ^ mix64(msg ^ mix64(attempt ^ salt)));
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+bool
+FaultPlan::empty() const
+{
+    return dropRate <= 0.0 && corruptRate <= 0.0 && linkDegrade <= 1.0 &&
+           dropFirstAttempts == 0 && stragglers.empty() &&
+           cardFailAt.empty();
+}
+
+bool
+FaultPlan::dropsTransfer(uint64_t msg, uint32_t attempt) const
+{
+    if (attempt < dropFirstAttempts)
+        return true;
+    if (dropRate <= 0.0)
+        return false;
+    return hashDraw(seed, msg, attempt, 0x64726f70ULL) < dropRate;
+}
+
+bool
+FaultPlan::corruptsTransfer(uint64_t msg, uint32_t attempt) const
+{
+    if (corruptRate <= 0.0)
+        return false;
+    return hashDraw(seed, msg, attempt, 0x636f7272ULL) < corruptRate;
+}
+
+double
+FaultPlan::stragglerFactor(size_t card) const
+{
+    auto it = stragglers.find(card);
+    return it == stragglers.end() ? 1.0 : it->second;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string& spec)
+{
+    FaultPlan plan;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        auto eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("fault spec item '%s' is not key=value", item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        if (val.empty())
+            fatal("fault spec item '%s' has an empty value", item.c_str());
+        if (key == "seed") {
+            plan.seed = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (key == "drop") {
+            plan.dropRate = std::strtod(val.c_str(), nullptr);
+        } else if (key == "corrupt") {
+            plan.corruptRate = std::strtod(val.c_str(), nullptr);
+        } else if (key == "degrade") {
+            plan.linkDegrade = std::strtod(val.c_str(), nullptr);
+        } else if (key == "dropfirst") {
+            plan.dropFirstAttempts = static_cast<uint32_t>(
+                std::strtoul(val.c_str(), nullptr, 10));
+        } else if (key == "straggle") {
+            auto colon = val.find(':');
+            if (colon == std::string::npos)
+                fatal("straggle wants CARD:FACTOR, got '%s'", val.c_str());
+            size_t card = std::strtoul(val.substr(0, colon).c_str(),
+                                       nullptr, 10);
+            plan.stragglers[card] =
+                std::strtod(val.substr(colon + 1).c_str(), nullptr);
+        } else if (key == "kill") {
+            auto at = val.find('@');
+            if (at == std::string::npos)
+                fatal("kill wants CARD@SECONDS, got '%s'", val.c_str());
+            size_t card = std::strtoul(val.substr(0, at).c_str(),
+                                       nullptr, 10);
+            double sec = std::strtod(val.substr(at + 1).c_str(), nullptr);
+            plan.cardFailAt[card] = secondsToTicks(sec);
+        } else {
+            fatal("unknown fault spec key '%s' (want seed/drop/corrupt/"
+                  "degrade/dropfirst/straggle/kill)",
+                  key.c_str());
+        }
+    }
+    if (plan.dropRate < 0 || plan.dropRate > 1 || plan.corruptRate < 0 ||
+        plan.corruptRate > 1)
+        fatal("fault rates must be within [0,1]");
+    if (plan.linkDegrade < 1.0)
+        fatal("degrade factor must be >= 1");
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    if (empty())
+        return "no faults";
+    std::string s = strf("seed=%llu drop=%.3g corrupt=%.3g degrade=%.3g",
+                         static_cast<unsigned long long>(seed), dropRate,
+                         corruptRate, linkDegrade);
+    if (dropFirstAttempts)
+        s += strf(" dropfirst=%u", dropFirstAttempts);
+    for (const auto& [c, f] : stragglers)
+        s += strf(" straggle=%zu:%.3g", c, f);
+    for (const auto& [c, t] : cardFailAt)
+        s += strf(" kill=%zu@%.6gs", c, ticksToSeconds(t));
+    return s;
+}
+
+Tick
+RetryPolicy::backoffFor(uint32_t attempt) const
+{
+    Tick b = backoffBase;
+    for (uint32_t i = 0; i < attempt && b < backoffMax; ++i)
+        b *= 2;
+    return std::min(b, backoffMax);
+}
+
+std::string
+DeadlockReport::describe() const
+{
+    std::string s = strf("deadlock: %zu card(s) stuck\n", stuck.size());
+    for (const auto& c : stuck)
+        s += strf("  card %zu at compute %zu/%zu, comm %zu/%zu: %s\n",
+                  c.card, c.computeIdx, c.computeTotal, c.commIdx,
+                  c.commTotal, c.waitingOn.c_str());
+    if (!cycle.empty()) {
+        s += "  wait-for cycle:";
+        for (size_t c : cycle)
+            s += strf(" %zu", c);
+        s += strf(" -> %zu\n", cycle.front());
+    }
+    if (!unmatchedMsgs.empty()) {
+        s += "  unmatched message id(s):";
+        for (uint64_t m : unmatchedMsgs)
+            s += strf(" %llu", static_cast<unsigned long long>(m));
+        s += "\n";
+    }
+    return s;
+}
+
+const char*
+RunError::kindName(Kind k)
+{
+    switch (k) {
+    case Kind::None:
+        return "none";
+    case Kind::InvalidProgram:
+        return "invalid-program";
+    case Kind::Deadlock:
+        return "deadlock";
+    case Kind::TransferFailed:
+        return "transfer-failed";
+    case Kind::CardFailed:
+        return "card-failed";
+    }
+    return "?";
+}
+
+} // namespace hydra

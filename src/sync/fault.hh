@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Fault model for cluster execution (robustness layer).
+ *
+ * A FaultPlan describes, deterministically from a seed, what goes
+ * wrong during one program run: transient transfer drops/corruption,
+ * link degradation, straggling cards, and permanent card failure at a
+ * given tick.  The executor consults the plan at every transfer
+ * attempt and compute dispatch; an empty plan takes the exact
+ * fault-free code path (zero overhead, tick-identical results).
+ *
+ * RetryPolicy governs the DTU's reaction to failed transfers:
+ * bounded attempts, per-attempt timeout, exponential backoff.
+ *
+ * RunError / DeadlockReport are the structured outcomes replacing the
+ * old "panic on deadlock" behaviour: library-reachable inputs never
+ * abort the process.
+ */
+
+#ifndef HYDRA_SYNC_FAULT_HH
+#define HYDRA_SYNC_FAULT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sync/task.hh"
+
+namespace hydra {
+
+/** Deterministic, seed-driven fault-injection plan for one run. */
+struct FaultPlan
+{
+    /** Seed for all probabilistic draws (drop/corrupt). */
+    uint64_t seed = 0;
+    /** Per-attempt probability that a transfer is silently dropped. */
+    double dropRate = 0.0;
+    /** Per-attempt probability that a transfer arrives corrupted. */
+    double corruptRate = 0.0;
+    /** Link degradation: multiplies every transfer's wire time (>= 1). */
+    double linkDegrade = 1.0;
+    /** Deterministically drop the first K attempts of every transfer
+     *  (useful for reproducible retry tests; composes with dropRate). */
+    uint32_t dropFirstAttempts = 0;
+    /** Straggler cards: compute-duration multiplier per card (>= 1). */
+    std::map<size_t, double> stragglers;
+    /** Permanent card failures: card -> tick of death. */
+    std::map<size_t, Tick> cardFailAt;
+
+    /** True when the plan injects nothing at all. */
+    bool empty() const;
+
+    /** Deterministic draw: is attempt `attempt` of `msg` dropped? */
+    bool dropsTransfer(uint64_t msg, uint32_t attempt) const;
+
+    /** Deterministic draw: does attempt `attempt` of `msg` arrive
+     *  corrupted (detected by the receiver's checksum)? */
+    bool corruptsTransfer(uint64_t msg, uint32_t attempt) const;
+
+    /** Compute-duration multiplier for `card` (1.0 if not listed). */
+    double stragglerFactor(size_t card) const;
+
+    /**
+     * Parse a CLI fault spec: comma-separated key=value pairs.
+     *   seed=N  drop=P  corrupt=P  degrade=F  dropfirst=K
+     *   straggle=CARD:F   (repeatable)
+     *   kill=CARD@SECONDS (repeatable; SECONDS is a double)
+     * Calls fatal() on malformed input (CLI-facing helper).
+     */
+    static FaultPlan parse(const std::string& spec);
+
+    /** One-line human summary of the plan. */
+    std::string describe() const;
+};
+
+/** DTU retry behaviour for failed transfers. */
+struct RetryPolicy
+{
+    /** Total attempts per transfer, including the first. */
+    uint32_t maxAttempts = 4;
+    /** Backoff before retry r is base * 2^r, capped at backoffMax. */
+    Tick backoffBase = secondsToTicks(1e-6);
+    Tick backoffMax = secondsToTicks(100e-6);
+    /**
+     * Per-attempt timeout.  A dropped transfer is detected when the
+     * ack timer expires; a transfer whose (possibly degraded) wire
+     * time exceeds the timeout is abandoned and retried.  0 disables
+     * the timer: drops are detected at the expected wire time.
+     */
+    Tick timeout = 0;
+
+    /** Backoff delay after failed attempt index `attempt` (0-based). */
+    Tick backoffFor(uint32_t attempt) const;
+};
+
+/** One card's stuck position in a deadlock. */
+struct StuckCard
+{
+    size_t card = 0;
+    size_t computeIdx = 0;
+    size_t computeTotal = 0;
+    size_t commIdx = 0;
+    size_t commTotal = 0;
+    /** Human description of what the head task is blocked on. */
+    std::string waitingOn;
+};
+
+/** Diagnostics for a run that quiesced before its queues drained. */
+struct DeadlockReport
+{
+    std::vector<StuckCard> stuck;
+    /** Cards forming a wait-for cycle, if one exists. */
+    std::vector<size_t> cycle;
+    /** Pending message ids with no live sender/receiver pairing. */
+    std::vector<uint64_t> unmatchedMsgs;
+
+    /** Multi-line human-readable report. */
+    std::string describe() const;
+};
+
+/** Structured outcome of a failed run (replaces panic/abort). */
+struct RunError
+{
+    enum class Kind : uint8_t
+    {
+        None,
+        /** Program::validate() rejected the program pre-execution. */
+        InvalidProgram,
+        /** Queues quiesced without draining; see `deadlock`. */
+        Deadlock,
+        /** A transfer exhausted its retry budget. */
+        TransferFailed,
+        /** A card died permanently mid-run. */
+        CardFailed,
+    };
+
+    Kind kind = Kind::None;
+    std::string message;
+    /** Failing card (sender for TransferFailed, victim for CardFailed). */
+    size_t card = static_cast<size_t>(-1);
+    /** Failing message id (TransferFailed). */
+    uint64_t msg = 0;
+    /** Attempts consumed before giving up (TransferFailed). */
+    uint32_t attempts = 0;
+    /** Simulated time of the failure. */
+    Tick tick = 0;
+    DeadlockReport deadlock;
+    std::vector<ProgramIssue> issues;
+
+    bool ok() const { return kind == Kind::None; }
+    static const char* kindName(Kind k);
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SYNC_FAULT_HH

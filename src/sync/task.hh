@@ -57,6 +57,37 @@ struct CommTask
     uint64_t afterCompute = 0;
 };
 
+/** One static defect found by Program::validate(). */
+struct ProgramIssue
+{
+    enum class Kind : uint8_t
+    {
+        /** A recv whose message id no card ever sends. */
+        UnmatchedRecv,
+        /** A send whose receiver(s) never post a matching recv. */
+        UnmatchedSend,
+        /** A send's afterCompute id exists in no compute queue. */
+        DanglingAfterCompute,
+        /** Send/recv peer index outside the cluster. */
+        BadPeer,
+        /** A card sending or receiving to/from itself. */
+        SelfMessage,
+        /** A compute task waiting on a message this card never recvs. */
+        WaitOnUnknownMsg,
+        /** The same message id sent by more than one card. */
+        DuplicateSender,
+    };
+
+    Kind kind = Kind::UnmatchedRecv;
+    /** Card whose queue carries the offending task. */
+    size_t card = 0;
+    /** Offending message id or compute id (kind-dependent). */
+    uint64_t id = 0;
+    std::string detail;
+};
+
+const char* programIssueKindName(ProgramIssue::Kind k);
+
 /** The two preloaded queues of one card. */
 struct CardProgram
 {
@@ -83,6 +114,16 @@ struct Program
 
     /** Intern a label name, returning its id. */
     uint32_t labelId(const std::string& name);
+
+    /**
+     * Static pre-execution checks: unmatched message ids, dangling
+     * afterCompute references, out-of-range or self peers, compute
+     * waits on messages the card never receives, duplicate senders.
+     * Returns every defect found (empty = valid).  Programs built
+     * through ProgramBuilder's sendTo/broadcastFrom helpers always
+     * validate clean.
+     */
+    std::vector<ProgramIssue> validate() const;
 };
 
 /**

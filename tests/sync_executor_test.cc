@@ -21,6 +21,12 @@ class TestNetwork : public NetworkModel
     {
     }
 
+    std::unique_ptr<NetworkModel>
+    clone() const override
+    {
+        return std::make_unique<TestNetwork>(*this);
+    }
+
     Tick
     transferTime(uint64_t, size_t, size_t) const override
     {
@@ -251,10 +257,11 @@ TEST(Executor, StatsAppendAccumulates)
     EXPECT_EQ(a.netBytes, 2000u);
 }
 
-TEST(Executor, SendWithMissingProducerDeadlocks)
+TEST(Executor, SendWithMissingProducerIsRejected)
 {
-    // A send anchored on a compute id that never completes must be
-    // reported, not silently dropped.
+    // A send anchored on a compute id that never exists must be
+    // reported as a structured error, not silently dropped (and the
+    // process must survive).
     ClusterConfig cfg{1, 2};
     TestNetwork net(1);
     ProgramBuilder pb(2);
@@ -262,31 +269,62 @@ TEST(Executor, SendWithMissingProducerDeadlocks)
     pb.addSend(0, msg, 1, 10, /*after_compute=*/424242);
     pb.addRecv(1, msg, 0, 10);
     ClusterExecutor ex(cfg, net);
-    Program prog = pb.take();
-    EXPECT_DEATH({ ex.run(prog); }, "deadlock");
+    RunResult res = ex.tryRun(pb.take());
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error.kind, RunError::Kind::InvalidProgram);
+    ASSERT_FALSE(res.error.issues.empty());
+    EXPECT_EQ(res.error.issues[0].kind,
+              ProgramIssue::Kind::DanglingAfterCompute);
 }
 
-TEST(Executor, CtdWaitingOnUnsentMessageDeadlocks)
+TEST(Executor, CtdWaitingOnUnsentMessageIsRejected)
 {
     ClusterConfig cfg{1, 2};
     TestNetwork net(1);
     ProgramBuilder pb(2);
     pb.addCompute(0, 5, OpCost{}, pb.label("x"), {999999});
     ClusterExecutor ex(cfg, net);
-    Program prog = pb.take();
-    EXPECT_DEATH({ ex.run(prog); }, "deadlock");
+    RunResult res = ex.tryRun(pb.take());
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error.kind, RunError::Kind::InvalidProgram);
+    ASSERT_FALSE(res.error.issues.empty());
+    EXPECT_EQ(res.error.issues[0].kind,
+              ProgramIssue::Kind::WaitOnUnknownMsg);
 }
 
-TEST(Executor, DeadlockIsDetected)
+TEST(Executor, UnmatchedRecvIsRejected)
 {
-    // A recv with no matching send must trip the deadlock panic.
+    // A recv with no matching send is caught by prevalidation.
     ClusterConfig cfg{1, 2};
     TestNetwork net(1);
     ProgramBuilder pb(2);
     pb.addRecv(1, 4242, 0, 10);
     ClusterExecutor ex(cfg, net);
-    Program prog = pb.take();
-    EXPECT_DEATH({ ex.run(prog); }, "recv with no matching send|deadlock");
+    RunResult res = ex.tryRun(pb.take());
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error.kind, RunError::Kind::InvalidProgram);
+    ASSERT_FALSE(res.error.issues.empty());
+    EXPECT_EQ(res.error.issues[0].kind,
+              ProgramIssue::Kind::UnmatchedRecv);
+}
+
+TEST(Executor, UnmatchedRecvWithoutPrevalidationQuiescesAsDeadlock)
+{
+    // Even with static validation off, a recv that no card ever
+    // serves must quiesce into deadlock diagnostics — never abort.
+    ClusterConfig cfg{1, 2};
+    TestNetwork net(1);
+    ProgramBuilder pb(2);
+    pb.addRecv(1, 4242, 0, 10);
+    ClusterExecutor ex(cfg, net);
+    ex.setPrevalidate(false);
+    RunResult res = ex.tryRun(pb.take());
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error.kind, RunError::Kind::Deadlock);
+    ASSERT_EQ(res.error.deadlock.stuck.size(), 1u);
+    EXPECT_EQ(res.error.deadlock.stuck[0].card, 1u);
+    ASSERT_EQ(res.error.deadlock.unmatchedMsgs.size(), 1u);
+    EXPECT_EQ(res.error.deadlock.unmatchedMsgs[0], 4242u);
 }
 
 } // namespace

@@ -22,6 +22,12 @@ class FuzzNetwork : public NetworkModel
     {
     }
 
+    std::unique_ptr<NetworkModel>
+    clone() const override
+    {
+        return std::make_unique<FuzzNetwork>(*this);
+    }
+
     Tick
     transferTime(uint64_t b, size_t, size_t) const override
     {
@@ -142,6 +148,105 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2, 3, 4, 8, 16),
                        ::testing::Bool(),
                        ::testing::Values(11, 22, 33, 44)));
+
+/**
+ * Derive a random-but-deterministic fault plan from a seed: transient
+ * drop/corrupt rates, occasional link degradation, a straggler, and
+ * sometimes a permanent card kill.
+ */
+FaultPlan
+randomFaultPlan(uint64_t seed, size_t cards)
+{
+    Rng rng(seed * 7919 + 13);
+    FaultPlan plan;
+    plan.seed = seed;
+    const double drops[] = {0.0, 0.05, 0.3, 0.8};
+    plan.dropRate = drops[rng.uniformU64(4)];
+    const double corrupts[] = {0.0, 0.1, 0.5};
+    plan.corruptRate = corrupts[rng.uniformU64(3)];
+    if (rng.uniformU64(3) == 0)
+        plan.linkDegrade = 1.0 + rng.uniformReal(0.0, 3.0);
+    if (rng.uniformU64(2) == 0)
+        plan.stragglers[rng.uniformU64(cards)] =
+            1.0 + rng.uniformReal(0.0, 4.0);
+    if (rng.uniformU64(3) == 0)
+        plan.cardFailAt[rng.uniformU64(cards)] =
+            rng.uniformU64(20000);
+    return plan;
+}
+
+/**
+ * Robustness property: random valid programs under random fault plans
+ * must either complete or return a structured error — the process
+ * never aborts — and every outcome is deterministic in the seed.
+ */
+TEST_P(FuzzTest, FaultPlansNeverAbortAndStayDeterministic)
+{
+    auto [cards, overlaps, seed] = GetParam();
+    ClusterConfig cfg{1, cards};
+    FuzzNetwork net(3, 20, overlaps);
+    ClusterExecutor ex(cfg, net);
+    RetryPolicy retry;
+    retry.maxAttempts = 3;
+    retry.backoffBase = 50;
+    ex.setRetryPolicy(retry);
+
+    for (uint64_t v = 0; v < 4; ++v) {
+        uint64_t fault_seed = seed * 100 + v;
+        ex.setFaultPlan(randomFaultPlan(fault_seed, cards));
+
+        Tick total = 0;
+        RunResult a = ex.tryRun(
+            randomProgram(cards, seed, 30, 20, total));
+        RunResult b = ex.tryRun(
+            randomProgram(cards, seed, 30, 20, total));
+
+        // Valid programs only fail through the fault machinery.
+        if (!a.ok()) {
+            EXPECT_TRUE(
+                a.error.kind == RunError::Kind::TransferFailed ||
+                a.error.kind == RunError::Kind::CardFailed)
+                << RunError::kindName(a.error.kind) << ": "
+                << a.error.message;
+        }
+
+        // Tick-identical re-run of the same (program, plan) pair.
+        EXPECT_EQ(a.error.kind, b.error.kind);
+        EXPECT_EQ(a.stats.makespan, b.stats.makespan);
+        EXPECT_EQ(a.stats.retries, b.stats.retries);
+        EXPECT_EQ(a.stats.droppedTransfers, b.stats.droppedTransfers);
+        EXPECT_EQ(a.stats.netBytes, b.stats.netBytes);
+    }
+}
+
+/**
+ * Determinism guard: with an empty fault plan the fault-aware path is
+ * tick-identical to the legacy run() path for the same seed.
+ */
+TEST_P(FuzzTest, EmptyFaultPlanIsTickIdenticalToLegacyRun)
+{
+    auto [cards, overlaps, seed] = GetParam();
+    ClusterConfig cfg{1, cards};
+    FuzzNetwork net(3, 20, overlaps);
+
+    Tick total = 0;
+    ClusterExecutor legacy(cfg, net);
+    RunStats want = legacy.run(randomProgram(cards, seed, 40, 30, total));
+
+    ClusterExecutor faulty(cfg, net);
+    faulty.setFaultPlan(FaultPlan{}); // explicit empty plan
+    RunResult got =
+        faulty.tryRun(randomProgram(cards, seed, 40, 30, total));
+
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.stats.makespan, want.makespan);
+    EXPECT_EQ(got.stats.netBytes, want.netBytes);
+    EXPECT_EQ(got.stats.netMessages, want.netMessages);
+    EXPECT_EQ(got.stats.computeBusy, want.computeBusy);
+    EXPECT_EQ(got.stats.commBusy, want.commBusy);
+    EXPECT_EQ(got.stats.retries, 0u);
+    EXPECT_EQ(got.stats.retryBackoffTicks, 0u);
+}
 
 TEST(FuzzEdge, EmptyProgramFinishesInstantly)
 {
