@@ -1,15 +1,36 @@
 /**
  * @file
- * Shared helpers for the table/figure reproduction benches.
+ * Shared helpers for the table/figure reproduction benches, plus the
+ * machine-readable JSON harness used by the google-benchmark micro
+ * benches (micro_ckks / micro_ops / micro_parallel).
+ *
+ * Every micro bench accepts `--json <path>` (in addition to the usual
+ * google-benchmark flags) and then appends one record per benchmark
+ * case to `path`:
+ *
+ *   {"bench": "...", "case": "...", "wall_us": ..., "allocs": ...,
+ *    "pool_hits": ...}
+ *
+ * wall_us is per-iteration wall time; allocs / pool_hits are
+ * per-iteration BufferPool miss / hit counts captured by wrapping the
+ * measurement loop in a PoolCounterScope.  BENCH_micro.json at the repo
+ * root is the checked-in snapshot tracking the perf trajectory across
+ * PRs.
  */
 
 #ifndef HYDRA_BENCH_BENCH_UTIL_HH
 #define HYDRA_BENCH_BENCH_UTIL_HH
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "baselines/prototypes.hh"
+#include "common/pool.hh"
 #include "common/table.hh"
 #include "sched/runner.hh"
 #include "workloads/model.hh"
@@ -36,6 +57,191 @@ printHeaderBlock(const std::string& title)
                 title.c_str());
 }
 
+/**
+ * Attach per-iteration BufferPool counters to a benchmark case: declare
+ * one inside the benchmark function, before the `for (auto _ : state)`
+ * loop; on scope exit it stores the averaged miss ("allocs") and hit
+ * ("pool_hits") counts into state.counters.
+ */
+class PoolCounterScope
+{
+  public:
+    explicit PoolCounterScope(benchmark::State& state)
+        : state_(state), before_(BufferPool::global().stats())
+    {
+    }
+
+    ~PoolCounterScope()
+    {
+        BufferPool::Stats after = BufferPool::global().stats();
+        double iters =
+            static_cast<double>(state_.iterations() > 0
+                                    ? state_.iterations()
+                                    : 1);
+        state_.counters["allocs"] = static_cast<double>(
+            after.misses - before_.misses) / iters;
+        state_.counters["pool_hits"] = static_cast<double>(
+            after.hits - before_.hits) / iters;
+    }
+
+  private:
+    benchmark::State& state_;
+    BufferPool::Stats before_;
+};
+
+/**
+ * Strip `--json <path>` / `--json=<path>` from argv before the
+ * remaining flags reach google-benchmark.  Returns the path, or ""
+ * when the flag is absent.
+ */
+inline std::string
+extractJsonFlag(int& argc, char** argv)
+{
+    std::string path;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            path = argv[++i];
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            path = argv[i] + 7;
+        } else {
+            argv[w++] = argv[i];
+        }
+    }
+    argc = w;
+    return path;
+}
+
+/**
+ * Secondary reporter emitting one JSON record per benchmark case.  The
+ * records accumulate in memory and are written as a JSON array when
+ * the run finalizes.
+ */
+class JsonLinesReporter : public benchmark::BenchmarkReporter
+{
+  public:
+    JsonLinesReporter(std::string bench, std::string path)
+        : bench_(std::move(bench)), path_(std::move(path))
+    {
+    }
+
+    bool
+    ReportContext(const Context&) override
+    {
+        return true;
+    }
+
+    void
+    ReportRuns(const std::vector<Run>& runs) override
+    {
+        for (const Run& run : runs) {
+            if (run.error_occurred)
+                continue;
+            double iters = run.iterations > 0
+                               ? static_cast<double>(run.iterations)
+                               : 1.0;
+            double wall_us =
+                run.real_accumulated_time / iters * 1e6;
+            double allocs = counterOr(run, "allocs", 0.0);
+            double hits = counterOr(run, "pool_hits", 0.0);
+            char line[512];
+            std::snprintf(line, sizeof(line),
+                          "{\"bench\": \"%s\", \"case\": \"%s\", "
+                          "\"wall_us\": %.3f, \"allocs\": %.2f, "
+                          "\"pool_hits\": %.2f}",
+                          bench_.c_str(), run.benchmark_name().c_str(),
+                          wall_us, allocs, hits);
+            records_.emplace_back(line);
+        }
+    }
+
+    void
+    Finalize() override
+    {
+        std::ofstream out(path_);
+        out << "[\n";
+        for (size_t i = 0; i < records_.size(); ++i)
+            out << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
+        out << "]\n";
+    }
+
+  private:
+    static double
+    counterOr(const Run& run, const char* name, double fallback)
+    {
+        auto it = run.counters.find(name);
+        return it != run.counters.end()
+                   ? static_cast<double>(it->second.value)
+                   : fallback;
+    }
+
+    std::string bench_;
+    std::string path_;
+    std::vector<std::string> records_;
+};
+
+/**
+ * Display reporter that tees every run into a JsonLinesReporter while
+ * keeping the normal console table.  Installed as the (single) display
+ * reporter so no --benchmark_out flag is needed.
+ */
+class TeeJsonReporter : public benchmark::ConsoleReporter
+{
+  public:
+    TeeJsonReporter(std::string bench, std::string path)
+        : json_(std::move(bench), std::move(path))
+    {
+    }
+
+    bool
+    ReportContext(const Context& context) override
+    {
+        json_.ReportContext(context);
+        return benchmark::ConsoleReporter::ReportContext(context);
+    }
+
+    void
+    ReportRuns(const std::vector<Run>& runs) override
+    {
+        json_.ReportRuns(runs);
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+
+    void
+    Finalize() override
+    {
+        json_.Finalize();
+        benchmark::ConsoleReporter::Finalize();
+    }
+
+  private:
+    JsonLinesReporter json_;
+};
+
+/** main() for the micro benches: BENCHMARK_MAIN plus --json support. */
+inline int
+benchMain(const char* bench_name, int argc, char** argv)
+{
+    std::string json_path = extractJsonFlag(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    if (json_path.empty()) {
+        benchmark::RunSpecifiedBenchmarks();
+    } else {
+        TeeJsonReporter tee(bench_name, json_path);
+        benchmark::RunSpecifiedBenchmarks(&tee);
+    }
+    benchmark::Shutdown();
+    return 0;
+}
+
 } // namespace hydra::bench
+
+#define HYDRA_BENCH_MAIN(bench_name)                                    \
+    int main(int argc, char** argv)                                     \
+    {                                                                   \
+        return hydra::bench::benchMain(bench_name, argc, argv);         \
+    }
 
 #endif // HYDRA_BENCH_BENCH_UTIL_HH

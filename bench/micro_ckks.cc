@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
 #include "fhe/bootstrap.hh"
 #include "fhe/encryptor.hh"
 #include "fhe/keygen.hh"
@@ -15,6 +16,8 @@
 
 namespace hydra {
 namespace {
+
+using bench::PoolCounterScope;
 
 void
 BM_NttForward(benchmark::State& state)
@@ -116,6 +119,7 @@ void
 BM_CkksHAdd(benchmark::State& state)
 {
     auto& f = fixture();
+    PoolCounterScope pool(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(f.eval.add(f.ct, f.ct));
 }
@@ -128,6 +132,7 @@ BM_CkksPMult(benchmark::State& state)
     std::vector<double> v(f.ctx.slots(), 0.5);
     Plaintext pt =
         f.encoder.encode(v, f.ctx.params().scale(), f.ctx.levels());
+    PoolCounterScope pool(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(f.eval.mulPlain(f.ct, pt));
 }
@@ -137,6 +142,7 @@ void
 BM_CkksCMult(benchmark::State& state)
 {
     auto& f = fixture();
+    PoolCounterScope pool(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(f.eval.mulRelin(f.ct, f.ct));
 }
@@ -146,6 +152,7 @@ void
 BM_CkksRotate(benchmark::State& state)
 {
     auto& f = fixture();
+    PoolCounterScope pool(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(f.eval.rotate(f.ct, 1));
 }
@@ -156,6 +163,7 @@ BM_CkksRescale(benchmark::State& state)
 {
     auto& f = fixture();
     Ciphertext prod = f.eval.mulRelin(f.ct, f.ct);
+    PoolCounterScope pool(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(f.eval.rescale(prod));
 }
@@ -171,6 +179,7 @@ BM_CkksRotateHoisted8(benchmark::State& state)
         f.sk, {1, 2, 3, 4, 5, 6, 7, 8}, false);
     f.eval.setGaloisKeys(&keys);
     std::vector<int> steps = {1, 2, 3, 4, 5, 6, 7, 8};
+    PoolCounterScope pool(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(f.eval.rotateHoisted(f.ct, steps));
     f.eval.setGaloisKeys(&f.galois);
@@ -192,7 +201,60 @@ BM_CkksEncryptDecrypt(benchmark::State& state)
 }
 BENCHMARK(BM_CkksEncryptDecrypt);
 
+/** Full bootstrap at the small self-test parameter point. */
+struct BootstrapFixtureState
+{
+    BootstrapFixtureState()
+        : ctx(CkksParams::bootstrapTest()),
+          encoder(ctx),
+          keygen(ctx),
+          sk(keygen.secretKey()),
+          pk(keygen.publicKey(sk)),
+          relin(keygen.relinKey(sk)),
+          encryptor(ctx, pk),
+          eval(ctx, encoder),
+          boot(ctx, encoder),
+          galois(keygen.galoisKeys(sk, boot.requiredRotations()))
+    {
+        eval.setRelinKey(&relin);
+        eval.setGaloisKeys(&galois);
+        std::vector<double> v(ctx.slots(), 0.01);
+        ct = encryptor.encrypt(
+            encoder.encode(v, ctx.params().scale(), 1));
+    }
+
+    CkksContext ctx;
+    CkksEncoder encoder;
+    KeyGenerator keygen;
+    SecretKey sk;
+    PublicKey pk;
+    EvalKey relin;
+    Encryptor encryptor;
+    Evaluator eval;
+    Bootstrapper boot;
+    GaloisKeys galois;
+    Ciphertext ct;
+};
+
+BootstrapFixtureState&
+bootstrapFixture()
+{
+    static BootstrapFixtureState f;
+    return f;
+}
+
+void
+BM_CkksBootstrap(benchmark::State& state)
+{
+    auto& f = bootstrapFixture();
+    PoolCounterScope pool(state);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.boot.bootstrap(f.eval, f.ct));
+}
+BENCHMARK(BM_CkksBootstrap)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
 } // namespace
 } // namespace hydra
 
-BENCHMARK_MAIN();
+HYDRA_BENCH_MAIN("micro_ckks");

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
+
 #include "baselines/prototypes.hh"
 #include "model/dft_model.hh"
 #include "sched/mapping.hh"
@@ -91,4 +93,4 @@ BENCHMARK(BM_FullInference);
 } // namespace
 } // namespace hydra
 
-BENCHMARK_MAIN();
+HYDRA_BENCH_MAIN("micro_ops");

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
 #include "common/parallel.hh"
 #include "fhe/encryptor.hh"
 #include "fhe/evaluator.hh"
@@ -89,6 +90,7 @@ runMulRelin(benchmark::State& state, ParallelFixture& f)
 {
     ThreadPool::instance().setThreadCount(
         static_cast<size_t>(state.range(0)));
+    bench::PoolCounterScope pool(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(f.eval.mulRelin(f.ct, f.ct));
     ThreadPool::instance().setThreadCount(1);
@@ -99,6 +101,7 @@ runRotate(benchmark::State& state, ParallelFixture& f)
 {
     ThreadPool::instance().setThreadCount(
         static_cast<size_t>(state.range(0)));
+    bench::PoolCounterScope pool(state);
     for (auto _ : state)
         benchmark::DoNotOptimize(f.eval.rotate(f.ct, 1));
     ThreadPool::instance().setThreadCount(1);
@@ -163,4 +166,4 @@ BENCHMARK(BM_SmallRotate)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 } // namespace
 } // namespace hydra
 
-BENCHMARK_MAIN();
+HYDRA_BENCH_MAIN("micro_parallel");

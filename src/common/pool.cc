@@ -1,0 +1,142 @@
+#include "common/pool.hh"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+namespace {
+
+constexpr size_t kAlignment = 64; // one cache line
+
+/**
+ * Set while the singleton is alive.  PoolBuffers destroyed during
+ * static teardown after the pool itself (e.g. function-local static
+ * fixtures in benches) free their memory directly instead of touching
+ * a dead bucket map.
+ */
+bool g_pool_alive = false;
+
+std::uint64_t*
+alignedAlloc(size_t words)
+{
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    size_t bytes = (words * sizeof(std::uint64_t) + kAlignment - 1) /
+                   kAlignment * kAlignment;
+    void* p = std::aligned_alloc(kAlignment, bytes);
+    HYDRA_ASSERT(p != nullptr, "buffer pool allocation failed");
+    return static_cast<std::uint64_t*>(p);
+}
+
+} // namespace
+
+struct BufferPool::Impl
+{
+    mutable std::mutex m;
+    /** Idle buffers keyed by exact word count. */
+    std::unordered_map<size_t, std::vector<std::uint64_t*>> buckets;
+    Stats stats;
+};
+
+BufferPool::BufferPool() : impl_(new Impl)
+{
+    g_pool_alive = true;
+}
+
+BufferPool::~BufferPool()
+{
+    g_pool_alive = false;
+    for (auto& [words, list] : impl_->buckets)
+        for (std::uint64_t* p : list)
+            std::free(p);
+    delete impl_;
+}
+
+BufferPool&
+BufferPool::global()
+{
+    static BufferPool pool;
+    return pool;
+}
+
+PoolBuffer
+BufferPool::acquire(size_t words)
+{
+    HYDRA_ASSERT(words > 0, "cannot acquire an empty buffer");
+    {
+        std::lock_guard<std::mutex> lock(impl_->m);
+        auto it = impl_->buckets.find(words);
+        if (it != impl_->buckets.end() && !it->second.empty()) {
+            std::uint64_t* p = it->second.back();
+            it->second.pop_back();
+            ++impl_->stats.hits;
+            ++impl_->stats.outstanding;
+            --impl_->stats.cached;
+            impl_->stats.cachedWords -= words;
+            return PoolBuffer(p, words);
+        }
+        ++impl_->stats.misses;
+        ++impl_->stats.outstanding;
+    }
+    // Allocate outside the lock; the counters above already reserved
+    // this buffer's accounting.
+    return PoolBuffer(alignedAlloc(words), words);
+}
+
+void
+BufferPool::release(std::uint64_t* p, size_t words)
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->buckets[words].push_back(p);
+    ++impl_->stats.released;
+    --impl_->stats.outstanding;
+    ++impl_->stats.cached;
+    impl_->stats.cachedWords += words;
+}
+
+BufferPool::Stats
+BufferPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    return impl_->stats;
+}
+
+void
+BufferPool::resetStats()
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->stats.hits = 0;
+    impl_->stats.misses = 0;
+    impl_->stats.released = 0;
+}
+
+void
+BufferPool::trim()
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    for (auto& [words, list] : impl_->buckets)
+        for (std::uint64_t* p : list)
+            std::free(p);
+    impl_->buckets.clear();
+    impl_->stats.cached = 0;
+    impl_->stats.cachedWords = 0;
+}
+
+void
+PoolBuffer::reset()
+{
+    if (!ptr_)
+        return;
+    if (g_pool_alive)
+        BufferPool::global().release(ptr_, words_);
+    else
+        std::free(ptr_);
+    ptr_ = nullptr;
+    words_ = 0;
+}
+
+} // namespace hydra

@@ -106,10 +106,10 @@ std::pair<Ciphertext, Ciphertext>
 Bootstrapper::coeffToSlot(const Evaluator& eval, const Ciphertext& ct) const
 {
     // w = V z; c_half = w + conj(w).
-    Ciphertext w0 = c2sLow_->apply(eval, ct);
-    Ciphertext re = eval.add(w0, eval.conjugate(w0));
-    Ciphertext w1 = c2sHigh_->apply(eval, ct);
-    Ciphertext im = eval.add(w1, eval.conjugate(w1));
+    Ciphertext re = c2sLow_->apply(eval, ct);
+    eval.addInPlace(re, eval.conjugate(re));
+    Ciphertext im = c2sHigh_->apply(eval, ct);
+    eval.addInPlace(im, eval.conjugate(im));
     return {std::move(re), std::move(im)};
 }
 
@@ -159,7 +159,8 @@ Bootstrapper::evalMod(const Evaluator& eval, const Ciphertext& ct,
 
     // Double-angle: repeated squaring doubles the argument.
     for (size_t r = 0; r < config_.doubleAngleIters; ++r) {
-        w = eval.rescale(eval.mulRelin(w, w));
+        w = eval.mulRelin(w, w);
+        eval.rescaleInPlace(w);
     }
 
     // sin = (w - conj(w)) / 2i; fold in the amplitude q0 / (2 pi Delta).
@@ -174,8 +175,8 @@ Bootstrapper::slotToCoeff(const Evaluator& eval, const Ciphertext& re,
                           const Ciphertext& im) const
 {
     Ciphertext zr = s2cLow_->apply(eval, re);
-    Ciphertext zi = s2cHigh_->apply(eval, im);
-    return eval.add(zr, zi);
+    eval.addInPlace(zr, s2cHigh_->apply(eval, im));
+    return zr;
 }
 
 Ciphertext

@@ -30,7 +30,7 @@ Plaintext::nttRestricted(size_t levels) const
     if (inserted) {
         RnsPoly pp(poly.basis(), levels, false, poly.nttForm());
         for (size_t k = 0; k < levels; ++k)
-            pp.limb(k) = poly.limb(k);
+            pp.copyLimbFrom(k, poly, k);
         pp.toNtt();
         it->second = std::move(pp);
     }

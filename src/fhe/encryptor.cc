@@ -39,14 +39,14 @@ Encryptor::encrypt(const Plaintext& pt)
     ct.scale = pt.scale;
     for (size_t k = 0; k < levels; ++k) {
         const Modulus& mod = ct.c0.mod(k);
-        const auto& bk = pk_.b.limb(k);
-        const auto& ak = pk_.a.limb(k);
-        const auto& uk = u.limb(k);
-        auto& c0k = ct.c0.limb(k);
-        auto& c1k = ct.c1.limb(k);
-        const auto& e0k = e0.limb(k);
-        const auto& e1k = e1.limb(k);
-        const auto& mk = m.limb(k);
+        const auto bk = pk_.b.limb(k);
+        const auto ak = pk_.a.limb(k);
+        const auto uk = u.limb(k);
+        const auto c0k = ct.c0.limb(k);
+        const auto c1k = ct.c1.limb(k);
+        const auto e0k = e0.limb(k);
+        const auto e1k = e1.limb(k);
+        const auto mk = m.limb(k);
         for (size_t i = 0; i < c0k.size(); ++i) {
             c0k[i] = mod.addMod(mod.addMod(mod.mulMod(bk[i], uk[i]),
                                            e0k[i]),
@@ -71,10 +71,10 @@ Decryptor::decrypt(const Ciphertext& ct)
     RnsPoly m(ctx_.basis(), levels, false, true);
     for (size_t k = 0; k < levels; ++k) {
         const Modulus& mod = m.mod(k);
-        const auto& c0k = ct.c0.limb(k);
-        const auto& c1k = ct.c1.limb(k);
-        const auto& sk_k = sk_.s.limb(k);
-        auto& mk = m.limb(k);
+        const auto c0k = ct.c0.limb(k);
+        const auto c1k = ct.c1.limb(k);
+        const auto sk_k = sk_.s.limb(k);
+        const auto mk = m.limb(k);
         for (size_t i = 0; i < mk.size(); ++i)
             mk[i] = mod.addMod(c0k[i], mod.mulMod(c1k[i], sk_k[i]));
     }

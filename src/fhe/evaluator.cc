@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/pool.hh"
 
 namespace hydra {
 
@@ -25,7 +26,7 @@ restrictTo(const RnsPoly& p, size_t levels)
                  "cannot restrict");
     RnsPoly out(p.basis(), levels, false, p.nttForm());
     for (size_t k = 0; k < levels; ++k)
-        out.limb(k) = p.limb(k);
+        out.copyLimbFrom(k, p, k);
     return out;
 }
 
@@ -36,27 +37,39 @@ Evaluator::Evaluator(const CkksContext& ctx, const CkksEncoder& encoder)
 {
 }
 
-Ciphertext
-Evaluator::add(const Ciphertext& a, const Ciphertext& b) const
+void
+Evaluator::addInPlace(Ciphertext& a, const Ciphertext& b) const
 {
     HYDRA_ASSERT(a.level() == b.level(), "level mismatch in add");
     checkScalesMatch(a.scale, b.scale);
+    a.c0.add(b.c0);
+    a.c1.add(b.c1);
+    count(HeOpType::HAdd, a.level());
+}
+
+Ciphertext
+Evaluator::add(const Ciphertext& a, const Ciphertext& b) const
+{
     Ciphertext out = a;
-    out.c0.add(b.c0);
-    out.c1.add(b.c1);
-    count(HeOpType::HAdd, out.level());
+    addInPlace(out, b);
     return out;
+}
+
+void
+Evaluator::subInPlace(Ciphertext& a, const Ciphertext& b) const
+{
+    HYDRA_ASSERT(a.level() == b.level(), "level mismatch in sub");
+    checkScalesMatch(a.scale, b.scale);
+    a.c0.sub(b.c0);
+    a.c1.sub(b.c1);
+    count(HeOpType::HAdd, a.level());
 }
 
 Ciphertext
 Evaluator::sub(const Ciphertext& a, const Ciphertext& b) const
 {
-    HYDRA_ASSERT(a.level() == b.level(), "level mismatch in sub");
-    checkScalesMatch(a.scale, b.scale);
     Ciphertext out = a;
-    out.c0.sub(b.c0);
-    out.c1.sub(b.c1);
-    count(HeOpType::HAdd, out.level());
+    subInPlace(out, b);
     return out;
 }
 
@@ -80,17 +93,38 @@ Evaluator::addPlain(const Ciphertext& a, const Plaintext& p) const
     return out;
 }
 
-Ciphertext
-Evaluator::mulPlain(const Ciphertext& a, const Plaintext& p) const
+void
+Evaluator::mulPlainInPlace(Ciphertext& a, const Plaintext& p) const
 {
     HYDRA_ASSERT(p.poly.nLimbs() >= a.level(), "plaintext level too low");
     const RnsPoly& pp = p.nttRestricted(a.level());
+    a.c0.mulPointwise(pp);
+    a.c1.mulPointwise(pp);
+    a.scale *= p.scale;
+    count(HeOpType::PMult, a.level());
+}
+
+Ciphertext
+Evaluator::mulPlain(const Ciphertext& a, const Plaintext& p) const
+{
     Ciphertext out = a;
-    out.c0.mulPointwise(pp);
-    out.c1.mulPointwise(pp);
-    out.scale = a.scale * p.scale;
-    count(HeOpType::PMult, out.level());
+    mulPlainInPlace(out, p);
     return out;
+}
+
+void
+Evaluator::addMulPlain(Ciphertext& acc, const Ciphertext& a,
+                       const Plaintext& p) const
+{
+    HYDRA_ASSERT(acc.level() == a.level(),
+                 "level mismatch in addMulPlain");
+    HYDRA_ASSERT(p.poly.nLimbs() >= a.level(), "plaintext level too low");
+    checkScalesMatch(acc.scale, a.scale * p.scale);
+    const RnsPoly& pp = p.nttRestricted(a.level());
+    acc.c0.addMulPointwise(a.c0, pp);
+    acc.c1.addMulPointwise(a.c1, pp);
+    count(HeOpType::PMult, acc.level());
+    count(HeOpType::HAdd, acc.level());
 }
 
 Ciphertext
@@ -153,16 +187,22 @@ Evaluator::mulConstantRescale(const Ciphertext& a, cplx c,
     return out;
 }
 
+void
+Evaluator::rescaleInPlace(Ciphertext& a) const
+{
+    HYDRA_ASSERT(a.level() >= 2, "no limb left to rescale away");
+    u64 q_last = a.c0.mod(a.level() - 1).value();
+    a.c0.divideRoundByLast();
+    a.c1.divideRoundByLast();
+    a.scale /= static_cast<double>(q_last);
+    count(HeOpType::Rescale, a.level());
+}
+
 Ciphertext
 Evaluator::rescale(const Ciphertext& a) const
 {
-    HYDRA_ASSERT(a.level() >= 2, "no limb left to rescale away");
     Ciphertext out = a;
-    u64 q_last = out.c0.mod(out.level() - 1).value();
-    out.c0.divideRoundByLast();
-    out.c1.divideRoundByLast();
-    out.scale = a.scale / static_cast<double>(q_last);
-    count(HeOpType::Rescale, out.level());
+    rescaleInPlace(out);
     return out;
 }
 
@@ -204,8 +244,11 @@ Evaluator::decomposeDigits(const RnsPoly& d) const
     std::vector<RnsPoly> digits(levels);
     parallelFor(0, levels, [&](size_t i) {
         const Modulus& qi = basis.mod(i);
-        const auto& src = d.limb(i);
-        std::vector<i64> centered(n);
+        const u64* src = d.limbData(i);
+        // Pool scratch for the centered representatives (signed alias
+        // of the same 64-bit words).
+        PoolBuffer scratch = BufferPool::global().acquire(n);
+        i64* centered = reinterpret_cast<i64*>(scratch.data());
         for (size_t t = 0; t < n; ++t)
             centered[t] = qi.toCentered(src[t]);
         RnsPoly dig = RnsPoly::fromSigned(ctx_.basis(), levels, true,
@@ -238,23 +281,24 @@ Evaluator::accumulateKey(const std::vector<RnsPoly>& digits,
     // digit against its own key limb.  This is the dominant cost of
     // mulRelin/rotate and the same limb-level parallelism the paper's
     // compute units exploit, so the output-limb loop goes to the pool.
+    size_t nn = acc0.n();
     parallelFor(0, levels + 1, [&](size_t kpos) {
         size_t key_pos = kpos < levels ? kpos : key_special_pos;
         const Modulus& mj = acc0.mod(kpos);
-        auto& a0 = acc0.limb(kpos);
-        auto& a1 = acc1.limb(kpos);
+        u64* a0 = acc0.limbData(kpos);
+        u64* a1 = acc1.limbData(kpos);
         for (size_t i = 0; i < digits.size(); ++i) {
-            const auto& dl = digits[i].limb(kpos);
-            const auto& bkey = key.b[i].limb(key_pos);
-            const auto& akey = key.a[i].limb(key_pos);
+            const u64* dl = digits[i].limbData(kpos);
+            const u64* bkey = key.b[i].limbData(key_pos);
+            const u64* akey = key.a[i].limbData(key_pos);
             if (map) {
-                for (size_t t = 0; t < dl.size(); ++t) {
+                for (size_t t = 0; t < nn; ++t) {
                     u64 dv = dl[(*map)[t]];
                     a0[t] = mj.addMod(a0[t], mj.mulMod(dv, bkey[t]));
                     a1[t] = mj.addMod(a1[t], mj.mulMod(dv, akey[t]));
                 }
             } else {
-                for (size_t t = 0; t < dl.size(); ++t) {
+                for (size_t t = 0; t < nn; ++t) {
                     a0[t] = mj.addMod(a0[t], mj.mulMod(dl[t], bkey[t]));
                     a1[t] = mj.addMod(a1[t], mj.mulMod(dl[t], akey[t]));
                 }
@@ -281,19 +325,18 @@ Evaluator::applyGalois(const Ciphertext& a, u64 galois, HeOpType op) const
     HYDRA_ASSERT(galois_ != nullptr, "Galois keys not set");
     const EvalKey& key = galois_->at(galois);
 
-    RnsPoly c0 = a.c0;
-    c0.fromNtt();
     RnsPoly c1 = a.c1;
     c1.fromNtt();
-    RnsPoly p0 = c0.automorphism(galois);
     RnsPoly p1 = c1.automorphism(galois);
 
     auto [t0, t1] = keySwitch(p1, key);
-    p0.toNtt();
 
+    // c0 never leaves the NTT domain: the automorphism is the pure
+    // index shuffle gathered straight into the keyswitch accumulator,
+    // saving an inverse + forward NTT pass per limb.
     Ciphertext out;
     out.c0 = std::move(t0);
-    out.c0.add(p0);
+    out.c0.addAutomorphismNtt(a.c0, galois);
     out.c1 = std::move(t1);
     out.scale = a.scale;
     count(op, out.level());
@@ -350,9 +393,11 @@ Evaluator::rotateHoisted(const Ciphertext& a,
         }
         auto [t0, t1] = accumulateKey(digits, galois_->at(g), a.level(),
                                       g);
+        // Accumulate the permuted c0 straight into the keyswitch
+        // output instead of materializing the rotated polynomial.
         Ciphertext ct;
-        ct.c0 = a.c0.automorphismNtt(g);
-        ct.c0.add(t0);
+        ct.c0 = std::move(t0);
+        ct.c0.addAutomorphismNtt(a.c0, g);
         ct.c1 = std::move(t1);
         ct.scale = a.scale;
         count(HeOpType::Rotate, ct.level());

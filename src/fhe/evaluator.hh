@@ -36,12 +36,29 @@ class Evaluator
     Ciphertext sub(const Ciphertext& a, const Ciphertext& b) const;
     Ciphertext negate(const Ciphertext& a) const;
     Ciphertext addPlain(const Ciphertext& a, const Plaintext& p) const;
+
+    /** a += b without materializing a result ciphertext. */
+    void addInPlace(Ciphertext& a, const Ciphertext& b) const;
+
+    /** a -= b in place. */
+    void subInPlace(Ciphertext& a, const Ciphertext& b) const;
     /// @}
 
     /// @name Multiplicative operations
     /// @{
     /** Plaintext-ciphertext product; scales multiply, no rescale. */
     Ciphertext mulPlain(const Ciphertext& a, const Plaintext& p) const;
+
+    /** a *= p in place (scales multiply, no rescale). */
+    void mulPlainInPlace(Ciphertext& a, const Plaintext& p) const;
+
+    /**
+     * acc += a * p without materializing the product: the fused
+     * multiply-accumulate behind BSGS inner loops.  Requires acc at the
+     * same level as `a` with scale a.scale * p.scale.
+     */
+    void addMulPlain(Ciphertext& acc, const Ciphertext& a,
+                     const Plaintext& p) const;
 
     /** Ciphertext product including relinearization; no rescale. */
     Ciphertext mulRelin(const Ciphertext& a, const Ciphertext& b) const;
@@ -67,6 +84,9 @@ class Evaluator
     /// @{
     /** Drop the last limb, dividing the scale by its prime. */
     Ciphertext rescale(const Ciphertext& a) const;
+
+    /** Rescale in place (no copy of the surviving limbs). */
+    void rescaleInPlace(Ciphertext& a) const;
 
     /** Discard limbs down to `levels` active primes (scale unchanged). */
     Ciphertext dropToLevel(const Ciphertext& a, size_t levels) const;

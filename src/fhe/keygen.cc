@@ -78,10 +78,10 @@ KeyGenerator::publicKey(const SecretKey& sk)
     RnsPoly b(ctx_.basis(), ctx_.levels(), false, true);
     for (size_t k = 0; k < b.limbCount(); ++k) {
         const Modulus& m = b.mod(k);
-        const auto& sl = sk.s.limb(k);
-        const auto& al = a.limb(k);
-        auto& bl = b.limb(k);
-        const auto& el = e.limb(k);
+        const auto sl = sk.s.limb(k);
+        const auto al = a.limb(k);
+        const auto bl = b.limb(k);
+        const auto el = e.limb(k);
         for (size_t i = 0; i < bl.size(); ++i)
             bl[i] = m.addMod(m.negMod(m.mulMod(al[i], sl[i])), el[i]);
     }
@@ -105,18 +105,18 @@ KeyGenerator::makeSwitchKey(const RnsPoly& src, const SecretKey& sk)
         RnsPoly b_i(ctx_.basis(), digits, true, true);
         for (size_t k = 0; k < b_i.limbCount(); ++k) {
             const Modulus& m = b_i.mod(k);
-            const auto& al = a_i.limb(k);
-            const auto& sl = sk.s.limb(k);
-            const auto& el = e_i.limb(k);
-            auto& bl = b_i.limb(k);
+            const auto al = a_i.limb(k);
+            const auto sl = sk.s.limb(k);
+            const auto el = e_i.limb(k);
+            const auto bl = b_i.limb(k);
             for (size_t t = 0; t < bl.size(); ++t)
                 bl[t] = m.addMod(m.negMod(m.mulMod(al[t], sl[t])), el[t]);
         }
         {
             const Modulus& m = b_i.mod(i);
             u64 p_mod = ctx_.pModQ(i);
-            auto& bl = b_i.limb(i);
-            const auto& srcl = src.limb(i);
+            const auto bl = b_i.limb(i);
+            const auto srcl = src.limb(i);
             for (size_t t = 0; t < bl.size(); ++t)
                 bl[t] = m.addMod(bl[t], m.mulMod(p_mod, srcl[t]));
         }

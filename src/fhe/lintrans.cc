@@ -98,17 +98,19 @@ LinearTransform::apply(const Evaluator& eval, const Ciphertext& ct) const
     bool have_total = false;
     Ciphertext total;
     for (size_t g = 0; g < gs_; ++g) {
+        // Giant-step accumulator: the first diagonal materializes the
+        // product, every further one is a fused multiply-accumulate
+        // into it -- no per-term ciphertext, no copy-then-add.
         bool have_acc = false;
         Ciphertext acc;
         for (size_t b = 0; b < bs_; ++b) {
             auto it = diag_.find(g * bs_ + b);
             if (it == diag_.end())
                 continue;
-            Ciphertext term = eval.mulPlain(baby[b], it->second);
             if (have_acc) {
-                acc = eval.add(acc, term);
+                eval.addMulPlain(acc, baby[b], it->second);
             } else {
-                acc = std::move(term);
+                acc = eval.mulPlain(baby[b], it->second);
                 have_acc = true;
             }
         }
@@ -118,14 +120,15 @@ LinearTransform::apply(const Evaluator& eval, const Ciphertext& ct) const
             g == 0 ? std::move(acc)
                    : eval.rotate(acc, static_cast<int>(g * bs_));
         if (have_total) {
-            total = eval.add(total, shifted);
+            eval.addInPlace(total, shifted);
         } else {
             total = std::move(shifted);
             have_total = true;
         }
     }
     HYDRA_ASSERT(have_total, "linear transform produced nothing");
-    return eval.rescale(total);
+    eval.rescaleInPlace(total);
+    return total;
 }
 
 std::vector<cplx>

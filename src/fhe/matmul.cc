@@ -94,7 +94,7 @@ sumRotations(const Evaluator& eval, const Ciphertext& ct,
     std::vector<Ciphertext> rots = eval.rotateHoisted(ct, steps);
     Ciphertext acc = std::move(rots[0]);
     for (size_t i = 1; i < rots.size(); ++i)
-        acc = eval.add(acc, rots[i]);
+        eval.addInPlace(acc, rots[i]);
     return acc;
 }
 
@@ -128,8 +128,8 @@ ccmm(const Evaluator& eval, const Ciphertext& a, const Ciphertext& b,
         // sum_t rot(maskA, k - t).
         Plaintext col_mask = makeMask(encoder, d, k, true, scale,
                                       a.level());
-        Ciphertext a_col =
-            eval.rescale(eval.mulPlain(a, col_mask));
+        Ciphertext a_col = eval.mulPlain(a, col_mask);
+        eval.rescaleInPlace(a_col);
         std::vector<int> row_steps;
         for (size_t t = 0; t < d; ++t)
             row_steps.push_back(static_cast<int>(k) -
@@ -140,8 +140,8 @@ ccmm(const Evaluator& eval, const Ciphertext& a, const Ciphertext& b,
         // sum_i rot(maskB, (k - i) * d).
         Plaintext row_mask = makeMask(encoder, d, k, false, scale,
                                       b.level());
-        Ciphertext b_row =
-            eval.rescale(eval.mulPlain(b, row_mask));
+        Ciphertext b_row = eval.mulPlain(b, row_mask);
+        eval.rescaleInPlace(b_row);
         std::vector<int> col_steps;
         for (size_t i = 0; i < d; ++i)
             col_steps.push_back((static_cast<int>(k) -
@@ -151,13 +151,14 @@ ccmm(const Evaluator& eval, const Ciphertext& a, const Ciphertext& b,
 
         Ciphertext term = eval.mulRelin(a_rep, b_rep);
         if (have) {
-            acc = eval.add(acc, term);
+            eval.addInPlace(acc, term);
         } else {
             acc = std::move(term);
             have = true;
         }
     }
-    return eval.rescale(acc);
+    eval.rescaleInPlace(acc);
+    return acc;
 }
 
 } // namespace hydra

@@ -61,7 +61,7 @@ evalPolynomial(const Evaluator& eval, const Ciphertext& x,
         Ciphertext term =
             eval.mulConstantRescale(pow[k], coeffs[k], target_scale);
         if (have_sum) {
-            sum = eval.add(sum, term);
+            eval.addInPlace(sum, term);
         } else {
             sum = std::move(term);
             have_sum = true;

@@ -34,7 +34,7 @@ class ByteWriter
     }
 
     void
-    putWords(const std::vector<uint64_t>& w)
+    putWords(ConstLimbView w)
     {
         size_t off = out_.size();
         out_.resize(off + w.size() * 8);
@@ -73,7 +73,7 @@ class ByteReader
     }
 
     void
-    getWords(std::vector<uint64_t>& w)
+    getWords(LimbView w)
     {
         if (pos_ + w.size() * 8 > data_.size())
             fatal("truncated Hydra serialization blob");

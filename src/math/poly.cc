@@ -1,6 +1,8 @@
 #include "math/poly.hh"
 
+#include <algorithm>
 #include <bit>
+#include <cstring>
 #include <map>
 #include <mutex>
 
@@ -11,38 +13,100 @@
 namespace hydra {
 
 RnsPoly::RnsPoly(std::shared_ptr<const RnsBasis> basis, size_t n_limbs,
-                 bool has_special, bool ntt_form)
+                 bool has_special, bool ntt_form, Uninit)
     : basis_(std::move(basis)),
       nLimbs_(n_limbs),
       hasSpecial_(has_special),
-      nttForm_(ntt_form)
+      nttForm_(ntt_form),
+      n_(basis_->n()),
+      limbCount_(n_limbs + (has_special ? 1 : 0))
 {
     HYDRA_ASSERT(nLimbs_ >= 1 && nLimbs_ <= basis_->qCount(),
                  "limb count out of range");
-    size_t total = nLimbs_ + (hasSpecial_ ? 1 : 0);
-    limbs_.assign(total, std::vector<u64>(basis_->n(), 0));
+    buf_ = BufferPool::global().acquire(limbCount_ * n_);
+}
+
+RnsPoly::RnsPoly(std::shared_ptr<const RnsBasis> basis, size_t n_limbs,
+                 bool has_special, bool ntt_form)
+    : RnsPoly(std::move(basis), n_limbs, has_special, ntt_form, Uninit{})
+{
+    setZero();
+}
+
+RnsPoly::RnsPoly(const RnsPoly& other)
+    : basis_(other.basis_),
+      nLimbs_(other.nLimbs_),
+      hasSpecial_(other.hasSpecial_),
+      nttForm_(other.nttForm_),
+      n_(other.n_),
+      limbCount_(other.limbCount_)
+{
+    if (!basis_)
+        return;
+    buf_ = BufferPool::global().acquire(limbCount_ * n_);
+    std::memcpy(buf_.data(), other.buf_.data(),
+                limbCount_ * n_ * sizeof(u64));
+}
+
+RnsPoly&
+RnsPoly::operator=(const RnsPoly& other)
+{
+    if (this == &other)
+        return *this;
+    if (other.basis_) {
+        // Reuse our buffer when it is exactly the right size; otherwise
+        // recycle it through the pool.
+        size_t words = other.limbCount_ * other.n_;
+        if (!buf_.valid() || buf_.words() != words)
+            buf_ = BufferPool::global().acquire(words);
+        std::memcpy(buf_.data(), other.buf_.data(), words * sizeof(u64));
+    } else {
+        buf_.reset();
+    }
+    basis_ = other.basis_;
+    nLimbs_ = other.nLimbs_;
+    hasSpecial_ = other.hasSpecial_;
+    nttForm_ = other.nttForm_;
+    n_ = other.n_;
+    limbCount_ = other.limbCount_;
+    return *this;
+}
+
+RnsPoly
+RnsPoly::fromSigned(std::shared_ptr<const RnsBasis> basis, size_t n_limbs,
+                    bool has_special, const i64* coeffs)
+{
+    RnsPoly p(std::move(basis), n_limbs, has_special, false, Uninit{});
+    for (size_t k = 0; k < p.limbCount(); ++k) {
+        const Modulus& m = p.mod(k);
+        u64* limb = p.limbData(k);
+        for (size_t i = 0; i < p.n_; ++i)
+            limb[i] = m.reduceI64(coeffs[i]);
+    }
+    return p;
 }
 
 RnsPoly
 RnsPoly::fromSigned(std::shared_ptr<const RnsBasis> basis, size_t n_limbs,
                     bool has_special, const std::vector<i64>& coeffs)
 {
-    RnsPoly p(std::move(basis), n_limbs, has_special, false);
-    HYDRA_ASSERT(coeffs.size() == p.n(), "coefficient count mismatch");
-    for (size_t k = 0; k < p.limbCount(); ++k) {
-        const Modulus& m = p.mod(k);
-        auto& limb = p.limbs_[k];
-        for (size_t i = 0; i < coeffs.size(); ++i)
-            limb[i] = m.reduceI64(coeffs[i]);
-    }
-    return p;
+    HYDRA_ASSERT(coeffs.size() == basis->n(), "coefficient count mismatch");
+    return fromSigned(std::move(basis), n_limbs, has_special,
+                      coeffs.data());
+}
+
+void
+RnsPoly::copyLimbFrom(size_t k, const RnsPoly& src, size_t src_k)
+{
+    HYDRA_ASSERT(k < limbCount_ && src_k < src.limbCount_ && n_ == src.n_,
+                 "limb copy out of range");
+    std::memcpy(limbData(k), src.limbData(src_k), n_ * sizeof(u64));
 }
 
 void
 RnsPoly::setZero()
 {
-    for (auto& limb : limbs_)
-        std::fill(limb.begin(), limb.end(), 0);
+    std::fill(buf_.data(), buf_.data() + limbCount_ * n_, u64{0});
 }
 
 bool
@@ -56,11 +120,11 @@ void
 RnsPoly::add(const RnsPoly& other)
 {
     HYDRA_ASSERT(sameShape(other), "shape mismatch in add");
-    parallelFor(0, limbs_.size(), [&](size_t k) {
+    parallelFor(0, limbCount_, [&](size_t k) {
         const Modulus& m = mod(k);
-        auto& a = limbs_[k];
-        const auto& b = other.limbs_[k];
-        for (size_t i = 0; i < a.size(); ++i)
+        u64* a = limbData(k);
+        const u64* b = other.limbData(k);
+        for (size_t i = 0; i < n_; ++i)
             a[i] = m.addMod(a[i], b[i]);
     });
 }
@@ -69,11 +133,11 @@ void
 RnsPoly::sub(const RnsPoly& other)
 {
     HYDRA_ASSERT(sameShape(other), "shape mismatch in sub");
-    parallelFor(0, limbs_.size(), [&](size_t k) {
+    parallelFor(0, limbCount_, [&](size_t k) {
         const Modulus& m = mod(k);
-        auto& a = limbs_[k];
-        const auto& b = other.limbs_[k];
-        for (size_t i = 0; i < a.size(); ++i)
+        u64* a = limbData(k);
+        const u64* b = other.limbData(k);
+        for (size_t i = 0; i < n_; ++i)
             a[i] = m.subMod(a[i], b[i]);
     });
 }
@@ -81,10 +145,11 @@ RnsPoly::sub(const RnsPoly& other)
 void
 RnsPoly::negate()
 {
-    parallelFor(0, limbs_.size(), [&](size_t k) {
+    parallelFor(0, limbCount_, [&](size_t k) {
         const Modulus& m = mod(k);
-        for (auto& x : limbs_[k])
-            x = m.negMod(x);
+        u64* a = limbData(k);
+        for (size_t i = 0; i < n_; ++i)
+            a[i] = m.negMod(a[i]);
     });
 }
 
@@ -93,11 +158,11 @@ RnsPoly::mulPointwise(const RnsPoly& other)
 {
     HYDRA_ASSERT(sameShape(other) && nttForm_,
                  "mulPointwise requires matching NTT-form operands");
-    parallelFor(0, limbs_.size(), [&](size_t k) {
+    parallelFor(0, limbCount_, [&](size_t k) {
         const Modulus& m = mod(k);
-        auto& a = limbs_[k];
-        const auto& b = other.limbs_[k];
-        for (size_t i = 0; i < a.size(); ++i)
+        u64* a = limbData(k);
+        const u64* b = other.limbData(k);
+        for (size_t i = 0; i < n_; ++i)
             a[i] = m.mulMod(a[i], b[i]);
     });
 }
@@ -107,12 +172,12 @@ RnsPoly::addMulPointwise(const RnsPoly& a, const RnsPoly& b)
 {
     HYDRA_ASSERT(sameShape(a) && sameShape(b) && nttForm_,
                  "addMulPointwise requires matching NTT-form operands");
-    parallelFor(0, limbs_.size(), [&](size_t k) {
+    parallelFor(0, limbCount_, [&](size_t k) {
         const Modulus& m = mod(k);
-        auto& dst = limbs_[k];
-        const auto& x = a.limbs_[k];
-        const auto& y = b.limbs_[k];
-        for (size_t i = 0; i < dst.size(); ++i)
+        u64* dst = limbData(k);
+        const u64* x = a.limbData(k);
+        const u64* y = b.limbData(k);
+        for (size_t i = 0; i < n_; ++i)
             dst[i] = m.addMod(dst[i], m.mulMod(x[i], y[i]));
     });
 }
@@ -120,22 +185,24 @@ RnsPoly::addMulPointwise(const RnsPoly& a, const RnsPoly& b)
 void
 RnsPoly::mulScalar(u64 a)
 {
-    parallelFor(0, limbs_.size(), [&](size_t k) {
+    parallelFor(0, limbCount_, [&](size_t k) {
         const Modulus& m = mod(k);
         u64 ak = m.reduceU64(a);
-        for (auto& x : limbs_[k])
-            x = m.mulMod(x, ak);
+        u64* x = limbData(k);
+        for (size_t i = 0; i < n_; ++i)
+            x[i] = m.mulMod(x[i], ak);
     });
 }
 
 void
 RnsPoly::mulScalarPerLimb(const std::vector<u64>& a)
 {
-    HYDRA_ASSERT(a.size() == limbs_.size(), "per-limb scalar count");
-    parallelFor(0, limbs_.size(), [&](size_t k) {
+    HYDRA_ASSERT(a.size() == limbCount_, "per-limb scalar count");
+    parallelFor(0, limbCount_, [&](size_t k) {
         const Modulus& m = mod(k);
-        for (auto& x : limbs_[k])
-            x = m.mulMod(x, a[k]);
+        u64* x = limbData(k);
+        for (size_t i = 0; i < n_; ++i)
+            x[i] = m.mulMod(x[i], a[k]);
     });
 }
 
@@ -144,8 +211,8 @@ RnsPoly::toNtt()
 {
     if (nttForm_)
         return;
-    parallelFor(0, limbs_.size(), [&](size_t k) {
-        basis_->ntt(basisIndex(k)).forward(limbs_[k]);
+    parallelFor(0, limbCount_, [&](size_t k) {
+        basis_->ntt(basisIndex(k)).forward(limbData(k));
     });
     nttForm_ = true;
 }
@@ -155,8 +222,8 @@ RnsPoly::fromNtt()
 {
     if (!nttForm_)
         return;
-    parallelFor(0, limbs_.size(), [&](size_t k) {
-        basis_->ntt(basisIndex(k)).inverse(limbs_[k]);
+    parallelFor(0, limbCount_, [&](size_t k) {
+        basis_->ntt(basisIndex(k)).inverse(limbData(k));
     });
     nttForm_ = false;
 }
@@ -165,15 +232,15 @@ RnsPoly
 RnsPoly::automorphism(u64 galois) const
 {
     HYDRA_ASSERT(!nttForm_, "automorphism requires coefficient domain");
-    size_t nn = n();
+    size_t nn = n_;
     u64 two_n = 2 * nn;
     HYDRA_ASSERT((galois & 1) == 1 && galois < two_n, "bad Galois element");
 
-    RnsPoly out(basis_, nLimbs_, hasSpecial_, false);
-    parallelFor(0, limbs_.size(), [&](size_t k) {
+    RnsPoly out(basis_, nLimbs_, hasSpecial_, false, Uninit{});
+    parallelFor(0, limbCount_, [&](size_t k) {
         const Modulus& m = mod(k);
-        const auto& src = limbs_[k];
-        auto& dst = out.limbs_[k];
+        const u64* src = limbData(k);
+        u64* dst = out.limbData(k);
         for (size_t i = 0; i < nn; ++i) {
             u64 j = (static_cast<u64>(i) * galois) % two_n;
             if (j < nn)
@@ -219,33 +286,51 @@ RnsPoly
 RnsPoly::automorphismNtt(u64 galois) const
 {
     HYDRA_ASSERT(nttForm_, "automorphismNtt requires NTT domain");
-    const std::vector<size_t>& map = nttAutomorphismMapCached(n(), galois);
-    RnsPoly out(basis_, nLimbs_, hasSpecial_, true);
-    parallelFor(0, limbs_.size(), [&](size_t k) {
-        const auto& src = limbs_[k];
-        auto& dst = out.limbs_[k];
-        for (size_t j = 0; j < src.size(); ++j)
+    const std::vector<size_t>& map = nttAutomorphismMapCached(n_, galois);
+    RnsPoly out(basis_, nLimbs_, hasSpecial_, true, Uninit{});
+    parallelFor(0, limbCount_, [&](size_t k) {
+        const u64* src = limbData(k);
+        u64* dst = out.limbData(k);
+        for (size_t j = 0; j < n_; ++j)
             dst[j] = src[map[j]];
     });
     return out;
 }
 
 void
+RnsPoly::addAutomorphismNtt(const RnsPoly& src, u64 galois)
+{
+    HYDRA_ASSERT(sameShape(src) && nttForm_,
+                 "addAutomorphismNtt requires matching NTT-form operands");
+    const std::vector<size_t>& map = nttAutomorphismMapCached(n_, galois);
+    parallelFor(0, limbCount_, [&](size_t k) {
+        const Modulus& m = mod(k);
+        const u64* s = src.limbData(k);
+        u64* dst = limbData(k);
+        for (size_t j = 0; j < n_; ++j)
+            dst[j] = m.addMod(dst[j], s[map[j]]);
+    });
+}
+
+void
 RnsPoly::divideRoundByLast()
 {
-    HYDRA_ASSERT(limbs_.size() >= 2, "cannot drop the only limb");
-    size_t last = limbs_.size() - 1;
+    HYDRA_ASSERT(limbCount_ >= 2, "cannot drop the only limb");
+    size_t last = limbCount_ - 1;
     size_t last_basis = basisIndex(last);
     const Modulus& ql = basis_->mod(last_basis);
     const NttTable& ntt_l = basis_->ntt(last_basis);
-    size_t nn = n();
+    size_t nn = n_;
 
     // Bring the last limb into coefficient domain to take its centered
-    // representative.
-    std::vector<u64> corr = limbs_[last];
+    // representative.  Scratch comes from the pool; the i64 view is the
+    // signed alias of the same words.
+    PoolBuffer scratch = BufferPool::global().acquire(2 * nn);
+    u64* corr = scratch.data();
+    i64* centered = reinterpret_cast<i64*>(scratch.data() + nn);
+    std::memcpy(corr, limbData(last), nn * sizeof(u64));
     if (nttForm_)
         ntt_l.inverse(corr);
-    std::vector<i64> centered(nn);
     for (size_t i = 0; i < nn; ++i)
         centered[i] = ql.toCentered(corr[i]);
 
@@ -253,10 +338,11 @@ RnsPoly::divideRoundByLast()
         size_t kb = basisIndex(k);
         const Modulus& m = basis_->mod(kb);
         u64 inv = basis_->invQlModQj(last_basis, kb);
-        auto& limb = limbs_[k];
+        u64* limb = limbData(k);
         if (nttForm_) {
             // NTT the reduced correction, then combine pointwise.
-            std::vector<u64> c(nn);
+            PoolBuffer cb = BufferPool::global().acquire(nn);
+            u64* c = cb.data();
             for (size_t i = 0; i < nn; ++i)
                 c[i] = m.reduceI64(centered[i]);
             basis_->ntt(kb).forward(c);
@@ -270,18 +356,16 @@ RnsPoly::divideRoundByLast()
         }
     });
 
-    limbs_.pop_back();
-    if (hasSpecial_)
-        hasSpecial_ = false;
-    else
-        --nLimbs_;
+    dropLast();
 }
 
 void
 RnsPoly::dropLast()
 {
-    HYDRA_ASSERT(limbs_.size() >= 2, "cannot drop the only limb");
-    limbs_.pop_back();
+    HYDRA_ASSERT(limbCount_ >= 2, "cannot drop the only limb");
+    // The flat buffer keeps its original capacity (it returns to its
+    // size bucket when released); only the live-limb count shrinks.
+    --limbCount_;
     if (hasSpecial_)
         hasSpecial_ = false;
     else

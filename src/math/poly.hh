@@ -4,7 +4,11 @@
  *
  * A polynomial owns one residue vector ("limb") per active ciphertext
  * prime, plus optionally one limb for the special keyswitching prime.
- * Limbs can collectively be in coefficient or NTT (evaluation) domain.
+ * All limbs live in a single contiguous, cache-aligned buffer with
+ * stride n (limb k occupies words [k*n, (k+1)*n)), acquired from the
+ * global BufferPool so steady-state evaluator temporaries recycle
+ * storage instead of allocating.  Limbs can collectively be in
+ * coefficient or NTT (evaluation) domain.
  */
 
 #ifndef HYDRA_MATH_POLY_HH
@@ -13,9 +17,70 @@
 #include <memory>
 #include <vector>
 
+#include "common/pool.hh"
 #include "math/rns.hh"
 
 namespace hydra {
+
+/**
+ * Read-only view of one limb: n consecutive residues inside the flat
+ * buffer.  Cheap to copy; never owns memory.
+ */
+class ConstLimbView
+{
+  public:
+    ConstLimbView(const u64* p, size_t n) : p_(p), n_(n) {}
+
+    const u64* data() const { return p_; }
+    size_t size() const { return n_; }
+    const u64& operator[](size_t i) const { return p_[i]; }
+    const u64* begin() const { return p_; }
+    const u64* end() const { return p_ + n_; }
+
+    friend bool
+    operator==(ConstLimbView a, ConstLimbView b)
+    {
+        if (a.n_ != b.n_)
+            return false;
+        for (size_t i = 0; i < a.n_; ++i)
+            if (a.p_[i] != b.p_[i])
+                return false;
+        return true;
+    }
+
+  private:
+    const u64* p_;
+    size_t n_;
+};
+
+/** Mutable view of one limb.  Assignment is deliberately deleted:
+ *  copying limb contents goes through RnsPoly::copyLimbFrom. */
+class LimbView
+{
+  public:
+    LimbView(u64* p, size_t n) : p_(p), n_(n) {}
+
+    LimbView(const LimbView&) = default;
+    LimbView& operator=(const LimbView&) = delete;
+
+    u64* data() const { return p_; }
+    size_t size() const { return n_; }
+    u64& operator[](size_t i) const { return p_[i]; }
+    u64* begin() const { return p_; }
+    u64* end() const { return p_ + n_; }
+
+    operator ConstLimbView() const { return {p_, n_}; }
+
+    friend bool
+    operator==(LimbView a, ConstLimbView b)
+    {
+        return ConstLimbView(a) == b;
+    }
+
+  private:
+    u64* p_;
+    size_t n_;
+};
 
 /** RNS polynomial with explicit domain tracking. */
 class RnsPoly
@@ -33,6 +98,12 @@ class RnsPoly
     RnsPoly(std::shared_ptr<const RnsBasis> basis, size_t n_limbs,
             bool has_special = false, bool ntt_form = false);
 
+    RnsPoly(const RnsPoly& other);
+    RnsPoly& operator=(const RnsPoly& other);
+    RnsPoly(RnsPoly&&) noexcept = default;
+    RnsPoly& operator=(RnsPoly&&) noexcept = default;
+    ~RnsPoly() = default;
+
     /**
      * Build from signed coefficients (applied identically to every limb),
      * e.g.\ ternary secrets, error samples or encoded plaintexts.
@@ -41,9 +112,14 @@ class RnsPoly
                               size_t n_limbs, bool has_special,
                               const std::vector<i64>& coeffs);
 
+    /** Same, from a raw pointer to n coefficients (pooled scratch). */
+    static RnsPoly fromSigned(std::shared_ptr<const RnsBasis> basis,
+                              size_t n_limbs, bool has_special,
+                              const i64* coeffs);
+
     bool valid() const { return basis_ != nullptr; }
-    size_t n() const { return basis_->n(); }
-    size_t limbCount() const { return limbs_.size(); }
+    size_t n() const { return n_; }
+    size_t limbCount() const { return limbCount_; }
     size_t nLimbs() const { return nLimbs_; }
     bool hasSpecial() const { return hasSpecial_; }
     bool nttForm() const { return nttForm_; }
@@ -62,8 +138,15 @@ class RnsPoly
         return basis_->mod(basisIndex(k));
     }
 
-    std::vector<u64>& limb(size_t k) { return limbs_[k]; }
-    const std::vector<u64>& limb(size_t k) const { return limbs_[k]; }
+    /** Raw pointer to limb k (n consecutive words, stride n). */
+    u64* limbData(size_t k) { return buf_.data() + k * n_; }
+    const u64* limbData(size_t k) const { return buf_.data() + k * n_; }
+
+    LimbView limb(size_t k) { return {limbData(k), n_}; }
+    ConstLimbView limb(size_t k) const { return {limbData(k), n_}; }
+
+    /** this.limb(k) = src.limb(src_k) (contents, not a rebind). */
+    void copyLimbFrom(size_t k, const RnsPoly& src, size_t src_k);
 
     /** Set every limb to zero (keeps shape and domain). */
     void setZero();
@@ -110,6 +193,13 @@ class RnsPoly
     RnsPoly automorphismNtt(u64 galois) const;
 
     /**
+     * Fused gather-accumulate: this += automorphismNtt of src, without
+     * materializing the permuted polynomial.  Both in NTT form with
+     * matching shape.  Used by the hoisted-rotation accumulators.
+     */
+    void addAutomorphismNtt(const RnsPoly& src, u64 galois);
+
+    /**
      * Index permutation sigma with NTT(f(X^g))[j] = NTT(f)[sigma(j)]
      * for the bit-reversed negacyclic NTT ordering of length n.
      */
@@ -140,11 +230,21 @@ class RnsPoly
     bool sameShape(const RnsPoly& other) const;
 
   private:
+    /** Tag: allocate the buffer but skip zero-filling it. */
+    struct Uninit
+    {
+    };
+
+    RnsPoly(std::shared_ptr<const RnsBasis> basis, size_t n_limbs,
+            bool has_special, bool ntt_form, Uninit);
+
     std::shared_ptr<const RnsBasis> basis_;
     size_t nLimbs_ = 0;
     bool hasSpecial_ = false;
     bool nttForm_ = false;
-    std::vector<std::vector<u64>> limbs_;
+    size_t n_ = 0;         ///< ring dimension = limb stride
+    size_t limbCount_ = 0; ///< live limbs (nLimbs_ + special if attached)
+    PoolBuffer buf_;       ///< flat limb storage, limbCount_ * n_ words
 };
 
 } // namespace hydra

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Allocation-regression guard for the evaluator hot path: once a
+ * CMult + Rescale + Rotate loop has run a couple of warm-up rounds,
+ * every RnsPoly temporary (keyswitch digits, automorphism outputs,
+ * rescale scratch, relin accumulators) must be served from the
+ * BufferPool buckets — zero fresh allocations in steady state.  A miss
+ * here means some path regressed to allocating per call.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/pool.hh"
+#include "fhe_test_util.hh"
+
+namespace hydra {
+namespace {
+
+using test::FheHarness;
+
+CkksParams
+loopParams()
+{
+    CkksParams p;
+    p.n = 1 << 10;
+    p.levels = 8;
+    return p;
+}
+
+TEST(AllocRegression, SteadyStateEvaluatorLoopNeverMissesPool)
+{
+    FheHarness h(loopParams(), {1});
+    auto v = test::randomComplexVec(h.ctx.slots(), 31);
+    Ciphertext ct = h.encryptVec(v);
+
+    auto loopBody = [&] {
+        // One round of the hot ciphertext ops, all at fixed sizes so
+        // the same buckets are exercised every round.
+        Ciphertext t = h.eval.mulRelin(ct, ct);
+        t = h.eval.rescale(t);
+        t = h.eval.rotate(t, 1);
+        return t;
+    };
+
+    // Warm-up: populates the buckets plus the evaluator-side caches
+    // (automorphism index maps, keyswitch scratch).  `last` is held
+    // across iterations exactly like the measured loop so the bucket
+    // inventory matches steady state.
+    Ciphertext last;
+    for (int i = 0; i < 2; ++i)
+        last = loopBody();
+
+    BufferPool::global().resetStats();
+    for (int i = 0; i < 8; ++i)
+        last = loopBody();
+
+    BufferPool::Stats s = BufferPool::global().stats();
+    EXPECT_EQ(s.misses, 0u)
+        << "steady-state evaluator loop allocated " << s.misses
+        << " fresh buffers (hits: " << s.hits << ")";
+    EXPECT_GT(s.hits, 0u);
+
+    // The loop result must still decrypt correctly: pooling must never
+    // hand out a buffer that is still referenced elsewhere.
+    auto rotated = v;
+    for (auto& x : rotated)
+        x *= x; // one CMult of v with itself...
+    std::rotate(rotated.begin(), rotated.begin() + 1, rotated.end());
+    auto w = h.decryptVec(last);
+    EXPECT_LT(test::maxError(rotated, w), 1e-3);
+}
+
+TEST(AllocRegression, HoistedRotationSteadyStateNeverMissesPool)
+{
+    FheHarness h(loopParams(), {1, 2, 3, 4});
+    auto v = test::randomComplexVec(h.ctx.slots(), 33);
+    Ciphertext ct = h.encryptVec(v);
+    std::vector<int> steps = {1, 2, 3, 4};
+
+    for (int i = 0; i < 2; ++i)
+        h.eval.rotateHoisted(ct, steps);
+
+    BufferPool::global().resetStats();
+    for (int i = 0; i < 4; ++i)
+        h.eval.rotateHoisted(ct, steps);
+
+    BufferPool::Stats s = BufferPool::global().stats();
+    EXPECT_EQ(s.misses, 0u)
+        << "hoisted rotation allocated " << s.misses << " fresh buffers";
+    EXPECT_GT(s.hits, 0u);
+}
+
+} // namespace
+} // namespace hydra

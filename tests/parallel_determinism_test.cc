@@ -188,7 +188,7 @@ TEST(ParallelDeterminism, PlaintextNttCacheMatchesUncachedPath)
     // The cached polynomial equals an explicit restrict + NTT.
     RnsPoly manual(pt.poly.basis(), 2, false, false);
     for (size_t k = 0; k < 2; ++k)
-        manual.limb(k) = pt.poly.limb(k);
+        manual.copyLimbFrom(k, pt.poly, k);
     manual.toNtt();
     EXPECT_TRUE(polysIdentical(manual, pt.nttRestricted(2)));
 }
