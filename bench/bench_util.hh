@@ -13,9 +13,11 @@
  *
  * wall_us is per-iteration wall time; allocs / pool_hits are
  * per-iteration BufferPool miss / hit counts captured by wrapping the
- * measurement loop in a PoolCounterScope.  BENCH_micro.json at the repo
- * root is the checked-in snapshot tracking the perf trajectory across
- * PRs.
+ * measurement loop in a PoolCounterScope.  Any further counter a bench
+ * sets in state.counters (e.g. the serving bench's throughput_rps and
+ * latency percentiles) is passed through as an extra field of the same
+ * name.  BENCH_micro.json / BENCH_serving.json at the repo root are
+ * the checked-in snapshots tracking the perf trajectory across PRs.
  */
 
 #ifndef HYDRA_BENCH_BENCH_UTIL_HH
@@ -148,10 +150,23 @@ class JsonLinesReporter : public benchmark::BenchmarkReporter
             std::snprintf(line, sizeof(line),
                           "{\"bench\": \"%s\", \"case\": \"%s\", "
                           "\"wall_us\": %.3f, \"allocs\": %.2f, "
-                          "\"pool_hits\": %.2f}",
+                          "\"pool_hits\": %.2f",
                           bench_.c_str(), run.benchmark_name().c_str(),
                           wall_us, allocs, hits);
-            records_.emplace_back(line);
+            std::string record(line);
+            // Every other user counter passes through by name, so
+            // benches can export domain metrics (throughput, latency
+            // percentiles) without touching the harness.
+            for (const auto& [name, counter] : run.counters) {
+                if (name == "allocs" || name == "pool_hits")
+                    continue;
+                std::snprintf(line, sizeof(line), ", \"%s\": %.3f",
+                              name.c_str(),
+                              static_cast<double>(counter.value));
+                record += line;
+            }
+            record += "}";
+            records_.push_back(std::move(record));
         }
     }
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Google-benchmark harness for the multi-tenant serving subsystem:
+ * wall time of one whole ServeSim run (virtual seconds of serving
+ * simulated per real second), with the serving-level SLO metrics
+ * (throughput, p50/p95/p99 latency, shed count, mean utilization)
+ * exported as counters — so `--json` snapshots track both simulator
+ * speed and served quality across PRs.
+ *
+ * Cases:
+ *   BM_ServeMixed/<machine>   mixed ResNet-18 + BERT-base open-loop
+ *                             stream (the acceptance workload)
+ *   BM_ServeClosed            closed-loop client pool on Hydra-M
+ *   BM_ServeFaulted           same stream with a mid-stream card kill
+ *                             (repartition + shed accounting path)
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/prototypes.hh"
+#include "bench_util.hh"
+#include "serve/sim.hh"
+
+namespace hydra {
+namespace {
+
+const char* kMixedSpec =
+    "seed=7,duration=120,tenant=vision:open:resnet18:0.05,"
+    "tenant=nlp:open:bert:0.005";
+
+void
+exportStats(benchmark::State& state, const ServeStats& st)
+{
+    state.counters["throughput_rps"] = st.throughputRps();
+    state.counters["completed"] = static_cast<double>(st.completed);
+    state.counters["shed"] = static_cast<double>(st.shed);
+    state.counters["p50_ms"] =
+        ticksToSeconds(st.latency.percentile(0.50)) * 1e3;
+    state.counters["p95_ms"] =
+        ticksToSeconds(st.latency.percentile(0.95)) * 1e3;
+    state.counters["p99_ms"] =
+        ticksToSeconds(st.latency.percentile(0.99)) * 1e3;
+    double busy = 0;
+    for (const auto& g : st.groups)
+        busy += g.utilization(st.horizon);
+    state.counters["mean_util"] =
+        st.groups.empty() ? 0.0 : busy / static_cast<double>(st.groups.size());
+    state.counters["virtual_s"] = ticksToSeconds(st.horizon);
+}
+
+void
+serveCase(benchmark::State& state, const PrototypeSpec& spec,
+          const std::string& serve_spec, const std::string& fault_spec)
+{
+    ServeSpec serve = ServeSpec::parse(serve_spec);
+    FaultPlan faults = FaultPlan::parse(fault_spec);
+    ServeStats last;
+    for (auto _ : state) {
+        ServeSim sim(spec, serve, faults);
+        last = sim.run();
+        benchmark::DoNotOptimize(last.completed);
+    }
+    exportStats(state, last);
+}
+
+void
+BM_ServeMixedM(benchmark::State& state)
+{
+    serveCase(state, hydraMSpec(), kMixedSpec, "");
+}
+BENCHMARK(BM_ServeMixedM)->Unit(benchmark::kMillisecond);
+
+void
+BM_ServeMixedL(benchmark::State& state)
+{
+    serveCase(state, hydraLSpec(), kMixedSpec, "");
+}
+BENCHMARK(BM_ServeMixedL)->Unit(benchmark::kMillisecond);
+
+void
+BM_ServeClosed(benchmark::State& state)
+{
+    serveCase(state, hydraMSpec(),
+              "seed=7,duration=120,"
+              "tenant=vision:closed:resnet18:3:1,"
+              "tenant=nlp:closed:bert:1:5",
+              "");
+}
+BENCHMARK(BM_ServeClosed)->Unit(benchmark::kMillisecond);
+
+void
+BM_ServeFaulted(benchmark::State& state)
+{
+    serveCase(state, hydraMSpec(),
+              "seed=7,duration=120,"
+              "tenant=vision:open:resnet18:0.05,"
+              "tenant=nlp:open:bert:0.005,"
+              "group=resnet18:4:2,group=bert:4:1",
+              "kill=1@40");
+}
+BENCHMARK(BM_ServeFaulted)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace hydra
+
+HYDRA_BENCH_MAIN("serving")

@@ -13,12 +13,15 @@
  *                  comma list: seed=N,drop=P,corrupt=P,degrade=F,
  *                  dropfirst=K,straggle=CARD:F,kill=CARD@SECONDS)
  *                 [--max-attempts N]   (per-transfer retry budget)
+ *                 [--list-machines]    (print machine registry, exit)
+ *                 [--list-workloads]   (print workload registry, exit)
  */
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "analysis/energy.hh"
 #include "baselines/prototypes.hh"
@@ -30,7 +33,7 @@ using namespace hydra;
 namespace {
 
 PrototypeSpec
-machineByName(const std::string& name, size_t cards)
+resolveMachine(const std::string& name, size_t cards)
 {
     if (cards) {
         size_t servers = cards <= 8 ? 1 : (cards + 7) / 8;
@@ -38,37 +41,15 @@ machineByName(const std::string& name, size_t cards)
         return hydraPrototype("Hydra-" + std::to_string(cards), servers,
                               per);
     }
-    if (name == "hydra-s")
-        return hydraSSpec();
-    if (name == "hydra-m")
-        return hydraMSpec();
-    if (name == "hydra-l")
-        return hydraLSpec();
-    if (name == "fab-s")
-        return fabSSpec();
-    if (name == "fab-m")
-        return fabMSpec();
-    if (name == "fab-l")
-        return fabLSpec();
-    if (name == "poseidon")
-        return poseidonSpec();
-    fatal("unknown machine '%s'", name.c_str());
+    return machineByName(name);
 }
 
-WorkloadModel
-workloadByName(const std::string& name)
+void
+printRegistry(const char* what, const std::vector<std::string>& names)
 {
-    if (name == "resnet18")
-        return makeResNet18();
-    if (name == "resnet50")
-        return makeResNet50();
-    if (name == "bert")
-        return makeBertBase();
-    if (name == "opt")
-        return makeOpt67B();
-    if (name == "resnet20")
-        return makeResNet20Cifar();
-    fatal("unknown workload '%s'", name.c_str());
+    std::printf("%s:\n", what);
+    for (const auto& n : names)
+        std::printf("  %s\n", n.c_str());
 }
 
 } // namespace
@@ -102,12 +83,18 @@ main(int argc, char** argv)
         else if (arg == "--max-attempts")
             retry.maxAttempts = static_cast<uint32_t>(
                 std::strtoul(next().c_str(), nullptr, 10));
-        else
+        else if (arg == "--list-machines") {
+            printRegistry("machines", machineNames());
+            return 0;
+        } else if (arg == "--list-workloads") {
+            printRegistry("workloads", workloadNames());
+            return 0;
+        } else
             fatal("unknown argument '%s' (see the file header)",
                   arg.c_str());
     }
 
-    PrototypeSpec spec = machineByName(machine, cards);
+    PrototypeSpec spec = resolveMachine(machine, cards);
     WorkloadModel wl = workloadByName(workload);
     InferenceRunner runner(spec);
 

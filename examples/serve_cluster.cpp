@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Multi-tenant serving driver: carve one machine into card groups,
+ * push a deterministic request stream through the admission queue, and
+ * report throughput, utilization, and p50/p95/p99 latency.
+ *
+ * Usage:
+ *   serve_cluster [--machine NAME]      (see --list-machines)
+ *                 [--serve SPEC]        (serving spec; see below)
+ *                 [--faults SPEC]       (fault plan; kill=CARD@SECONDS
+ *                  ticks are absolute serve-clock times)
+ *                 [--max-attempts N]    (per-transfer retry budget)
+ *                 [--json]              (one JSON object on stdout)
+ *                 [--list-machines] [--list-workloads]
+ *
+ * The serve SPEC is a comma list (defaults in parentheses):
+ *   seed=N (1)  duration=S (5)  queue=N (64)  requests=N (200000)
+ *   tenant=NAME:open:WL:RATE            open-loop Poisson, RATE req/s
+ *   tenant=NAME:closed:WL:CLIENTS[:THINK_S]
+ *   prio=NAME:P                         priority tier (0 highest)
+ *   at=SEC:NAME:WL                      trace-replay arrival
+ *   group=WL:CARDS[:MIN]                partition plan (else even split)
+ *
+ * Example: a mixed ResNet-18 + BERT-base stream on Hydra-M:
+ *   serve_cluster --machine hydra-m \
+ *     --serve "duration=300,tenant=vision:open:resnet18:0.05,\
+ *              tenant=nlp:open:bert:0.005" --json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/prototypes.hh"
+#include "common/logging.hh"
+#include "serve/sim.hh"
+
+using namespace hydra;
+
+int
+main(int argc, char** argv)
+{
+    std::string machine = "hydra-m";
+    std::string serveSpecStr =
+        "duration=300,tenant=vision:open:resnet18:0.05,"
+        "tenant=nlp:open:bert:0.005";
+    std::string faultSpecStr;
+    RetryPolicy retry;
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--machine")
+            machine = next();
+        else if (arg == "--serve")
+            serveSpecStr = next();
+        else if (arg == "--faults")
+            faultSpecStr = next();
+        else if (arg == "--max-attempts")
+            retry.maxAttempts = static_cast<uint32_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--json")
+            json = true;
+        else if (arg == "--list-machines") {
+            for (const auto& n : machineNames())
+                std::printf("%s\n", n.c_str());
+            return 0;
+        } else if (arg == "--list-workloads") {
+            for (const auto& n : workloadNames())
+                std::printf("%s\n", n.c_str());
+            return 0;
+        } else
+            fatal("unknown argument '%s' (see the file header)",
+                  arg.c_str());
+    }
+
+    PrototypeSpec spec = machineByName(machine);
+    ServeSpec serve = ServeSpec::parse(serveSpecStr);
+    FaultPlan faults = FaultPlan::parse(faultSpecStr);
+
+    ServeSim sim(std::move(spec), serve, faults, retry);
+    ServeStats stats = sim.run();
+
+    if (json) {
+        std::printf("%s\n",
+                    stats.toJson(sim.spec().name, serve.describe())
+                        .c_str());
+        return 0;
+    }
+
+    std::printf("machine : %s (%zu server(s) x %zu card(s))\n",
+                sim.spec().name.c_str(), sim.spec().cluster.servers,
+                sim.spec().cluster.cardsPerServer);
+    std::printf("serve   : %s\n", serve.describe().c_str());
+    if (!faults.empty())
+        std::printf("faults  : %s\n", faults.describe().c_str());
+    std::printf("\n%s", stats.describe().c_str());
+    return 0;
+}

@@ -1,5 +1,7 @@
 #include "baselines/prototypes.hh"
 
+#include "common/logging.hh"
+
 namespace hydra {
 
 PrototypeSpec
@@ -81,6 +83,54 @@ poseidonSpec()
     s.fpga.computeDerate = 1.0;
     s.netKind = PrototypeSpec::NetKind::Switched;
     return s;
+}
+
+namespace {
+
+struct MachineEntry
+{
+    const char* name;
+    PrototypeSpec (*make)();
+};
+
+const MachineEntry kMachineRegistry[] = {
+    {"hydra-s", hydraSSpec}, {"hydra-m", hydraMSpec},
+    {"hydra-l", hydraLSpec}, {"fab-s", fabSSpec},
+    {"fab-m", fabMSpec},     {"fab-l", fabLSpec},
+    {"poseidon", poseidonSpec},
+};
+
+} // namespace
+
+std::vector<std::string>
+machineNames()
+{
+    std::vector<std::string> names;
+    for (const auto& e : kMachineRegistry)
+        names.emplace_back(e.name);
+    return names;
+}
+
+bool
+machineExists(const std::string& name)
+{
+    for (const auto& e : kMachineRegistry)
+        if (name == e.name)
+            return true;
+    return false;
+}
+
+PrototypeSpec
+machineByName(const std::string& name)
+{
+    for (const auto& e : kMachineRegistry)
+        if (name == e.name)
+            return e.make();
+    std::string valid;
+    for (const auto& e : kMachineRegistry)
+        valid += std::string(valid.empty() ? "" : "|") + e.name;
+    fatal("unknown machine '%s' (want %s)", name.c_str(),
+          valid.c_str());
 }
 
 const std::vector<PublishedRow>&

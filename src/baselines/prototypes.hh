@@ -44,6 +44,19 @@ PrototypeSpec fabLSpec();
 PrototypeSpec poseidonSpec();
 /// @}
 
+/// @name Machine registry (CLI name resolution and discoverability).
+/// @{
+/** CLI names of every registered machine configuration. */
+std::vector<std::string> machineNames();
+
+/** True when `name` resolves via machineByName(). */
+bool machineExists(const std::string& name);
+
+/** Resolve a machine by CLI name ("hydra-m", "fab-l", ...); calls
+ *  fatal() with the list of valid names on an unknown one. */
+PrototypeSpec machineByName(const std::string& name);
+/// @}
+
 /** Published end-to-end times, seconds (paper Table II rows). */
 struct PublishedRow
 {

@@ -14,6 +14,27 @@
 
 namespace hydra {
 
+/** splitmix64 finalizer: well-mixed 64-bit hash for order-independent
+ *  deterministic draws (fault injection, arrival processes). */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic uniform draw in [0,1) from (seed, stream, index, salt).
+ *  Platform-independent: no std distribution involved. */
+inline double
+hashUnit(uint64_t seed, uint64_t stream, uint64_t index, uint64_t salt)
+{
+    uint64_t h = mix64(seed ^ mix64(stream ^ mix64(index ^ salt)));
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
 /** Thin wrapper around a 64-bit Mersenne twister with typed draws. */
 class Rng
 {

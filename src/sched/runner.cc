@@ -1,5 +1,7 @@
 #include "sched/runner.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace hydra {
@@ -10,6 +12,43 @@ PrototypeSpec::makeNetwork() const
     if (netKind == NetKind::Switched)
         return std::make_unique<SwitchedNetwork>(net, cluster);
     return std::make_unique<HostMediatedNetwork>(hostNet, cluster);
+}
+
+bool
+CardGroup::alignedTo(const ClusterConfig& cluster) const
+{
+    if (cards.empty())
+        return false;
+    for (size_t i = 1; i < cards.size(); ++i)
+        if (cards[i] != cards[i - 1] + 1)
+            return false;
+    return cards.front() % cluster.cardsPerServer == 0 &&
+           cards.size() % cluster.cardsPerServer == 0;
+}
+
+CardGroup
+CardGroup::contiguous(size_t base, size_t count)
+{
+    CardGroup g;
+    g.cards.resize(count);
+    for (size_t i = 0; i < count; ++i)
+        g.cards[i] = base + i;
+    return g;
+}
+
+PrototypeSpec
+groupSubSpec(const PrototypeSpec& spec, const CardGroup& group)
+{
+    PrototypeSpec sub = spec;
+    if (group.alignedTo(spec.cluster))
+        sub.cluster =
+            ClusterConfig{group.size() / spec.cluster.cardsPerServer,
+                          spec.cluster.cardsPerServer};
+    else
+        // Ragged groups lose the server structure: model them as one
+        // switch, like the degraded-survivors path.
+        sub.cluster = ClusterConfig{1, group.size()};
+    return sub;
 }
 
 Tick
@@ -93,6 +132,26 @@ InferenceRunner::run(const WorkloadModel& workload) const
 }
 
 namespace {
+
+/** Project a machine-global fault plan onto the live cards of a job:
+ *  per-card entries are re-keyed to local indices, entries for cards
+ *  outside `alive` are dropped, and kill ticks stay absolute. */
+FaultPlan
+planForGroup(const FaultPlan& plan, const std::vector<size_t>& alive)
+{
+    FaultPlan out = plan;
+    out.stragglers.clear();
+    out.cardFailAt.clear();
+    for (size_t i = 0; i < alive.size(); ++i) {
+        auto s = plan.stragglers.find(alive[i]);
+        if (s != plan.stragglers.end())
+            out.stragglers[i] = s->second;
+        auto k = plan.cardFailAt.find(alive[i]);
+        if (k != plan.cardFailAt.end())
+            out.cardFailAt[i] = k->second;
+    }
+    return out;
+}
 
 /** Re-key per-card fault entries after card `dead` left the cluster. */
 FaultPlan
@@ -180,6 +239,84 @@ InferenceRunner::run(const WorkloadModel& workload,
                 cost_, *net_, cluster.totalCards(), workload.logSlots,
                 spec_.mapping);
             executor = std::make_unique<ClusterExecutor>(cluster, *net_);
+            executor->setRetryPolicy(retry);
+        }
+    }
+    return result;
+}
+
+InferenceResult
+InferenceRunner::runJob(const WorkloadModel& workload,
+                        const CardGroup& group, Tick start_tick,
+                        const FaultPlan& faults,
+                        const RetryPolicy& retry, size_t first_step,
+                        size_t num_steps) const
+{
+    InferenceResult result;
+    result.machine = spec_.name;
+    result.workload = workload.name;
+    if (group.cards.empty()) {
+        result.error.kind = RunError::Kind::InvalidProgram;
+        result.error.message = "runJob: empty card group";
+        return result;
+    }
+
+    // alive[i] = original machine index of the card locally mapped as i.
+    std::vector<size_t> alive = group.cards;
+    PrototypeSpec sub = groupSubSpec(spec_, group);
+    std::unique_ptr<NetworkModel> net = sub.makeNetwork();
+    ClusterConfig cluster = sub.cluster;
+    auto mapper = std::make_unique<StepMapper>(
+        cost_, *net, cluster.totalCards(), workload.logSlots,
+        spec_.mapping);
+    auto executor = std::make_unique<ClusterExecutor>(cluster, *net);
+    executor->setRetryPolicy(retry);
+
+    size_t end = workload.steps.size();
+    first_step = std::min(first_step, end);
+    if (num_steps < end - first_step)
+        end = first_step + num_steps;
+
+    for (size_t si = first_step; si < end; ++si) {
+        const Step& step = workload.steps[si];
+        for (;;) {
+            // The executor's clock IS the serve clock: each step
+            // starts where the job has advanced to, and kill ticks
+            // need no shifting.
+            executor->setTimeOrigin(start_tick + result.total.makespan);
+            executor->setFaultPlan(planForGroup(faults, alive));
+
+            Program prog = mapper->mapStep(step);
+            RunResult rr = executor->tryRun(prog);
+            if (rr.ok()) {
+                result.total.append(rr.stats, net->stepSyncLatency());
+                result.steps.push_back(
+                    StepResult{step.name, step.kind, rr.stats});
+                break;
+            }
+            if (rr.error.kind != RunError::Kind::CardFailed) {
+                result.error = std::move(rr.error);
+                return result;
+            }
+
+            // Permanent card failure inside the group: charge the
+            // aborted attempt and re-dispatch on the survivors.
+            size_t dead = rr.error.card;
+            result.recoveryPenalty += rr.stats.makespan;
+            result.total.append(rr.stats, 0);
+            result.failedCards.push_back(alive[dead]);
+            ++result.redispatches;
+            alive.erase(alive.begin() + dead);
+            if (alive.empty()) {
+                result.error = std::move(rr.error);
+                result.error.message += " (no surviving cards left)";
+                return result;
+            }
+            cluster = ClusterConfig{1, alive.size()};
+            mapper = std::make_unique<StepMapper>(
+                cost_, *net, cluster.totalCards(), workload.logSlots,
+                spec_.mapping);
+            executor = std::make_unique<ClusterExecutor>(cluster, *net);
             executor->setRetryPolicy(retry);
         }
     }

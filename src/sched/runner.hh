@@ -37,6 +37,35 @@ struct PrototypeSpec
     std::unique_ptr<NetworkModel> makeNetwork() const;
 };
 
+/**
+ * A job-scoped subset of a machine's cards, identified by their
+ * original (machine-global) indices.  The serving layer carves a
+ * machine into disjoint groups and runs one inference job per group.
+ */
+struct CardGroup
+{
+    /** Original card indices, strictly ascending. */
+    std::vector<size_t> cards;
+
+    size_t size() const { return cards.size(); }
+
+    /** Whether the group is a contiguous run of whole servers, so the
+     *  machine's real topology applies inside it. */
+    bool alignedTo(const ClusterConfig& cluster) const;
+
+    /** Convenience: the contiguous group [base, base + count). */
+    static CardGroup contiguous(size_t base, size_t count);
+};
+
+/**
+ * The sub-machine a job confined to `group` sees: whole-server groups
+ * keep the machine's switched/host topology; ragged groups are
+ * modelled as a flat single-server cluster (the same substitution the
+ * degraded re-dispatch path of PR 2 uses for survivors).
+ */
+PrototypeSpec groupSubSpec(const PrototypeSpec& spec,
+                           const CardGroup& group);
+
 /** Execution record of one step. */
 struct StepResult
 {
@@ -109,6 +138,30 @@ class InferenceRunner
     InferenceResult run(const WorkloadModel& workload,
                         const FaultPlan& faults,
                         const RetryPolicy& retry = {}) const;
+
+    /**
+     * Job-scoped, resumable execution for the serving layer: run steps
+     * [first_step, first_step + num_steps) of `workload` confined to
+     * `group`'s cards, starting at absolute virtual time `start_tick`
+     * on a shared clock (the executor's time origin).
+     *
+     * Fault-plan card indices are machine-global (entries for cards
+     * outside the group are ignored) and cardFailAt ticks are absolute
+     * serve-clock times — no caller-side shifting.  On a permanent
+     * card failure inside the group the failed step is re-dispatched
+     * onto the group's survivors exactly like run(), and the result's
+     * failedCards reports original machine indices.
+     *
+     * The returned total.makespan is the job's duration, i.e. the job
+     * ends at start_tick + total.makespan.
+     */
+    InferenceResult runJob(const WorkloadModel& workload,
+                           const CardGroup& group, Tick start_tick,
+                           const FaultPlan& faults = {},
+                           const RetryPolicy& retry = {},
+                           size_t first_step = 0,
+                           size_t num_steps = static_cast<size_t>(-1))
+        const;
 
     /**
      * Fused execution: all steps preloaded into the card queues as one

@@ -1,0 +1,124 @@
+#include "serve/partition.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+namespace {
+
+size_t
+tableIndex(const std::vector<std::string>& table, const std::string& w)
+{
+    for (size_t i = 0; i < table.size(); ++i)
+        if (table[i] == w)
+            return i;
+    fatal("group plan names workload '%s' that no registry entry "
+          "provides",
+          w.c_str());
+}
+
+} // namespace
+
+FleetPartition::FleetPartition(
+    const PrototypeSpec& spec, const ServeSpec& serve,
+    const std::vector<std::string>& workload_table)
+{
+    const size_t total = spec.cluster.totalCards();
+    std::vector<GroupPlan> plan = serve.groups;
+    if (plan.empty()) {
+        // Auto-partition: even split across the workload classes the
+        // tenants reference, remainder cards to the earliest classes.
+        std::vector<std::string> used;
+        for (const auto& t : serve.tenants)
+            if (std::find(used.begin(), used.end(), t.workload) ==
+                used.end())
+                used.push_back(t.workload);
+        if (used.empty())
+            fatal("serve spec has no tenants and no group plan");
+        if (used.size() > total)
+            fatal("machine has %zu card(s) but tenants use %zu workload "
+                  "class(es)",
+                  total, used.size());
+        size_t share = total / used.size();
+        size_t extra = total % used.size();
+        for (size_t i = 0; i < used.size(); ++i) {
+            GroupPlan g;
+            g.workload = used[i];
+            g.cards = share + (i < extra ? 1 : 0);
+            g.minCards = 1;
+            plan.push_back(std::move(g));
+        }
+    }
+
+    size_t next = 0;
+    for (const auto& p : plan) {
+        if (next + p.cards > total)
+            fatal("group plan oversubscribes the machine: %zu card(s) "
+                  "requested beyond the %zu available",
+                  next + p.cards - total, total);
+        ServeGroup g;
+        g.id = groups_.size();
+        g.workload = tableIndex(workload_table, p.workload);
+        g.cards = CardGroup::contiguous(next, p.cards);
+        g.minCards = p.minCards;
+        groups_.push_back(std::move(g));
+        next += p.cards;
+    }
+}
+
+ServeGroup*
+FleetPartition::groupOf(size_t card)
+{
+    for (auto& g : groups_) {
+        if (!g.live())
+            continue;
+        const auto& cs = g.cards.cards;
+        if (std::binary_search(cs.begin(), cs.end(), card))
+            return &g;
+    }
+    return nullptr;
+}
+
+bool
+FleetPartition::servable(size_t workload) const
+{
+    for (const auto& g : groups_)
+        if (g.live() && g.workload == workload)
+            return true;
+    return false;
+}
+
+FleetPartition::DeathAction
+FleetPartition::onCardDeath(size_t card)
+{
+    ServeGroup* g = groupOf(card);
+    if (!g)
+        return DeathAction::Ignored;
+    auto& cs = g->cards.cards;
+    cs.erase(std::find(cs.begin(), cs.end(), card));
+    if (cs.size() >= g->minCards && !cs.empty())
+        return DeathAction::Shrunk;
+
+    // Below the floor: dissolve, donating survivors to the smallest
+    // live sibling serving the same workload.
+    std::vector<size_t> survivors = std::move(cs);
+    g->retired = true;
+    cs.clear();
+    ServeGroup* sink = nullptr;
+    for (auto& s : groups_) {
+        if (&s == g || !s.live() || s.workload != g->workload)
+            continue;
+        if (!sink || s.cards.size() < sink->cards.size())
+            sink = &s;
+    }
+    if (!sink)
+        return DeathAction::Dissolved;
+    auto& dst = sink->cards.cards;
+    dst.insert(dst.end(), survivors.begin(), survivors.end());
+    std::sort(dst.begin(), dst.end());
+    return DeathAction::Donated;
+}
+
+} // namespace hydra

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multi-tenant serving simulator: the discrete-event layer that turns
+ * one-shot inference into sustained throughput on a shared virtual
+ * clock.
+ *
+ * Pipeline per request: workload generator -> bounded admission queue
+ * (priority + tenant fairness, shed on full) -> fleet partition (one
+ * idle card group per workload class picks the next request) ->
+ * InferenceRunner::runJob on the group's cards -> ServeStats roll-up
+ * (throughput, utilization, p50/p95/p99 latency).
+ *
+ * Clock composition: the serve clock is absolute virtual time.  Jobs
+ * dispatched at t0 run with the cluster executor's time origin set to
+ * t0, so FaultPlan::cardFailAt ticks are absolute serve-clock times
+ * and a kill lands in whatever job (or idle period) covers it.
+ * Fault-free service times are cached per (workload, group size,
+ * alignment) — identical groups replay identical virtual runs, which
+ * keeps thousand-request simulations fast and bit-deterministic.
+ *
+ * Fault handling: transient faults (drop/corrupt/degrade) apply
+ * inside every job; permanent card kills are consumed by the job in
+ * flight (degraded completion via survivor re-dispatch, PR 2) or by
+ * the serve loop when the card is idle.  Either way the fleet
+ * partition repairs itself: groups shrink in place until minCards,
+ * then dissolve and donate survivors to a sibling; a workload class
+ * with no groups left sheds its queued and future requests with a
+ * structured no-capacity reason.
+ */
+
+#ifndef HYDRA_SERVE_SIM_HH
+#define HYDRA_SERVE_SIM_HH
+
+#include "serve/partition.hh"
+#include "serve/queue.hh"
+#include "serve/stats.hh"
+#include "sync/fault.hh"
+
+namespace hydra {
+
+/** Runs one serving experiment on one machine. */
+class ServeSim
+{
+  public:
+    /**
+     * @param spec machine description (copied)
+     * @param serve serving experiment (tenants, partition, queue)
+     * @param faults machine-global fault plan; cardFailAt ticks are
+     *        absolute serve-clock times
+     * @param retry DTU retry policy forwarded to every job
+     */
+    ServeSim(PrototypeSpec spec, ServeSpec serve, FaultPlan faults = {},
+             RetryPolicy retry = {});
+
+    /**
+     * Run to completion: arrivals stop at the spec horizon, admitted
+     * work drains.  Deterministic: same spec + seed + faults give a
+     * bit-identical ServeStats (same hash()), independent of
+     * HYDRA_THREADS.
+     */
+    ServeStats run();
+
+    const PrototypeSpec& spec() const { return spec_; }
+    const ServeSpec& serveSpec() const { return serve_; }
+
+  private:
+    PrototypeSpec spec_;
+    ServeSpec serve_;
+    FaultPlan faults_;
+    RetryPolicy retry_;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SERVE_SIM_HH

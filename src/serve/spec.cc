@@ -1,0 +1,205 @@
+#include "serve/spec.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+const char*
+arrivalModeName(ArrivalMode m)
+{
+    switch (m) {
+    case ArrivalMode::Open:
+        return "open";
+    case ArrivalMode::Closed:
+        return "closed";
+    case ArrivalMode::Trace:
+        return "trace";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Split `s` on `sep` (no empty-field collapsing). */
+std::vector<std::string>
+splitOn(const std::string& s, char sep)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string field;
+    while (std::getline(ss, field, sep))
+        out.push_back(field);
+    return out;
+}
+
+TenantSpec*
+findTenant(std::vector<TenantSpec>& tenants, const std::string& name)
+{
+    for (auto& t : tenants)
+        if (t.name == name)
+            return &t;
+    return nullptr;
+}
+
+} // namespace
+
+ServeSpec
+ServeSpec::parse(const std::string& spec)
+{
+    ServeSpec out;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        auto eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("serve spec item '%s' is not key=value", item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        if (val.empty())
+            fatal("serve spec item '%s' has an empty value", item.c_str());
+        if (key == "seed") {
+            out.seed = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (key == "duration") {
+            out.durationSeconds = std::strtod(val.c_str(), nullptr);
+        } else if (key == "queue") {
+            out.queueCapacity = std::strtoul(val.c_str(), nullptr, 10);
+        } else if (key == "requests") {
+            out.maxRequests = std::strtoull(val.c_str(), nullptr, 10);
+        } else if (key == "tenant") {
+            auto f = splitOn(val, ':');
+            if (f.size() < 4)
+                fatal("tenant wants NAME:MODE:WL:ARG[...], got '%s'",
+                      val.c_str());
+            TenantSpec t;
+            t.name = f[0];
+            t.workload = f[2];
+            if (f[1] == "open") {
+                t.mode = ArrivalMode::Open;
+                t.rate = std::strtod(f[3].c_str(), nullptr);
+                if (t.rate <= 0)
+                    fatal("tenant '%s': open-loop rate must be > 0",
+                          t.name.c_str());
+            } else if (f[1] == "closed") {
+                t.mode = ArrivalMode::Closed;
+                t.clients = std::strtoul(f[3].c_str(), nullptr, 10);
+                if (t.clients == 0)
+                    fatal("tenant '%s': closed loop wants >= 1 client",
+                          t.name.c_str());
+                if (f.size() > 4)
+                    t.thinkSeconds = std::strtod(f[4].c_str(), nullptr);
+            } else {
+                fatal("tenant '%s': mode must be open|closed, got '%s'",
+                      t.name.c_str(), f[1].c_str());
+            }
+            if (findTenant(out.tenants, t.name))
+                fatal("duplicate tenant '%s'", t.name.c_str());
+            out.tenants.push_back(std::move(t));
+        } else if (key == "prio") {
+            auto f = splitOn(val, ':');
+            if (f.size() != 2)
+                fatal("prio wants NAME:P, got '%s'", val.c_str());
+            TenantSpec* t = findTenant(out.tenants, f[0]);
+            if (!t)
+                fatal("prio: unknown tenant '%s' (declare it first)",
+                      f[0].c_str());
+            t->priority = static_cast<int>(
+                std::strtol(f[1].c_str(), nullptr, 10));
+        } else if (key == "at") {
+            auto f = splitOn(val, ':');
+            if (f.size() != 3)
+                fatal("at wants SEC:NAME:WL, got '%s'", val.c_str());
+            TraceEntry e;
+            e.atSeconds = std::strtod(f[0].c_str(), nullptr);
+            e.tenant = f[1];
+            e.workload = f[2];
+            if (e.atSeconds < 0)
+                fatal("at: negative arrival time '%s'", f[0].c_str());
+            out.trace.push_back(std::move(e));
+        } else if (key == "group") {
+            auto f = splitOn(val, ':');
+            if (f.size() < 2 || f.size() > 3)
+                fatal("group wants WL:CARDS[:MIN], got '%s'", val.c_str());
+            GroupPlan g;
+            g.workload = f[0];
+            g.cards = std::strtoul(f[1].c_str(), nullptr, 10);
+            g.minCards = f.size() > 2
+                             ? std::strtoul(f[2].c_str(), nullptr, 10)
+                             : 1;
+            if (g.cards == 0 || g.minCards == 0 || g.minCards > g.cards)
+                fatal("group '%s': want 1 <= MIN <= CARDS", val.c_str());
+            out.groups.push_back(std::move(g));
+        } else {
+            fatal("unknown serve spec key '%s' (want seed/duration/"
+                  "queue/requests/tenant/prio/at/group)",
+                  key.c_str());
+        }
+    }
+    if (out.durationSeconds <= 0)
+        fatal("serve duration must be > 0");
+    if (out.queueCapacity == 0)
+        fatal("serve queue capacity must be >= 1");
+
+    // Trace entries for undeclared tenants implicitly declare a
+    // trace-only tenant (replay convenience).
+    for (const auto& e : out.trace) {
+        if (!findTenant(out.tenants, e.tenant)) {
+            TenantSpec t;
+            t.name = e.tenant;
+            t.mode = ArrivalMode::Trace;
+            t.workload = e.workload;
+            out.tenants.push_back(std::move(t));
+        }
+    }
+    return out;
+}
+
+std::string
+ServeSpec::describe() const
+{
+    std::string s = strf("seed=%llu duration=%.3gs queue=%zu",
+                         static_cast<unsigned long long>(seed),
+                         durationSeconds, queueCapacity);
+    for (const auto& t : tenants) {
+        s += strf(" %s[%s %s", t.name.c_str(), arrivalModeName(t.mode),
+                  t.workload.c_str());
+        if (t.mode == ArrivalMode::Open)
+            s += strf(" %.3g req/s", t.rate);
+        else if (t.mode == ArrivalMode::Closed)
+            s += strf(" %zu client(s) think %.3gs", t.clients,
+                      t.thinkSeconds);
+        if (t.priority != 1)
+            s += strf(" prio %d", t.priority);
+        s += "]";
+    }
+    if (!trace.empty())
+        s += strf(" +%zu trace arrival(s)", trace.size());
+    for (const auto& g : groups)
+        s += strf(" group[%s x%zu min %zu]", g.workload.c_str(), g.cards,
+                  g.minCards);
+    return s;
+}
+
+std::vector<std::string>
+ServeSpec::workloadTable() const
+{
+    std::vector<std::string> table;
+    auto intern = [&](const std::string& w) {
+        if (std::find(table.begin(), table.end(), w) == table.end())
+            table.push_back(w);
+    };
+    for (const auto& t : tenants)
+        intern(t.workload);
+    for (const auto& e : trace)
+        intern(e.workload);
+    for (const auto& g : groups)
+        intern(g.workload);
+    return table;
+}
+
+} // namespace hydra

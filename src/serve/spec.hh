@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Multi-tenant serving specification.
+ *
+ * A ServeSpec describes one serving experiment deterministically from
+ * a seed: which tenants issue requests (open-loop Poisson streams,
+ * closed-loop client pools, or explicit trace entries), which workload
+ * model each tenant runs, request priorities, the admission-queue
+ * bound, and how the machine's cards are partitioned into serving
+ * groups.  Like FaultPlan, it parses from / describes to a compact
+ * CLI string so experiments are reproducible from one command line.
+ */
+
+#ifndef HYDRA_SERVE_SPEC_HH
+#define HYDRA_SERVE_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/eventq.hh"
+
+namespace hydra {
+
+/** How a tenant generates load. */
+enum class ArrivalMode : uint8_t
+{
+    /** Open loop: Poisson arrivals at a fixed mean rate, regardless of
+     *  completions (models independent external users). */
+    Open,
+    /** Closed loop: a fixed pool of clients, each issuing its next
+     *  request a think time after its previous one completes. */
+    Closed,
+    /** Trace replay: arrivals only at the spec's explicit `at=` ticks. */
+    Trace,
+};
+
+const char* arrivalModeName(ArrivalMode m);
+
+/** One tenant of the serving experiment. */
+struct TenantSpec
+{
+    std::string name;
+    ArrivalMode mode = ArrivalMode::Open;
+    /** Registry name of the workload this tenant runs ("resnet18"...). */
+    std::string workload;
+    /** Open loop: mean arrival rate in requests per (virtual) second. */
+    double rate = 1.0;
+    /** Closed loop: concurrent clients. */
+    size_t clients = 1;
+    /** Closed loop: think time between completion and next request. */
+    double thinkSeconds = 0.0;
+    /** Priority tier; 0 is the highest, larger numbers yield. */
+    int priority = 1;
+};
+
+/** One explicit trace-replay arrival. */
+struct TraceEntry
+{
+    double atSeconds = 0.0;
+    std::string tenant;
+    std::string workload;
+};
+
+/** One requested card group of the fleet partition. */
+struct GroupPlan
+{
+    /** Workload class the group is dedicated to. */
+    std::string workload;
+    /** Cards carved out of the machine (contiguous allocation). */
+    size_t cards = 1;
+    /** Fault-aware repartitioning floor: when permanent card deaths
+     *  shrink the group below this, it is dissolved and its survivors
+     *  donated to a sibling group of the same workload. */
+    size_t minCards = 1;
+};
+
+/** Full serving-experiment description. */
+struct ServeSpec
+{
+    /** Seed for every stochastic draw (arrival processes). */
+    uint64_t seed = 1;
+    /** Arrival horizon in virtual seconds; admitted work drains after. */
+    double durationSeconds = 5.0;
+    /** Admission-queue bound; arrivals beyond it are shed. */
+    size_t queueCapacity = 64;
+    /** Safety cap on generated requests (open loop + closed loop). */
+    uint64_t maxRequests = 200000;
+    std::vector<TenantSpec> tenants;
+    std::vector<TraceEntry> trace;
+    /** Fleet partition plan; empty = split the machine evenly across
+     *  the workload classes the tenants use. */
+    std::vector<GroupPlan> groups;
+
+    Tick durationTicks() const { return secondsToTicks(durationSeconds); }
+
+    /**
+     * Parse a CLI serve spec: comma-separated items.
+     *   seed=N  duration=S  queue=N  requests=N
+     *   tenant=NAME:open:WL:RATE          (Poisson, RATE req/s)
+     *   tenant=NAME:closed:WL:CLIENTS[:THINK_S]
+     *   prio=NAME:P                       (priority tier; 0 highest)
+     *   at=SEC:NAME:WL                    (trace entry; repeatable)
+     *   group=WL:CARDS[:MIN]              (partition plan; repeatable)
+     * Calls fatal() on malformed input (CLI-facing helper).
+     */
+    static ServeSpec parse(const std::string& spec);
+
+    /** One-line human summary. */
+    std::string describe() const;
+
+    /** The distinct workload names the spec references, in first-use
+     *  order (tenants, then trace, then groups): the sim's workload
+     *  table. */
+    std::vector<std::string> workloadTable() const;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SERVE_SPEC_HH

@@ -1,0 +1,278 @@
+#include "serve/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+namespace {
+
+/** Bucket upper edges in ticks, computed once: 100us * 2^(i/4). */
+const std::array<Tick, LatencyHistogram::kBuckets>&
+bucketEdges()
+{
+    static const auto edges = [] {
+        std::array<Tick, LatencyHistogram::kBuckets> e{};
+        const double base = 100e-6;
+        const double ratio = std::pow(2.0, 0.25);
+        double upper = base;
+        for (size_t i = 0; i < e.size(); ++i) {
+            e[i] = secondsToTicks(upper);
+            upper *= ratio;
+        }
+        return e;
+    }();
+    return edges;
+}
+
+} // namespace
+
+Tick
+LatencyHistogram::bucketUpper(size_t i)
+{
+    return bucketEdges()[std::min(i, kBuckets - 1)];
+}
+
+void
+LatencyHistogram::add(Tick t)
+{
+    const auto& edges = bucketEdges();
+    // First bucket whose upper edge exceeds t; overflow clamps into
+    // the last bucket.
+    auto it = std::upper_bound(edges.begin(), edges.end(), t);
+    size_t idx = it == edges.end()
+                     ? kBuckets - 1
+                     : static_cast<size_t>(it - edges.begin());
+    ++counts_[idx];
+    ++total_;
+}
+
+Tick
+LatencyHistogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Rank of the quantile sample, 1-based (nearest-rank definition).
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p * static_cast<double>(total_)));
+    rank = std::max<uint64_t>(rank, 1);
+    uint64_t cum = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        cum += counts_[i];
+        if (cum >= rank)
+            return bucketEdges()[i];
+    }
+    return bucketEdges()[kBuckets - 1];
+}
+
+namespace {
+
+/** Incremental FNV-1a (64-bit). */
+struct Fnv
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+
+    void
+    bytes(const void* p, size_t n)
+    {
+        const auto* b = static_cast<const unsigned char*>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 0x100000001b3ULL;
+        }
+    }
+
+    void u64(uint64_t v) { bytes(&v, sizeof(v)); }
+
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string& s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    void
+    hist(const LatencyHistogram& hg)
+    {
+        u64(hg.count());
+        for (uint64_t c : hg.buckets())
+            u64(c);
+    }
+};
+
+} // namespace
+
+uint64_t
+ServeStats::hash() const
+{
+    Fnv f;
+    f.u64(horizon);
+    f.u64(offered);
+    f.u64(admitted);
+    f.u64(completed);
+    f.u64(shed);
+    f.u64(shedQueueFull);
+    f.u64(shedNoCapacity);
+    f.u64(failedCards.size());
+    for (size_t c : failedCards)
+        f.u64(c);
+    f.u64(repartitions);
+    f.u64(redispatches);
+    f.u64(recoveryPenalty);
+    f.u64(maxQueueDepth);
+    f.f64(meanQueueDepth);
+    f.hist(latency);
+    f.hist(queueWait);
+    f.hist(service);
+    for (const auto& t : tenants) {
+        f.str(t.name);
+        f.u64(t.offered);
+        f.u64(t.admitted);
+        f.u64(t.completed);
+        f.u64(t.shed);
+    }
+    for (const auto& g : groups) {
+        f.u64(g.id);
+        f.str(g.workload);
+        f.u64(g.cards);
+        f.u64(g.completed);
+        f.u64(g.busyTicks);
+        f.u64(g.retired ? 1 : 0);
+    }
+    return f.h;
+}
+
+namespace {
+
+double
+ms(Tick t)
+{
+    return ticksToSeconds(t) * 1e3;
+}
+
+} // namespace
+
+std::string
+ServeStats::toJson(const std::string& machine,
+                   const std::string& spec_line) const
+{
+    std::string s = "{";
+    s += strf("\"machine\": \"%s\", ", machine.c_str());
+    s += strf("\"spec\": \"%s\", ", spec_line.c_str());
+    s += strf("\"horizon_s\": %.6f, ", ticksToSeconds(horizon));
+    s += strf("\"offered\": %llu, \"admitted\": %llu, "
+              "\"completed\": %llu, ",
+              static_cast<unsigned long long>(offered),
+              static_cast<unsigned long long>(admitted),
+              static_cast<unsigned long long>(completed));
+    s += strf("\"shed\": {\"total\": %llu, \"queue_full\": %llu, "
+              "\"no_capacity\": %llu}, ",
+              static_cast<unsigned long long>(shed),
+              static_cast<unsigned long long>(shedQueueFull),
+              static_cast<unsigned long long>(shedNoCapacity));
+    s += strf("\"throughput_rps\": %.6f, ", throughputRps());
+    s += strf("\"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, "
+              "\"p99\": %.3f}, ",
+              ms(latency.percentile(0.50)),
+              ms(latency.percentile(0.95)),
+              ms(latency.percentile(0.99)));
+    s += strf("\"queue_wait_ms\": {\"p50\": %.3f, \"p99\": %.3f}, ",
+              ms(queueWait.percentile(0.50)),
+              ms(queueWait.percentile(0.99)));
+    s += strf("\"queue\": {\"max_depth\": %zu, \"mean_depth\": %.3f}, ",
+              maxQueueDepth, meanQueueDepth);
+    s += "\"faults\": {\"failed_cards\": [";
+    for (size_t i = 0; i < failedCards.size(); ++i)
+        s += strf("%s%zu", i ? ", " : "", failedCards[i]);
+    s += strf("], \"repartitions\": %llu, \"redispatches\": %llu, "
+              "\"recovery_penalty_s\": %.6f}, ",
+              static_cast<unsigned long long>(repartitions),
+              static_cast<unsigned long long>(redispatches),
+              ticksToSeconds(recoveryPenalty));
+    s += "\"tenants\": [";
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        const auto& t = tenants[i];
+        s += strf("%s{\"name\": \"%s\", \"offered\": %llu, "
+                  "\"admitted\": %llu, \"completed\": %llu, "
+                  "\"shed\": %llu}",
+                  i ? ", " : "", t.name.c_str(),
+                  static_cast<unsigned long long>(t.offered),
+                  static_cast<unsigned long long>(t.admitted),
+                  static_cast<unsigned long long>(t.completed),
+                  static_cast<unsigned long long>(t.shed));
+    }
+    s += "], \"groups\": [";
+    for (size_t i = 0; i < groups.size(); ++i) {
+        const auto& g = groups[i];
+        s += strf("%s{\"id\": %zu, \"workload\": \"%s\", "
+                  "\"cards\": %zu, \"completed\": %llu, "
+                  "\"utilization\": %.4f, \"retired\": %s}",
+                  i ? ", " : "", g.id, g.workload.c_str(), g.cards,
+                  static_cast<unsigned long long>(g.completed),
+                  g.utilization(horizon),
+                  g.retired ? "true" : "false");
+    }
+    s += strf("], \"hash\": \"%016llx\"}",
+              static_cast<unsigned long long>(hash()));
+    return s;
+}
+
+std::string
+ServeStats::describe() const
+{
+    std::string s;
+    s += strf("horizon %.3f s, offered %llu, admitted %llu, completed "
+              "%llu, shed %llu (%llu queue-full, %llu no-capacity)\n",
+              ticksToSeconds(horizon),
+              static_cast<unsigned long long>(offered),
+              static_cast<unsigned long long>(admitted),
+              static_cast<unsigned long long>(completed),
+              static_cast<unsigned long long>(shed),
+              static_cast<unsigned long long>(shedQueueFull),
+              static_cast<unsigned long long>(shedNoCapacity));
+    s += strf("throughput %.3f req/s; latency p50 %.1f ms, p95 %.1f "
+              "ms, p99 %.1f ms; queue depth max %zu, mean %.2f\n",
+              throughputRps(), ms(latency.percentile(0.50)),
+              ms(latency.percentile(0.95)),
+              ms(latency.percentile(0.99)), maxQueueDepth,
+              meanQueueDepth);
+    if (!failedCards.empty()) {
+        s += "faults: lost card(s)";
+        for (size_t c : failedCards)
+            s += strf(" %zu", c);
+        s += strf(", %llu repartition(s), %llu redispatch(es), "
+                  "recovery penalty %.3f s\n",
+                  static_cast<unsigned long long>(repartitions),
+                  static_cast<unsigned long long>(redispatches),
+                  ticksToSeconds(recoveryPenalty));
+    }
+    for (const auto& t : tenants)
+        s += strf("  tenant %-10s offered %6llu  completed %6llu  "
+                  "shed %5llu\n",
+                  t.name.c_str(),
+                  static_cast<unsigned long long>(t.offered),
+                  static_cast<unsigned long long>(t.completed),
+                  static_cast<unsigned long long>(t.shed));
+    for (const auto& g : groups)
+        s += strf("  group %zu [%s] %zu card(s)%s  completed %6llu  "
+                  "util %5.1f%%\n",
+                  g.id, g.workload.c_str(), g.cards,
+                  g.retired ? " retired" : "",
+                  static_cast<unsigned long long>(g.completed),
+                  g.utilization(horizon) * 100);
+    return s;
+}
+
+} // namespace hydra

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Serving metrics: fixed-bucket latency histograms, per-tenant and
+ * per-group counters, queue-depth tracking, and a machine-readable
+ * JSON export compatible with the --json bench machinery.
+ *
+ * Percentiles come from a geometric fixed-bucket histogram (no stored
+ * samples): bucket 0 is [0, 100us) and each later bucket grows by
+ * 2^(1/4) (~19% relative resolution) up to ~23 minutes, overflow
+ * clamped into the last bucket.  percentile() returns the upper edge
+ * of the bucket containing the requested quantile — deterministic,
+ * conservative, and O(1) memory regardless of request count.
+ */
+
+#ifndef HYDRA_SERVE_STATS_HH
+#define HYDRA_SERVE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/eventq.hh"
+
+namespace hydra {
+
+/** Fixed-bucket geometric latency histogram. */
+class LatencyHistogram
+{
+  public:
+    static constexpr size_t kBuckets = 96;
+
+    void add(Tick t);
+
+    uint64_t count() const { return total_; }
+
+    /** Upper edge of the bucket holding quantile p (p in (0, 1]);
+     *  0 when the histogram is empty. */
+    Tick percentile(double p) const;
+
+    const std::array<uint64_t, kBuckets>& buckets() const
+    {
+        return counts_;
+    }
+
+    /** Upper edge of bucket `i` in ticks (same table add() bins by). */
+    static Tick bucketUpper(size_t i);
+
+  private:
+    std::array<uint64_t, kBuckets> counts_{};
+    uint64_t total_ = 0;
+};
+
+/** Per-tenant serving counters. */
+struct TenantStats
+{
+    std::string name;
+    uint64_t offered = 0;
+    uint64_t admitted = 0;
+    uint64_t completed = 0;
+    uint64_t shed = 0;
+};
+
+/** Per-group usage snapshot at the end of a run. */
+struct GroupStats
+{
+    size_t id = 0;
+    std::string workload;
+    /** Cards still alive at the end of the run. */
+    size_t cards = 0;
+    uint64_t completed = 0;
+    Tick busyTicks = 0;
+    bool retired = false;
+
+    double
+    utilization(Tick horizon) const
+    {
+        return horizon ? static_cast<double>(busyTicks) /
+                             static_cast<double>(horizon)
+                       : 0.0;
+    }
+};
+
+/** Aggregated results of one serving run. */
+struct ServeStats
+{
+    /** End of the run: max(arrival horizon, last completion). */
+    Tick horizon = 0;
+
+    uint64_t offered = 0;
+    uint64_t admitted = 0;
+    uint64_t completed = 0;
+    uint64_t shed = 0;
+    uint64_t shedQueueFull = 0;
+    uint64_t shedNoCapacity = 0;
+
+    /** Fault accounting rolled up from degraded jobs and idle kills. */
+    std::vector<size_t> failedCards;
+    uint64_t repartitions = 0;
+    uint64_t redispatches = 0;
+    Tick recoveryPenalty = 0;
+
+    size_t maxQueueDepth = 0;
+    /** Time-weighted mean queue depth over the horizon. */
+    double meanQueueDepth = 0.0;
+
+    /** completion - arrival. */
+    LatencyHistogram latency;
+    /** dispatch - arrival. */
+    LatencyHistogram queueWait;
+    /** completion - dispatch. */
+    LatencyHistogram service;
+
+    std::vector<TenantStats> tenants;
+    std::vector<GroupStats> groups;
+
+    double
+    throughputRps() const
+    {
+        double s = ticksToSeconds(horizon);
+        return s > 0 ? static_cast<double>(completed) / s : 0.0;
+    }
+
+    /** FNV-1a over every counter and histogram bucket: two runs with
+     *  the same seed must produce the same hash (determinism tests). */
+    uint64_t hash() const;
+
+    /** One JSON object with throughput, p50/p95/p99, shed reasons,
+     *  per-tenant and per-group roll-ups. */
+    std::string toJson(const std::string& machine,
+                       const std::string& spec_line) const;
+
+    /** Human-readable console report. */
+    std::string describe() const;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SERVE_STATS_HH

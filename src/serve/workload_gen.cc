@@ -1,0 +1,118 @@
+#include "serve/workload_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace hydra {
+
+namespace {
+
+constexpr uint64_t kArrivalSalt = 0x61727276ULL; // "arrv"
+
+size_t
+tableIndex(const std::vector<std::string>& table, const std::string& w)
+{
+    for (size_t i = 0; i < table.size(); ++i)
+        if (table[i] == w)
+            return i;
+    fatal("workload '%s' missing from the serve workload table",
+          w.c_str());
+}
+
+} // namespace
+
+WorkloadGen::WorkloadGen(const ServeSpec& spec,
+                         const std::vector<std::string>& workload_table)
+    : spec_(spec)
+{
+    tenantWorkload_.reserve(spec.tenants.size());
+    for (const auto& t : spec.tenants)
+        tenantWorkload_.push_back(tableIndex(workload_table, t.workload));
+}
+
+std::vector<Request>
+WorkloadGen::initialArrivals()
+{
+    const Tick horizon = spec_.durationTicks();
+    std::vector<Request> out;
+
+    auto emit = [&](size_t tenant, Tick at) {
+        Request r;
+        r.tenant = tenant;
+        r.workload = tenantWorkload_[tenant];
+        r.priority = spec_.tenants[tenant].priority;
+        r.arrival = at;
+        out.push_back(r);
+    };
+
+    for (size_t ti = 0; ti < spec_.tenants.size(); ++ti) {
+        const TenantSpec& t = spec_.tenants[ti];
+        if (t.mode == ArrivalMode::Open) {
+            // Poisson process: exponential gaps from the tenant's own
+            // hashed stream, so adding a tenant never perturbs the
+            // arrival times of another.
+            double at = 0.0;
+            for (uint64_t k = 0;
+                 out.size() < spec_.maxRequests; ++k) {
+                double u = hashUnit(spec_.seed, ti, k, kArrivalSalt);
+                at += -std::log(1.0 - u) / t.rate;
+                Tick tick = secondsToTicks(at);
+                if (tick >= horizon)
+                    break;
+                emit(ti, tick);
+            }
+        } else if (t.mode == ArrivalMode::Closed) {
+            for (size_t c = 0; c < t.clients &&
+                               out.size() < spec_.maxRequests;
+                 ++c)
+                emit(ti, 0);
+        }
+    }
+    for (const auto& e : spec_.trace) {
+        if (out.size() >= spec_.maxRequests)
+            break;
+        Tick tick = secondsToTicks(e.atSeconds);
+        if (tick >= horizon)
+            continue;
+        size_t ti = 0;
+        for (; ti < spec_.tenants.size(); ++ti)
+            if (spec_.tenants[ti].name == e.tenant)
+                break;
+        emit(ti, tick);
+    }
+
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Request& a, const Request& b) {
+                         return a.arrival != b.arrival
+                                    ? a.arrival < b.arrival
+                                    : a.tenant < b.tenant;
+                     });
+    for (auto& r : out)
+        r.id = nextId_++;
+    return out;
+}
+
+std::optional<Request>
+WorkloadGen::closedArrival(size_t tenant_idx, Tick completion)
+{
+    const TenantSpec& t = spec_.tenants[tenant_idx];
+    if (t.mode != ArrivalMode::Closed)
+        return std::nullopt;
+    if (generated() >= spec_.maxRequests)
+        return std::nullopt;
+    Tick at = completion + secondsToTicks(t.thinkSeconds);
+    if (at >= spec_.durationTicks())
+        return std::nullopt;
+    Request r;
+    r.id = nextId_++;
+    r.tenant = tenant_idx;
+    r.workload = tenantWorkload_[tenant_idx];
+    r.priority = t.priority;
+    r.arrival = at;
+    return r;
+}
+
+} // namespace hydra

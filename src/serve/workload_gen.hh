@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic request-stream generation for the serving layer.
+ *
+ * Open-loop tenants draw exponential inter-arrival gaps from hashed
+ * splitmix64 streams (platform-independent, order-independent per
+ * tenant), trace tenants replay the spec's explicit `at=` entries, and
+ * closed-loop client pools issue their first request at t=0 and then
+ * one request per completion after the tenant's think time.  The same
+ * seed always yields the same request ids at the same ticks.
+ */
+
+#ifndef HYDRA_SERVE_WORKLOAD_GEN_HH
+#define HYDRA_SERVE_WORKLOAD_GEN_HH
+
+#include <optional>
+
+#include "serve/spec.hh"
+
+namespace hydra {
+
+/** One inference request travelling through the serving pipeline. */
+struct Request
+{
+    uint64_t id = 0;
+    /** Index into ServeSpec::tenants. */
+    size_t tenant = 0;
+    /** Index into the sim's workload table. */
+    size_t workload = 0;
+    /** Priority tier copied from the tenant (0 = highest). */
+    int priority = 1;
+    Tick arrival = 0;
+    /** Set when the request leaves the queue for a card group. */
+    Tick dispatched = 0;
+};
+
+/** Generates the deterministic request stream of one ServeSpec. */
+class WorkloadGen
+{
+  public:
+    /**
+     * @param spec the serving experiment (tenants, seed, horizon)
+     * @param workload_table distinct workload names; tenant workloads
+     *        are resolved to indices into it (fatal if absent)
+     */
+    WorkloadGen(const ServeSpec& spec,
+                const std::vector<std::string>& workload_table);
+
+    /**
+     * Every open-loop and trace arrival in [0, duration), plus each
+     * closed-loop client's first request at t=0; sorted by (tick, id)
+     * with ids assigned in that order.
+     */
+    std::vector<Request> initialArrivals();
+
+    /**
+     * Next request of a closed-loop tenant after one of its in-flight
+     * requests completed at `completion`.  Returns nullopt when the
+     * next arrival would fall past the horizon (the client pool winds
+     * down), for non-closed tenants, or past the request cap.
+     */
+    std::optional<Request> closedArrival(size_t tenant_idx,
+                                         Tick completion);
+
+    /** Requests handed out so far (open + trace + closed). */
+    uint64_t generated() const { return nextId_ - 1; }
+
+  private:
+    const ServeSpec& spec_;
+    std::vector<size_t> tenantWorkload_; // tenant idx -> table idx
+    uint64_t nextId_ = 1;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SERVE_WORKLOAD_GEN_HH

@@ -154,7 +154,9 @@ struct Engine
         for (const auto& [card, tick] : plan.cardFailAt) {
             if (card >= prog.cardCount())
                 continue;
-            eq.schedule(tick, [this, card = card] {
+            // Kill ticks are absolute; with a time origin a kill dated
+            // before the run starts fires immediately.
+            eq.schedule(std::max(tick, eq.now()), [this, card = card] {
                 if (halted || allDone())
                     return; // program already drained; nothing to kill
                 RunError e;
@@ -622,6 +624,8 @@ ClusterExecutor::tryRun(const Program& program)
 
     Engine eng(program, cluster_, *network_, faults_, retry_);
     eng.record = recordTimeline_;
+    eng.eq.advanceTo(origin_);
+    eng.finishTick = origin_;
     eng.scheduleCardFailures();
     for (size_t c = 0; c < program.cardCount(); ++c)
         eng.kick(c);
@@ -638,7 +642,7 @@ ClusterExecutor::tryRun(const Program& program)
                                            : " (wait-for cycle found)");
     }
 
-    eng.stats.makespan = eng.finishTick;
+    eng.stats.makespan = eng.finishTick - origin_;
     eng.stats.computeBusy.resize(program.cardCount());
     eng.stats.commBusy.resize(program.cardCount());
     for (size_t c = 0; c < program.cardCount(); ++c) {

@@ -126,6 +126,17 @@ class ClusterExecutor
     void setRetryPolicy(const RetryPolicy& p) { retry_ = p; }
     const RetryPolicy& retryPolicy() const { return retry_; }
 
+    /**
+     * Start subsequent runs at absolute virtual time `t` instead of 0,
+     * so several jobs compose on one shared clock (serving layer).
+     * RunStats::makespan stays relative to the origin (duration of the
+     * run), but timeline events and FaultPlan::cardFailAt ticks are
+     * interpreted on the absolute clock: a kill scheduled before the
+     * origin fires immediately at run start.
+     */
+    void setTimeOrigin(Tick t) { origin_ = t; }
+    Tick timeOrigin() const { return origin_; }
+
     /** Run Program::validate() before executing (default on). */
     void setPrevalidate(bool on) { prevalidate_ = on; }
 
@@ -137,6 +148,7 @@ class ClusterExecutor
     std::unique_ptr<const NetworkModel> network_;
     FaultPlan faults_;
     RetryPolicy retry_;
+    Tick origin_ = 0;
     bool prevalidate_ = true;
     bool recordTimeline_ = false;
 };

@@ -388,4 +388,51 @@ allBenchmarks()
     return {makeResNet18(), makeResNet50(), makeBertBase(), makeOpt67B()};
 }
 
+namespace {
+
+struct WorkloadEntry
+{
+    const char* name;
+    WorkloadModel (*make)();
+};
+
+const WorkloadEntry kWorkloadRegistry[] = {
+    {"resnet18", makeResNet18}, {"resnet50", makeResNet50},
+    {"bert", makeBertBase},     {"opt", makeOpt67B},
+    {"resnet20", makeResNet20Cifar},
+};
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto& e : kWorkloadRegistry)
+        names.emplace_back(e.name);
+    return names;
+}
+
+bool
+workloadExists(const std::string& name)
+{
+    for (const auto& e : kWorkloadRegistry)
+        if (name == e.name)
+            return true;
+    return false;
+}
+
+WorkloadModel
+workloadByName(const std::string& name)
+{
+    for (const auto& e : kWorkloadRegistry)
+        if (name == e.name)
+            return e.make();
+    std::string valid;
+    for (const auto& e : kWorkloadRegistry)
+        valid += std::string(valid.empty() ? "" : "|") + e.name;
+    fatal("unknown workload '%s' (want %s)", name.c_str(),
+          valid.c_str());
+}
+
 } // namespace hydra

@@ -135,6 +135,19 @@ WorkloadModel makeResNet20Cifar();
 /** All four, in the paper's column order. */
 std::vector<WorkloadModel> allBenchmarks();
 
+/// @name Workload registry (CLI name resolution and discoverability).
+/// @{
+/** CLI names of every registered workload model. */
+std::vector<std::string> workloadNames();
+
+/** True when `name` resolves via workloadByName(). */
+bool workloadExists(const std::string& name);
+
+/** Resolve a workload by CLI name ("resnet18", "bert", ...); calls
+ *  fatal() with the list of valid names on an unknown one. */
+WorkloadModel workloadByName(const std::string& name);
+/// @}
+
 } // namespace hydra
 
 #endif // HYDRA_WORKLOADS_MODEL_HH

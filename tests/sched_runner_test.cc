@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baselines/prototypes.hh"
 
 namespace hydra {
@@ -126,6 +128,104 @@ TEST(Runner, StepResultsCarryLabels)
         if (s.kind == ProcKind::Bootstrap)
             ++boot_steps;
     EXPECT_EQ(boot_steps, makeBertBase().stepCount(ProcKind::Bootstrap));
+}
+
+TEST(RunnerFaults, RepeatedCardDeathsDedupAndTerminate)
+{
+    InferenceRunner runner{hydraMSpec()};
+    WorkloadModel wl = makeResNet18();
+
+    FaultPlan one;
+    one.cardFailAt[2] = secondsToTicks(0.5);
+    InferenceResult r1 = runner.run(wl, one);
+    ASSERT_TRUE(r1.ok()) << r1.error.message;
+    ASSERT_EQ(r1.failedCards.size(), 1u);
+    EXPECT_EQ(r1.failedCards[0], 2u);
+
+    // A second death later in the same inference: the survivors-only
+    // re-dispatch must shrink again and still terminate.
+    FaultPlan two = one;
+    two.cardFailAt[5] = secondsToTicks(2.0);
+    InferenceResult r2 = runner.run(wl, two);
+    ASSERT_TRUE(r2.ok()) << r2.error.message;
+
+    // Each card appears at most once even though several steps abort
+    // on it before the re-dispatch takes effect.
+    std::vector<size_t> cards = r2.failedCards;
+    std::sort(cards.begin(), cards.end());
+    EXPECT_TRUE(std::adjacent_find(cards.begin(), cards.end()) ==
+                cards.end());
+    EXPECT_EQ(cards.size(), 2u);
+
+    // Losing more cards can only waste more time: the recovery
+    // penalty is monotone in the set of deaths.
+    EXPECT_GE(r2.recoveryPenalty, r1.recoveryPenalty);
+    EXPECT_GT(r2.recoveryPenalty, 0u);
+    EXPECT_GE(r2.redispatches, r1.redispatches);
+}
+
+TEST(RunnerJobs, AlignedGroupMatchesWholeMachine)
+{
+    // A whole-server 8-card slice of Hydra-L is exactly a Hydra-M:
+    // the job-scoped path must reproduce the standalone run tick for
+    // tick, including on a non-zero start tick.
+    WorkloadModel wl = makeResNet18();
+    InferenceResult whole = InferenceRunner{hydraMSpec()}.run(wl);
+
+    InferenceRunner large{hydraLSpec()};
+    CardGroup slice = CardGroup::contiguous(8, 8);
+    ASSERT_TRUE(slice.alignedTo(hydraLSpec().cluster));
+    InferenceResult job =
+        large.runJob(wl, slice, secondsToTicks(3.0));
+    ASSERT_TRUE(job.ok()) << job.error.message;
+    EXPECT_EQ(job.total.makespan, whole.total.makespan);
+}
+
+TEST(RunnerJobs, ResumeComposesWithFullRun)
+{
+    InferenceRunner runner{hydraMSpec()};
+    WorkloadModel wl = makeResNet18();
+    CardGroup all = CardGroup::contiguous(0, 8);
+
+    InferenceResult full = runner.runJob(wl, all, 0);
+    ASSERT_TRUE(full.ok());
+
+    const size_t cut = wl.steps.size() / 2;
+    InferenceResult head = runner.runJob(wl, all, 0, {}, {}, 0, cut);
+    ASSERT_TRUE(head.ok());
+    InferenceResult tail = runner.runJob(wl, all, head.total.makespan,
+                                         {}, {}, cut,
+                                         wl.steps.size() - cut);
+    ASSERT_TRUE(tail.ok());
+
+    EXPECT_EQ(head.steps.size() + tail.steps.size(),
+              full.steps.size());
+    EXPECT_EQ(head.total.makespan + tail.total.makespan,
+              full.total.makespan);
+}
+
+TEST(RunnerJobs, RaggedGroupDegradesAndSurvives)
+{
+    // Kill a card of a 3-card ragged group mid-job: the job must
+    // re-dispatch onto the survivors and finish degraded, reporting
+    // the dead card by its original machine index.
+    InferenceRunner runner{hydraMSpec()};
+    WorkloadModel wl = makeResNet18();
+    CardGroup group;
+    group.cards = {1, 4, 6};
+
+    InferenceResult clean = runner.runJob(wl, group, 0);
+    ASSERT_TRUE(clean.ok());
+
+    FaultPlan plan;
+    const Tick start = secondsToTicks(10.0);
+    plan.cardFailAt[4] = start + clean.total.makespan / 2;
+    InferenceResult hurt = runner.runJob(wl, group, start, plan);
+    ASSERT_TRUE(hurt.ok()) << hurt.error.message;
+    ASSERT_EQ(hurt.failedCards.size(), 1u);
+    EXPECT_EQ(hurt.failedCards[0], 4u);
+    EXPECT_GT(hurt.redispatches, 0u);
+    EXPECT_GT(hurt.total.makespan, clean.total.makespan);
 }
 
 } // namespace

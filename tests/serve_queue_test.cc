@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Serving front-end tests: spec parsing, deterministic request
+ * generation, and the bounded priority/fairness admission queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/queue.hh"
+#include "serve/workload_gen.hh"
+
+namespace hydra {
+namespace {
+
+Request
+req(uint64_t id, size_t tenant, size_t workload, int priority,
+    Tick arrival)
+{
+    Request r;
+    r.id = id;
+    r.tenant = tenant;
+    r.workload = workload;
+    r.priority = priority;
+    r.arrival = arrival;
+    return r;
+}
+
+TEST(ServeSpec, ParsesFullGrammar)
+{
+    ServeSpec s = ServeSpec::parse(
+        "seed=9,duration=12.5,queue=7,requests=100,"
+        "tenant=vision:open:resnet18:2.5,"
+        "tenant=pool:closed:bert:3:0.25,"
+        "prio=vision:0,at=1.5:replay:opt,group=resnet18:4:2");
+    EXPECT_EQ(s.seed, 9u);
+    EXPECT_DOUBLE_EQ(s.durationSeconds, 12.5);
+    EXPECT_EQ(s.queueCapacity, 7u);
+    EXPECT_EQ(s.maxRequests, 100u);
+    ASSERT_EQ(s.tenants.size(), 3u); // trace tenant auto-declared
+    EXPECT_EQ(s.tenants[0].name, "vision");
+    EXPECT_EQ(s.tenants[0].mode, ArrivalMode::Open);
+    EXPECT_DOUBLE_EQ(s.tenants[0].rate, 2.5);
+    EXPECT_EQ(s.tenants[0].priority, 0);
+    EXPECT_EQ(s.tenants[1].mode, ArrivalMode::Closed);
+    EXPECT_EQ(s.tenants[1].clients, 3u);
+    EXPECT_DOUBLE_EQ(s.tenants[1].thinkSeconds, 0.25);
+    EXPECT_EQ(s.tenants[2].name, "replay");
+    EXPECT_EQ(s.tenants[2].mode, ArrivalMode::Trace);
+    ASSERT_EQ(s.trace.size(), 1u);
+    EXPECT_EQ(s.trace[0].workload, "opt");
+    ASSERT_EQ(s.groups.size(), 1u);
+    EXPECT_EQ(s.groups[0].cards, 4u);
+    EXPECT_EQ(s.groups[0].minCards, 2u);
+
+    // The workload table lists each name once, in first-use order.
+    std::vector<std::string> table = s.workloadTable();
+    ASSERT_EQ(table.size(), 3u);
+    EXPECT_EQ(table[0], "resnet18");
+    EXPECT_EQ(table[1], "bert");
+    EXPECT_EQ(table[2], "opt");
+}
+
+TEST(WorkloadGen, SameSeedSameStream)
+{
+    ServeSpec s = ServeSpec::parse(
+        "seed=3,duration=20,tenant=a:open:resnet18:2,"
+        "tenant=b:open:bert:1");
+    std::vector<std::string> table = s.workloadTable();
+    std::vector<Request> x = WorkloadGen(s, table).initialArrivals();
+    std::vector<Request> y = WorkloadGen(s, table).initialArrivals();
+    ASSERT_EQ(x.size(), y.size());
+    ASSERT_FALSE(x.empty());
+    for (size_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(x[i].id, y[i].id);
+        EXPECT_EQ(x[i].arrival, y[i].arrival);
+        EXPECT_EQ(x[i].tenant, y[i].tenant);
+    }
+    // Sorted by arrival, ids in that order, all inside the horizon.
+    for (size_t i = 1; i < x.size(); ++i) {
+        EXPECT_LE(x[i - 1].arrival, x[i].arrival);
+        EXPECT_EQ(x[i].id, x[i - 1].id + 1);
+    }
+    EXPECT_LT(x.back().arrival, s.durationTicks());
+
+    ServeSpec other = s;
+    other.seed = 4;
+    std::vector<Request> z = WorkloadGen(other, table).initialArrivals();
+    bool differs = z.size() != x.size();
+    for (size_t i = 0; !differs && i < x.size(); ++i)
+        differs = z[i].arrival != x[i].arrival;
+    EXPECT_TRUE(differs);
+}
+
+TEST(WorkloadGen, ClosedLoopThinksThenStops)
+{
+    ServeSpec s = ServeSpec::parse(
+        "seed=1,duration=10,tenant=pool:closed:resnet18:2:0.5");
+    std::vector<std::string> table = s.workloadTable();
+    WorkloadGen gen(s, table);
+    std::vector<Request> first = gen.initialArrivals();
+    ASSERT_EQ(first.size(), 2u); // one per client, at t=0
+    EXPECT_EQ(first[0].arrival, 0u);
+
+    auto next = gen.closedArrival(0, secondsToTicks(2.0));
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(next->arrival, secondsToTicks(2.5));
+
+    // Past the horizon the pool winds down.
+    EXPECT_FALSE(gen.closedArrival(0, secondsToTicks(9.8)).has_value());
+}
+
+TEST(AdmissionQueue, ShedsWhenFull)
+{
+    AdmissionQueue q(2);
+    EXPECT_TRUE(q.offer(req(1, 0, 0, 1, 0)));
+    EXPECT_TRUE(q.offer(req(2, 0, 0, 1, 1)));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.offer(req(3, 0, 0, 1, 2)));
+    EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(AdmissionQueue, PriorityThenFairnessThenFifo)
+{
+    AdmissionQueue q(16);
+    // tenant 0 has been served a lot; tenant 1 not at all.
+    std::vector<uint64_t> served = {5, 0};
+    q.offer(req(1, 0, 0, 1, 0));
+    q.offer(req(2, 1, 0, 1, 1));
+    q.offer(req(3, 0, 0, 0, 2)); // higher tier (0 beats 1)
+
+    auto a = q.popFor(0, served);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->id, 3u); // priority wins over arrival order
+
+    auto b = q.popFor(0, served);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->id, 2u); // least-served tenant wins inside a tier
+
+    auto c = q.popFor(0, served);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->id, 1u);
+    EXPECT_FALSE(q.popFor(0, served).has_value());
+}
+
+TEST(AdmissionQueue, PopAndDrainAreWorkloadScoped)
+{
+    AdmissionQueue q(16);
+    std::vector<uint64_t> served = {0};
+    q.offer(req(1, 0, 7, 1, 0));
+    q.offer(req(2, 0, 8, 1, 1));
+    q.offer(req(3, 0, 7, 1, 2));
+
+    EXPECT_FALSE(q.popFor(9, served).has_value());
+    auto a = q.popFor(8, served);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->id, 2u);
+
+    std::vector<Request> flushed = q.drainWorkload(7);
+    ASSERT_EQ(flushed.size(), 2u);
+    EXPECT_EQ(flushed[0].id, 1u);
+    EXPECT_EQ(flushed[1].id, 3u);
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace
+} // namespace hydra

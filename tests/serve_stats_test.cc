@@ -1,0 +1,103 @@
+/**
+ * @file
+ * ServeStats tests: the fixed-bucket latency histogram against a
+ * sorted-vector oracle, and the determinism hash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "serve/stats.hh"
+
+namespace hydra {
+namespace {
+
+/** Nearest-rank percentile over the exact samples. */
+Tick
+oracle(std::vector<Tick> samples, double p)
+{
+    std::sort(samples.begin(), samples.end());
+    size_t rank = static_cast<size_t>(
+        std::ceil(p * static_cast<double>(samples.size())));
+    rank = std::max<size_t>(rank, 1);
+    return samples[rank - 1];
+}
+
+TEST(LatencyHistogram, EmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(LatencyHistogram, PercentileMatchesSortedOracle)
+{
+    // Latencies spread over ~4 decades (100us .. 2s), drawn from the
+    // repo's deterministic hash stream.
+    std::vector<Tick> samples;
+    LatencyHistogram h;
+    for (uint64_t i = 0; i < 5000; ++i) {
+        double u = hashUnit(42, 0, i, 0x6c617431);
+        double v = hashUnit(42, 1, i, 0x6c617432);
+        double seconds = 100e-6 * std::pow(10.0, 4.0 * u) *
+                         (0.5 + v);
+        Tick t = secondsToTicks(seconds);
+        samples.push_back(t);
+        h.add(t);
+    }
+    EXPECT_EQ(h.count(), samples.size());
+
+    for (double p : {0.50, 0.90, 0.95, 0.99}) {
+        Tick exact = oracle(samples, p);
+        Tick est = h.percentile(p);
+        // The estimate is the containing bucket's upper edge: never
+        // below the true value, and within one bucket ratio (2^(1/4))
+        // above it.
+        EXPECT_GE(est, exact) << "p=" << p;
+        EXPECT_LE(static_cast<double>(est),
+                  static_cast<double>(exact) * std::pow(2.0, 0.25) +
+                      1.0)
+            << "p=" << p;
+    }
+}
+
+TEST(LatencyHistogram, OverflowClampsToLastBucket)
+{
+    LatencyHistogram h;
+    h.add(secondsToTicks(1e6)); // ~11 days, way past the last edge
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.percentile(0.5),
+              LatencyHistogram::bucketUpper(
+                  LatencyHistogram::kBuckets - 1));
+}
+
+TEST(LatencyHistogram, BucketEdgesAreGeometric)
+{
+    for (size_t i = 1; i < LatencyHistogram::kBuckets; ++i)
+        EXPECT_GT(LatencyHistogram::bucketUpper(i),
+                  LatencyHistogram::bucketUpper(i - 1));
+}
+
+TEST(ServeStatsHash, SensitiveToContent)
+{
+    ServeStats a;
+    a.offered = 10;
+    a.completed = 9;
+    a.latency.add(secondsToTicks(0.01));
+    ServeStats b = a;
+    EXPECT_EQ(a.hash(), b.hash());
+
+    b.completed = 8;
+    EXPECT_NE(a.hash(), b.hash());
+
+    ServeStats c = a;
+    c.latency.add(secondsToTicks(0.02));
+    EXPECT_NE(a.hash(), c.hash());
+}
+
+} // namespace
+} // namespace hydra
