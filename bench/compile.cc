@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Google-benchmark harness for the schedule compiler (plan -> lower ->
+ * optimize -> cache): per-stage wall time over a whole workload's
+ * steps, plus the ProgramCache's cold/warm cost split.  Counters
+ * export compiled-program shape (tasks, messages) and cache hit rate,
+ * so `--json` snapshots (BENCH_compile.json) track compilation cost
+ * and reuse across PRs.
+ *
+ * Cases:
+ *   BM_Plan/<m>-<wl>      StepMapper::planStep: machine-independent IR
+ *   BM_Lower/<m>-<wl>     lowerPlan: bind cost + network models
+ *   BM_Optimize/<m>-<wl>  optimizeProgram at Aggressive (all passes)
+ *   BM_CompileCold        full pipeline, cache cleared every iteration
+ *   BM_CompileWarm        full pipeline through a warm ProgramCache
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/prototypes.hh"
+#include "bench_util.hh"
+#include "sched/progcache.hh"
+
+namespace hydra {
+namespace {
+
+/** Everything a compile bench needs for one (machine, workload). */
+struct CompileSetup
+{
+    PrototypeSpec spec;
+    WorkloadModel wl;
+    OpCostModel cost;
+    std::unique_ptr<NetworkModel> net;
+
+    CompileSetup(PrototypeSpec s, const char* workload)
+        : spec(std::move(s)), wl(workloadByName(workload)),
+          cost(spec.fpga, size_t{1} << 16, spec.dnum),
+          net(spec.makeNetwork())
+    {
+    }
+
+    StepMapper
+    mapper() const
+    {
+        return StepMapper(cost, *net, spec.cluster.totalCards(),
+                          wl.logSlots, spec.mapping);
+    }
+};
+
+void
+BM_Plan(benchmark::State& state, const char* machine,
+        const char* workload)
+{
+    CompileSetup s(machineByName(machine), workload);
+    StepMapper mapper = s.mapper();
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        ops = 0;
+        for (const auto& step : s.wl.steps) {
+            LogicalPlan plan = mapper.planStep(step);
+            ops += plan.ops.size();
+            benchmark::DoNotOptimize(plan.ops.data());
+        }
+    }
+    state.counters["steps"] = static_cast<double>(s.wl.steps.size());
+    state.counters["plan_ops"] = static_cast<double>(ops);
+}
+
+void
+BM_Lower(benchmark::State& state, const char* machine,
+         const char* workload)
+{
+    CompileSetup s(machineByName(machine), workload);
+    StepMapper mapper = s.mapper();
+    std::vector<LogicalPlan> plans;
+    for (const auto& step : s.wl.steps)
+        plans.push_back(mapper.planStep(step));
+    uint64_t tasks = 0;
+    for (auto _ : state) {
+        tasks = 0;
+        for (const auto& plan : plans) {
+            Program prog = lowerPlan(plan, s.cost, *s.net,
+                                     s.spec.mapping);
+            tasks += countProgram(prog).computeTasks;
+            benchmark::DoNotOptimize(tasks);
+        }
+    }
+    state.counters["compute_tasks"] = static_cast<double>(tasks);
+}
+
+void
+BM_Optimize(benchmark::State& state, const char* machine,
+            const char* workload)
+{
+    CompileSetup s(machineByName(machine), workload);
+    StepMapper mapper = s.mapper();
+    std::vector<Program> programs;
+    for (const auto& step : s.wl.steps)
+        programs.push_back(lowerPlan(mapper.planStep(step), s.cost,
+                                     *s.net, s.spec.mapping));
+    uint64_t changes = 0;
+    for (auto _ : state) {
+        changes = 0;
+        for (const auto& prog : programs) {
+            OptReport report;
+            Program opt = optimizeProgram(prog, OptLevel::Aggressive,
+                                          s.net->overlapsCompute(),
+                                          &report);
+            changes += report.totalChanges();
+            benchmark::DoNotOptimize(opt.cards);
+        }
+    }
+    state.counters["pass_changes"] = static_cast<double>(changes);
+}
+
+/** Full pipeline through the cache; `warm` keeps entries across
+ *  iterations (steady-state serving), cold clears them (first job). */
+void
+compileCached(benchmark::State& state, const char* machine,
+              const char* workload, bool warm)
+{
+    CompileSetup s(machineByName(machine), workload);
+    ProgramCache& cache = ProgramCache::global();
+    auto compileAll = [&] {
+        for (const auto& step : s.wl.steps) {
+            std::string key =
+                stepCacheKey(s.spec, s.spec.cluster, s.spec.cluster,
+                             s.cost.n(), s.wl.logSlots, step);
+            auto compiled = cache.getOrCompile(key, [&] {
+                return compileStep(s.cost, *s.net,
+                                   s.spec.cluster.totalCards(),
+                                   s.wl.logSlots, s.spec.mapping,
+                                   step);
+            });
+            benchmark::DoNotOptimize(compiled.get());
+        }
+    };
+    if (warm)
+        compileAll();
+    ProgramCache::Stats before = cache.stats();
+    for (auto _ : state) {
+        if (!warm) {
+            state.PauseTiming();
+            cache.clear();
+            state.ResumeTiming();
+        }
+        compileAll();
+    }
+    ProgramCache::Stats after = cache.stats();
+    uint64_t hits = after.hits - before.hits;
+    uint64_t misses = after.misses - before.misses;
+    state.counters["cache_hits"] = static_cast<double>(hits);
+    state.counters["cache_misses"] = static_cast<double>(misses);
+    state.counters["cache_hit_rate"] =
+        hits + misses ? static_cast<double>(hits) /
+                            static_cast<double>(hits + misses)
+                      : 0.0;
+}
+
+void
+BM_PlanM(benchmark::State& state)
+{
+    BM_Plan(state, "hydra-m", "resnet18");
+}
+BENCHMARK(BM_PlanM)->Unit(benchmark::kMicrosecond);
+
+void
+BM_PlanFabM(benchmark::State& state)
+{
+    BM_Plan(state, "fab-m", "resnet18");
+}
+BENCHMARK(BM_PlanFabM)->Unit(benchmark::kMicrosecond);
+
+void
+BM_LowerM(benchmark::State& state)
+{
+    BM_Lower(state, "hydra-m", "resnet18");
+}
+BENCHMARK(BM_LowerM)->Unit(benchmark::kMicrosecond);
+
+void
+BM_OptimizeM(benchmark::State& state)
+{
+    BM_Optimize(state, "hydra-m", "resnet18");
+}
+BENCHMARK(BM_OptimizeM)->Unit(benchmark::kMicrosecond);
+
+void
+BM_CompileCold(benchmark::State& state)
+{
+    compileCached(state, "hydra-m", "resnet18", false);
+}
+BENCHMARK(BM_CompileCold)->Unit(benchmark::kMicrosecond);
+
+void
+BM_CompileWarm(benchmark::State& state)
+{
+    compileCached(state, "hydra-m", "resnet18", true);
+}
+BENCHMARK(BM_CompileWarm)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace hydra
+
+HYDRA_BENCH_MAIN("compile")

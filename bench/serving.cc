@@ -19,6 +19,7 @@
 
 #include "baselines/prototypes.hh"
 #include "bench_util.hh"
+#include "sched/progcache.hh"
 #include "serve/sim.hh"
 
 namespace hydra {
@@ -55,11 +56,22 @@ serveCase(benchmark::State& state, const PrototypeSpec& spec,
     ServeSpec serve = ServeSpec::parse(serve_spec);
     FaultPlan faults = FaultPlan::parse(fault_spec);
     ServeStats last;
+    ProgramCache::Stats before = ProgramCache::global().stats();
     for (auto _ : state) {
         ServeSim sim(spec, serve, faults);
         last = sim.run();
         benchmark::DoNotOptimize(last.completed);
     }
+    // Steady-state program reuse: every job compiles through the
+    // shared ProgramCache, so across iterations almost every step
+    // lookup should hit.
+    ProgramCache::Stats after = ProgramCache::global().stats();
+    double hits = static_cast<double>(after.hits - before.hits);
+    double misses = static_cast<double>(after.misses - before.misses);
+    state.counters["progcache_hits"] = hits;
+    state.counters["progcache_misses"] = misses;
+    state.counters["progcache_hit_rate"] =
+        hits + misses > 0 ? hits / (hits + misses) : 0.0;
     exportStats(state, last);
 }
 

@@ -13,6 +13,11 @@
  *                  comma list: seed=N,drop=P,corrupt=P,degrade=F,
  *                  dropfirst=K,straggle=CARD:F,kill=CARD@SECONDS)
  *                 [--max-attempts N]   (per-transfer retry budget)
+ *                 [--dump-program]     (print each step's compiled
+ *                  Program: per-card queue depths, message counts,
+ *                  bytes, and the optimizer's pass deltas; no run)
+ *                 [--opt LEVEL]        (pass level for --dump-program:
+ *                  none|safe|aggressive; default safe)
  *                 [--list-machines]    (print machine registry, exit)
  *                 [--list-workloads]   (print workload registry, exit)
  */
@@ -20,6 +25,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +33,7 @@
 #include "baselines/prototypes.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sched/progcache.hh"
 
 using namespace hydra;
 
@@ -52,6 +59,39 @@ printRegistry(const char* what, const std::vector<std::string>& names)
         std::printf("  %s\n", n.c_str());
 }
 
+OptLevel
+parseOptLevel(const std::string& s)
+{
+    if (s == "none")
+        return OptLevel::None;
+    if (s == "safe")
+        return OptLevel::Safe;
+    if (s == "aggressive")
+        return OptLevel::Aggressive;
+    fatal("unknown opt level '%s' (none|safe|aggressive)", s.c_str());
+}
+
+/** Compile every step and print the per-card program shape plus the
+ *  optimizer's pass deltas (the --dump-program flag). */
+void
+dumpPrograms(const PrototypeSpec& spec, const WorkloadModel& wl,
+             OptLevel level)
+{
+    OpCostModel cost(spec.fpga, size_t{1} << 16, spec.dnum);
+    std::unique_ptr<NetworkModel> net = spec.makeNetwork();
+    for (size_t si = 0; si < wl.steps.size(); ++si) {
+        const Step& step = wl.steps[si];
+        CompiledStep cs = compileStep(cost, *net,
+                                      spec.cluster.totalCards(),
+                                      wl.logSlots, spec.mapping, step,
+                                      level);
+        std::printf("step %3zu %-24s [%s]\n", si, step.name.c_str(),
+                    procName(step.kind));
+        std::printf("%s\n", describeProgram(cs.program,
+                                            &cs.report).c_str());
+    }
+}
+
 } // namespace
 
 int
@@ -62,6 +102,8 @@ main(int argc, char** argv)
     std::string faultSpec;
     size_t cards = 0;
     bool fused = false;
+    bool dumpProgram = false;
+    OptLevel optLevel = OptLevel::Safe;
     RetryPolicy retry;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -78,6 +120,10 @@ main(int argc, char** argv)
             cards = std::strtoul(next().c_str(), nullptr, 10);
         else if (arg == "--fused")
             fused = true;
+        else if (arg == "--dump-program")
+            dumpProgram = true;
+        else if (arg == "--opt")
+            optLevel = parseOptLevel(next());
         else if (arg == "--faults")
             faultSpec = next();
         else if (arg == "--max-attempts")
@@ -96,6 +142,15 @@ main(int argc, char** argv)
 
     PrototypeSpec spec = resolveMachine(machine, cards);
     WorkloadModel wl = workloadByName(workload);
+
+    if (dumpProgram) {
+        std::printf("machine : %s, workload: %s, opt level: %s\n\n",
+                    spec.name.c_str(), wl.name.c_str(),
+                    optLevelName(optLevel));
+        dumpPrograms(spec, wl, optLevel);
+        return 0;
+    }
+
     InferenceRunner runner(spec);
 
     std::printf("machine : %s (%zu server(s) x %zu card(s))\n",

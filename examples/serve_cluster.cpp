@@ -11,6 +11,9 @@
  *                  ticks are absolute serve-clock times)
  *                 [--max-attempts N]    (per-transfer retry budget)
  *                 [--json]              (one JSON object on stdout)
+ *                 [--dump-program]      (print each fleet group's
+ *                  compiled per-step Programs — queue depths, message
+ *                  counts, bytes, pass deltas — and exit; no run)
  *                 [--list-machines] [--list-workloads]
  *
  * The serve SPEC is a comma list (defaults in parentheses):
@@ -29,14 +32,52 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/prototypes.hh"
 #include "common/logging.hh"
+#include "sched/progcache.hh"
+#include "serve/partition.hh"
 #include "serve/sim.hh"
+#include "workloads/model.hh"
 
 using namespace hydra;
+
+namespace {
+
+/** Compile and print every fleet group's per-step Programs — what the
+ *  serving layer preloads and reuses across jobs (--dump-program). */
+void
+dumpGroupPrograms(const PrototypeSpec& spec, const ServeSpec& serve)
+{
+    std::vector<std::string> wlNames = serve.workloadTable();
+    FleetPartition fleet(spec, serve, wlNames);
+    for (const auto& g : fleet.groups()) {
+        WorkloadModel wl = workloadByName(wlNames[g.workload]);
+        PrototypeSpec sub = groupSubSpec(spec, g.cards);
+        OpCostModel cost(sub.fpga, size_t{1} << 16, sub.dnum);
+        std::unique_ptr<NetworkModel> net = sub.makeNetwork();
+        std::printf("group %zu: %s on %zu card(s) "
+                    "(%zu server(s) x %zu)\n",
+                    g.id, wl.name.c_str(), g.cards.size(),
+                    sub.cluster.servers, sub.cluster.cardsPerServer);
+        for (size_t si = 0; si < wl.steps.size(); ++si) {
+            const Step& step = wl.steps[si];
+            CompiledStep cs = compileStep(cost, *net,
+                                          sub.cluster.totalCards(),
+                                          wl.logSlots, sub.mapping,
+                                          step);
+            std::printf("  step %3zu %-24s [%s]\n", si,
+                        step.name.c_str(), procName(step.kind));
+            std::printf("%s\n", describeProgram(cs.program,
+                                                &cs.report).c_str());
+        }
+    }
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -48,6 +89,7 @@ main(int argc, char** argv)
     std::string faultSpecStr;
     RetryPolicy retry;
     bool json = false;
+    bool dumpProgram = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -66,6 +108,8 @@ main(int argc, char** argv)
                 std::strtoul(next().c_str(), nullptr, 10));
         else if (arg == "--json")
             json = true;
+        else if (arg == "--dump-program")
+            dumpProgram = true;
         else if (arg == "--list-machines") {
             for (const auto& n : machineNames())
                 std::printf("%s\n", n.c_str());
@@ -82,6 +126,13 @@ main(int argc, char** argv)
     PrototypeSpec spec = machineByName(machine);
     ServeSpec serve = ServeSpec::parse(serveSpecStr);
     FaultPlan faults = FaultPlan::parse(faultSpecStr);
+
+    if (dumpProgram) {
+        std::printf("machine : %s, serve: %s\n\n", spec.name.c_str(),
+                    serve.describe().c_str());
+        dumpGroupPrograms(spec, serve);
+        return 0;
+    }
 
     ServeSim sim(std::move(spec), serve, faults, retry);
     ServeStats stats = sim.run();

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Lowering: stage 2 of the schedule compiler (plan -> lower ->
+ * optimize).  Binds an OpCostModel + NetworkModel to a machine-
+ * independent LogicalPlan, producing the executable Program the
+ * ClusterExecutor consumes: HeOp term lists become Tick durations and
+ * OpCost aggregates, ciphertext counts become wire bytes.
+ *
+ * Lowering replays the plan's emission order through a ProgramBuilder,
+ * so the produced Program is bit-identical to what the pre-pipeline
+ * StepMapper built directly — including compute/message id assignment
+ * and label interning — and appending into a caller's builder (fused
+ * mode) composes exactly like the old mapStepInto.
+ */
+
+#ifndef HYDRA_SCHED_LOWER_HH
+#define HYDRA_SCHED_LOWER_HH
+
+#include "arch/network.hh"
+#include "arch/opcost.hh"
+#include "sched/mapping.hh"
+#include "sched/plan.hh"
+#include "sync/task.hh"
+
+namespace hydra {
+
+/**
+ * Single-card wall time of one full bootstrap (2 DFT stacks + EvaExp +
+ * double-angle) under the given models: the lowering-time price of a
+ * BootstrapLocal plan op.  StepMapper::bootstrapLocalTime delegates
+ * here.
+ */
+Tick bootstrapLocalTicks(const OpCostModel& cost, const NetworkModel& net,
+                         const MappingConfig& config, size_t log_slots,
+                         size_t limbs);
+
+/** Lower `plan` into a fresh Program. */
+Program lowerPlan(const LogicalPlan& plan, const OpCostModel& cost,
+                  const NetworkModel& net, const MappingConfig& config);
+
+/**
+ * Append `plan`'s lowered tasks to an existing builder (fused
+ * scheduling).  Plan-local ids are re-bound to builder-issued ids in
+ * emission order; the builder's card count must match the plan's.
+ */
+void lowerPlanInto(ProgramBuilder& pb, const LogicalPlan& plan,
+                   const OpCostModel& cost, const NetworkModel& net,
+                   const MappingConfig& config);
+
+} // namespace hydra
+
+#endif // HYDRA_SCHED_LOWER_HH

@@ -5,26 +5,23 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "sched/lower.hh"
 
 namespace hydra {
 
 namespace {
 
-/** OpCost scaled by a repetition count. */
-OpCost
-scaled(OpCost c, uint64_t count)
-{
-    c.cycles *= count;
-    c.hbmBytes *= count;
-    for (auto& x : c.cuOps)
-        x *= count;
-    return c;
-}
-
 size_t
 pow2Floor(size_t v)
 {
     return v == 0 ? 0 : std::bit_floor(v);
+}
+
+/** The representative op mix of one whole bootstrap (energy model). */
+OpMix
+bootstrapCostMix()
+{
+    return OpMix{24, 32, 48, 64};
 }
 
 } // namespace
@@ -38,28 +35,29 @@ StepMapper::StepMapper(const OpCostModel& cost, const NetworkModel& net,
     HYDRA_ASSERT(cards_ >= 1, "need at least one card");
 }
 
-Tick
-StepMapper::unitLatency(const OpMix& mix, size_t limbs) const
+LogicalPlan
+StepMapper::planStep(const Step& step) const
 {
-    return cost_.latency(cost_.mixCost(mix, limbs));
-}
-
-Tick
-StepMapper::opLat(HeOpType op, size_t limbs) const
-{
-    return cost_.opLatency(op, limbs);
+    PlanBuilder pb(cards_);
+    pb.setLogSlots(logSlots_);
+    planStepInto(pb, step);
+    return pb.take();
 }
 
 Program
 StepMapper::mapStep(const Step& step) const
 {
-    ProgramBuilder pb(cards_);
-    mapStepInto(pb, step);
-    return pb.take();
+    return lowerPlan(planStep(step), cost_, net_, config_);
 }
 
 void
 StepMapper::mapStepInto(ProgramBuilder& pb, const Step& step) const
+{
+    lowerPlanInto(pb, planStep(step), cost_, net_, config_);
+}
+
+void
+StepMapper::planStepInto(PlanBuilder& pb, const Step& step) const
 {
     switch (step.kind) {
       case ProcKind::ConvBN:
@@ -68,13 +66,13 @@ StepMapper::mapStepInto(ProgramBuilder& pb, const Step& step) const
       case ProcKind::PCMM:
       case ProcKind::CCMM:
       case ProcKind::Norm:
-        mapUniform(pb, step);
+        planUniform(pb, step);
         break;
       case ProcKind::NonLinear:
-        mapNonLinear(pb, step);
+        planNonLinear(pb, step);
         break;
       case ProcKind::Bootstrap:
-        mapBootstrap(pb, step);
+        planBootstrap(pb, step);
         break;
       default:
         panic("unmapped ProcKind %d", static_cast<int>(step.kind));
@@ -82,14 +80,12 @@ StepMapper::mapStepInto(ProgramBuilder& pb, const Step& step) const
 }
 
 void
-StepMapper::mapUniform(ProgramBuilder& pb, const Step& step) const
+StepMapper::planUniform(PlanBuilder& pb, const Step& step) const
 {
     size_t units = step.effectiveUnits();
     size_t c_n = cards_;
     uint32_t label = pb.label(procName(step.kind));
-    Tick unit_lat = unitLatency(step.perUnit, step.limbs);
-    OpCost unit_cost = cost_.mixCost(step.perUnit, step.limbs);
-    uint64_t ct_bytes = cost_.ciphertextBytes(step.limbs);
+    size_t limbs = step.limbs;
 
     // Unit share of card c, split into R chunk rounds.
     auto share = [&](size_t c) {
@@ -112,8 +108,8 @@ StepMapper::mapUniform(ProgramBuilder& pb, const Step& step) const
             size_t u = chunk_units(c, k);
             if (!u)
                 continue;
-            chunk_id[c][k] = pb.addCompute(c, unit_lat * u,
-                                           scaled(unit_cost, u), label);
+            chunk_id[c][k] =
+                pb.addMixRepeat(c, step.perUnit, u, limbs, label);
             last_id[c] = chunk_id[c][k];
         }
     }
@@ -143,7 +139,7 @@ StepMapper::mapUniform(ProgramBuilder& pb, const Step& step) const
                 // card's last chunk if this round had no units).
                 uint64_t after = chunk_id[s][k] ? chunk_id[s][k]
                                                 : last_id[s];
-                pb.broadcastFrom(s, ct_bytes * cts, after);
+                pb.broadcastFrom(s, cts, limbs, after);
             }
         }
         return;
@@ -151,27 +147,25 @@ StepMapper::mapUniform(ProgramBuilder& pb, const Step& step) const
 
     // ReduceTree: pairwise tree reduction of partial results to card 0,
     // then one broadcast so every card holds the combined output.
-    Tick hadd_lat = opLat(HeOpType::HAdd, step.limbs);
-    OpCost hadd_cost = cost_.cost(HeOpType::HAdd, step.limbs);
     for (size_t stride = 1; stride < c_n; stride <<= 1) {
         for (size_t dst = 0; dst + stride < c_n; dst += 2 * stride) {
             size_t src = dst + stride;
-            uint64_t msg = pb.sendTo(src, dst, ct_bytes, last_id[src]);
-            last_id[dst] = pb.addCompute(dst, hadd_lat, hadd_cost, label,
-                                         {msg});
+            uint64_t msg = pb.sendTo(src, dst, 1, limbs, last_id[src]);
+            last_id[dst] = pb.addOpList(dst, {{HeOpType::HAdd, 1}},
+                                        limbs, label, {msg});
         }
     }
-    uint64_t msg = pb.broadcastFrom(0, ct_bytes, last_id[0]);
+    uint64_t msg = pb.broadcastFrom(0, 1, limbs, last_id[0]);
     for (size_t c = 1; c < c_n; ++c)
-        pb.addCompute(c, 0, OpCost{}, label, {msg});
+        pb.addOpList(c, {}, limbs, label, {msg});
 }
 
 void
-StepMapper::mapNonLinear(ProgramBuilder& pb, const Step& step) const
+StepMapper::planNonLinear(PlanBuilder& pb, const Step& step) const
 {
     size_t units = step.effectiveUnits();
     if (cards_ == 1 || units >= cards_) {
-        mapUniform(pb, step);
+        planUniform(pb, step);
         return;
     }
     // Fewer evaluations than cards: split each polynomial evaluation
@@ -180,31 +174,24 @@ StepMapper::mapNonLinear(ProgramBuilder& pb, const Step& step) const
     uint32_t label = pb.label(procName(step.kind));
     size_t degree = step.polyDegree ? step.polyDegree : 15;
     for (size_t u = 0; u < units; ++u)
-        mapPolyEvalTree(pb, u * group, group, degree, step.limbs, label);
+        planPolyEvalTree(pb, u * group, group, degree, step.limbs,
+                         label);
 }
 
 void
-StepMapper::mapPolyEvalTree(ProgramBuilder& pb, size_t base, size_t group,
-                            size_t degree, size_t limbs,
-                            uint32_t label) const
+StepMapper::planPolyEvalTree(PlanBuilder& pb, size_t base, size_t group,
+                             size_t degree, size_t limbs,
+                             uint32_t label) const
 {
-    Tick cm = opLat(HeOpType::CMult, limbs);
-    Tick pm = opLat(HeOpType::PMult, limbs);
-    Tick ha = opLat(HeOpType::HAdd, limbs);
-    OpCost cm_c = cost_.cost(HeOpType::CMult, limbs);
-    OpCost pm_c = cost_.cost(HeOpType::PMult, limbs);
-    OpCost ha_c = cost_.cost(HeOpType::HAdd, limbs);
-    uint64_t ct_bytes = cost_.ciphertextBytes(limbs);
-
     if (group <= 1 || degree < 4) {
         // Whole evaluation on one node.
         uint64_t terms = degree + 1;
         uint64_t cms = degree >= 2 ? degree / 2 + 1 : 0;
-        Tick dur = cms * cm + terms * (pm + ha);
-        OpCost c = scaled(cm_c, cms);
-        c += scaled(pm_c, terms);
-        c += scaled(ha_c, terms);
-        pb.addCompute(base, dur, c, label);
+        pb.addOpList(base,
+                     {{HeOpType::CMult, cms},
+                      {HeOpType::PMult, terms},
+                      {HeOpType::HAdd, terms}},
+                     limbs, label);
         return;
     }
 
@@ -220,14 +207,16 @@ StepMapper::mapPolyEvalTree(ProgramBuilder& pb, size_t base, size_t group,
     // Phase A: power ladder x^2, x^4, ... distributed to lower-numbered
     // nodes; each level's product is forwarded to the mirror node.
     for (size_t i = 0; i < m; ++i)
-        last_id[i] = pb.addCompute(base + i, cm, cm_c, label); // x^2
+        last_id[i] = pb.addOpList(base + i, {{HeOpType::CMult, 1}},
+                                  limbs, label); // x^2
     for (size_t j = 1; j <= tree_depth; ++j) {
         size_t cnt = m >> j;
         for (size_t i = 0; i < cnt; ++i) {
-            last_id[i] = pb.addCompute(base + i, cm, cm_c, label);
+            last_id[i] = pb.addOpList(base + i, {{HeOpType::CMult, 1}},
+                                      limbs, label);
             size_t dst = i + cnt;
-            uint64_t msg = pb.sendTo(base + i, base + dst, ct_bytes,
-                                     last_id[i]);
+            uint64_t msg =
+                pb.sendTo(base + i, base + dst, 1, limbs, last_id[i]);
             wait_msgs[dst].push_back(msg);
         }
     }
@@ -237,14 +226,13 @@ StepMapper::mapPolyEvalTree(ProgramBuilder& pb, size_t base, size_t group,
     uint64_t terms = (degree + m) / m;
     uint64_t local_cms =
         std::max<uint64_t>(1, (degree >= 2 ? degree / 2 : 1) / m);
-    for (size_t i = 0; i < m; ++i) {
-        Tick dur = local_cms * cm + terms * (pm + ha);
-        OpCost c = scaled(cm_c, local_cms);
-        c += scaled(pm_c, terms);
-        c += scaled(ha_c, terms);
-        last_id[i] = pb.addCompute(base + i, dur, c, label,
-                                   std::move(wait_msgs[i]));
-    }
+    for (size_t i = 0; i < m; ++i)
+        last_id[i] = pb.addOpList(base + i,
+                                  {{HeOpType::CMult, local_cms},
+                                   {HeOpType::PMult, terms},
+                                   {HeOpType::HAdd, terms}},
+                                  limbs, label,
+                                  std::move(wait_msgs[i]));
 
     // Phase C: tree merge -- the upper node multiplies by the splitting
     // power and sends, the lower node accumulates (Alg. 1 final loop).
@@ -252,11 +240,12 @@ StepMapper::mapPolyEvalTree(ProgramBuilder& pb, size_t base, size_t group,
         size_t half = num / 2;
         for (size_t i = 0; i < half; ++i) {
             size_t upper = i + half;
-            uint64_t mul_id =
-                pb.addCompute(base + upper, cm, cm_c, label);
-            uint64_t msg = pb.sendTo(base + upper, base + i, ct_bytes,
-                                     mul_id);
-            last_id[i] = pb.addCompute(base + i, ha, ha_c, label, {msg});
+            uint64_t mul_id = pb.addOpList(
+                base + upper, {{HeOpType::CMult, 1}}, limbs, label);
+            uint64_t msg =
+                pb.sendTo(base + upper, base + i, 1, limbs, mul_id);
+            last_id[i] = pb.addOpList(base + i, {{HeOpType::HAdd, 1}},
+                                      limbs, label, {msg});
         }
     }
 }
@@ -269,18 +258,10 @@ StepMapper::dftPlanFor(size_t group_cards, size_t limbs) const
 }
 
 void
-StepMapper::mapDftLevels(ProgramBuilder& pb, size_t base, size_t group,
-                         const DftPlan& plan, size_t limbs,
-                         uint32_t label) const
+StepMapper::planDftLevels(PlanBuilder& pb, size_t base, size_t group,
+                          const DftPlan& plan, size_t limbs,
+                          uint32_t label) const
 {
-    Tick rot = opLat(HeOpType::Rotate, limbs);
-    Tick pm = opLat(HeOpType::PMult, limbs);
-    Tick ha = opLat(HeOpType::HAdd, limbs);
-    OpCost rot_c = cost_.cost(HeOpType::Rotate, limbs);
-    OpCost pm_c = cost_.cost(HeOpType::PMult, limbs);
-    OpCost ha_c = cost_.cost(HeOpType::HAdd, limbs);
-    uint64_t ct_bytes = cost_.ciphertextBytes(limbs);
-
     for (const auto& lvl : plan.levels) {
         uint64_t b = lvl.bs;
         uint64_t gs_s = lvl.gsPerNode(group);
@@ -289,15 +270,14 @@ StepMapper::mapDftLevels(ProgramBuilder& pb, size_t base, size_t group,
             size_t card = base + i;
             // Baby steps are replicated on every node (Section III-B
             // point (1): aggregating distributed bs is inefficient).
-            OpCost bs_cost = scaled(rot_c, b);
-            pb.addCompute(card, b * rot, bs_cost, label);
+            pb.addOpList(card, {{HeOpType::Rotate, b}}, limbs, label);
             // Giant steps assigned to this node + local accumulation.
-            Tick gs_dur = gs_s * (b * pm + (b - 1) * ha + rot) +
-                          (gs_s - 1) * ha;
-            OpCost gs_cost = scaled(pm_c, gs_s * b);
-            gs_cost += scaled(ha_c, gs_s * (b - 1) + (gs_s - 1));
-            gs_cost += scaled(rot_c, gs_s);
-            last_id[i] = pb.addCompute(card, gs_dur, gs_cost, label);
+            last_id[i] = pb.addOpList(
+                card,
+                {{HeOpType::PMult, gs_s * b},
+                 {HeOpType::HAdd, gs_s * (b - 1) + (gs_s - 1)},
+                 {HeOpType::Rotate, gs_s}},
+                limbs, label);
         }
         if (group > 1) {
             // Tree aggregation of the per-node partial sums (Fig. 3(d)).
@@ -305,25 +285,26 @@ StepMapper::mapDftLevels(ProgramBuilder& pb, size_t base, size_t group,
                 size_t half = num / 2;
                 for (size_t i = 0; i < half; ++i) {
                     size_t upper = i + half;
-                    uint64_t msg = pb.sendTo(base + upper, base + i,
-                                             ct_bytes, last_id[upper]);
-                    last_id[i] = pb.addCompute(base + i, ha, ha_c, label,
-                                               {msg});
+                    uint64_t msg = pb.sendTo(base + upper, base + i, 1,
+                                             limbs, last_id[upper]);
+                    last_id[i] =
+                        pb.addOpList(base + i, {{HeOpType::HAdd, 1}},
+                                     limbs, label, {msg});
                 }
             }
             // The leader redistributes the level result for the next
             // level's baby steps.
             for (size_t i = 1; i < group; ++i) {
-                uint64_t msg = pb.sendTo(base, base + i, ct_bytes,
-                                         last_id[0]);
-                pb.addCompute(base + i, 0, OpCost{}, label, {msg});
+                uint64_t msg =
+                    pb.sendTo(base, base + i, 1, limbs, last_id[0]);
+                pb.addOpList(base + i, {}, limbs, label, {msg});
             }
         }
     }
 }
 
 void
-StepMapper::mapBootstrap(ProgramBuilder& pb, const Step& step) const
+StepMapper::planBootstrap(PlanBuilder& pb, const Step& step) const
 {
     size_t boots = std::max<size_t>(1, step.parallelism);
     uint32_t label = pb.label(procName(step.kind));
@@ -331,24 +312,16 @@ StepMapper::mapBootstrap(ProgramBuilder& pb, const Step& step) const
     size_t group = boots >= cards_ ? 1 : pow2Floor(cards_ / boots);
     if (group <= 1) {
         // Data-parallel: each card refreshes its share locally.
-        Tick unit = bootstrapLocalTime(step.limbs);
-        OpCost unit_cost = cost_.mixCost(
-            OpMix{24, 32, 48, 64}, step.limbs); // representative mix
         for (size_t c = 0; c < cards_; ++c) {
             size_t s = boots / cards_ + (c < boots % cards_ ? 1 : 0);
             if (s)
-                pb.addCompute(c, unit * s, scaled(unit_cost, s), label);
+                pb.addBootstrapLocal(c, bootstrapCostMix(), s,
+                                     step.limbs, label);
         }
         return;
     }
 
     DftPlan plan = dftPlanFor(group, step.limbs);
-    Tick cm = opLat(HeOpType::CMult, step.limbs);
-    Tick rot = opLat(HeOpType::Rotate, step.limbs);
-    Tick pm = opLat(HeOpType::PMult, step.limbs);
-    Tick ha = opLat(HeOpType::HAdd, step.limbs);
-    OpCost daf_cost = scaled(cost_.cost(HeOpType::CMult, step.limbs),
-                             config_.dafIters);
 
     size_t n_groups = std::min(boots, cards_ / group);
     for (size_t g = 0; g < n_groups; ++g) {
@@ -356,18 +329,22 @@ StepMapper::mapBootstrap(ProgramBuilder& pb, const Step& step) const
         size_t reps = boots / n_groups + (g < boots % n_groups ? 1 : 0);
         for (size_t r = 0; r < reps; ++r) {
             // CoeffToSlot.
-            mapDftLevels(pb, base, group, plan, step.limbs, label);
+            planDftLevels(pb, base, group, plan, step.limbs, label);
             // EvaExp (Alg. 1 tree over the group).
-            mapPolyEvalTree(pb, base, group, config_.evalExpDegree,
-                            step.limbs, label);
+            planPolyEvalTree(pb, base, group, config_.evalExpDegree,
+                             step.limbs, label);
             // Double-angle + sine extraction on the group leader
             // (limited parallelism: the paper's Boot scaling is the
-            // most modest of all procedures).
-            pb.addCompute(base,
-                          config_.dafIters * cm + rot + ha + pm,
-                          daf_cost, label);
+            // most modest of all procedures).  rot/ha/pm are timed but
+            // only the CMult iterations carry hardware cost.
+            pb.addOpList(base,
+                         {{HeOpType::CMult, config_.dafIters},
+                          {HeOpType::Rotate, 1, true, false},
+                          {HeOpType::HAdd, 1, true, false},
+                          {HeOpType::PMult, 1, true, false}},
+                         step.limbs, label);
             // SlotToCoeff.
-            mapDftLevels(pb, base, group, plan, step.limbs, label);
+            planDftLevels(pb, base, group, plan, step.limbs, label);
         }
     }
 }
@@ -375,18 +352,7 @@ StepMapper::mapBootstrap(ProgramBuilder& pb, const Step& step) const
 Tick
 StepMapper::bootstrapLocalTime(size_t limbs) const
 {
-    DftOpTimes t = DftOpTimes::fromCostModel(cost_, net_, limbs);
-    DftPlan plan = dftPlanFor(1, limbs);
-    double dft_s = dftTime(plan, 1, t);
-    size_t deg = config_.evalExpDegree;
-    double evaexp_s =
-        (deg / 2.0 + 1) * ticksToSeconds(opLat(HeOpType::CMult, limbs)) +
-        static_cast<double>(deg + 1) *
-            (ticksToSeconds(opLat(HeOpType::PMult, limbs)) +
-             ticksToSeconds(opLat(HeOpType::HAdd, limbs)));
-    double daf_s = static_cast<double>(config_.dafIters) *
-                   ticksToSeconds(opLat(HeOpType::CMult, limbs));
-    return secondsToTicks(2.0 * dft_s + evaexp_s + daf_s);
+    return bootstrapLocalTicks(cost_, net_, config_, logSlots_, limbs);
 }
 
 } // namespace hydra

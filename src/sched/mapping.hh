@@ -1,8 +1,9 @@
 /**
  * @file
- * Task decomposition and mapping strategies (paper Section III).
+ * Task decomposition and mapping strategies (paper Section III) —
+ * stage 1 ("plan") of the schedule compiler.
  *
- * Turns one workload Step into a per-card Program:
+ * Turns one workload Step into a machine-independent LogicalPlan:
  *  - ConvBN / Pooling: kernel units split across cards, each chunk's
  *    outputs broadcast round-robin so transfers hide under the next
  *    chunk's compute (Fig. 1 + Fig. 2);
@@ -15,6 +16,11 @@
  *    baby steps, distributed giant steps and tree aggregation, Alg. 1
  *    EvaExp, leader-local double-angle -- with Radix/bs chosen by the
  *    Eq. 1 optimizer.
+ *
+ * mapStep/mapStepInto remain as the plan+lower composition (see
+ * sched/lower.hh) and produce bit-identical Programs to the historical
+ * direct path; planStep exposes the plan itself for re-costing,
+ * optimization and caching (sched/passes.hh, sched/progcache.hh).
  */
 
 #ifndef HYDRA_SCHED_MAPPING_HH
@@ -23,6 +29,7 @@
 #include "arch/network.hh"
 #include "arch/opcost.hh"
 #include "model/dft_model.hh"
+#include "sched/plan.hh"
 #include "sync/task.hh"
 #include "workloads/model.hh"
 
@@ -41,7 +48,7 @@ struct MappingConfig
     size_t dftLevels = 3;
 };
 
-/** Builds per-step Programs for one (machine, workload) pair. */
+/** Builds per-step plans/Programs for one (machine, workload) pair. */
 class StepMapper
 {
   public:
@@ -49,7 +56,18 @@ class StepMapper
                size_t cards, size_t log_slots,
                MappingConfig config = {});
 
-    /** Map one step onto the cluster. */
+    /**
+     * Decompose one step into a machine-independent LogicalPlan.  The
+     * bootstrap DFT structure (Eq. 1 Radix/bs) is frozen with this
+     * mapper's cost/network models; everything else in the plan is
+     * model-free.
+     */
+    LogicalPlan planStep(const Step& step) const;
+
+    /** Append one step's plan ops to an existing plan builder. */
+    void planStepInto(PlanBuilder& pb, const Step& step) const;
+
+    /** Map one step onto the cluster (plan + lower). */
     Program mapStep(const Step& step) const;
 
     /**
@@ -71,20 +89,17 @@ class StepMapper
     const MappingConfig& config() const { return config_; }
 
   private:
-    void mapUniform(ProgramBuilder& pb, const Step& step) const;
-    void mapNonLinear(ProgramBuilder& pb, const Step& step) const;
+    void planUniform(PlanBuilder& pb, const Step& step) const;
+    void planNonLinear(PlanBuilder& pb, const Step& step) const;
     /** Alg. 1 on the card range [base, base + group). */
-    void mapPolyEvalTree(ProgramBuilder& pb, size_t base, size_t group,
-                         size_t degree, size_t limbs,
-                         uint32_t label) const;
-    void mapBootstrap(ProgramBuilder& pb, const Step& step) const;
+    void planPolyEvalTree(PlanBuilder& pb, size_t base, size_t group,
+                          size_t degree, size_t limbs,
+                          uint32_t label) const;
+    void planBootstrap(PlanBuilder& pb, const Step& step) const;
     /** One BSGS DFT stack (C2S or S2C) on a card group. */
-    void mapDftLevels(ProgramBuilder& pb, size_t base, size_t group,
-                      const DftPlan& plan, size_t limbs,
-                      uint32_t label) const;
-
-    Tick unitLatency(const OpMix& mix, size_t limbs) const;
-    Tick opLat(HeOpType op, size_t limbs) const;
+    void planDftLevels(PlanBuilder& pb, size_t base, size_t group,
+                       const DftPlan& plan, size_t limbs,
+                       uint32_t label) const;
 
     const OpCostModel& cost_;
     const NetworkModel& net_;

@@ -1,0 +1,136 @@
+#include "sched/plan.hh"
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+const char*
+planOpKindName(PlanOpKind k)
+{
+    switch (k) {
+      case PlanOpKind::OpList:
+        return "OpList";
+      case PlanOpKind::MixRepeat:
+        return "MixRepeat";
+      case PlanOpKind::BootstrapLocal:
+        return "BootstrapLocal";
+    }
+    return "?";
+}
+
+uint64_t
+LogicalPlan::totalTransferCts() const
+{
+    uint64_t sum = 0;
+    for (const auto& t : transfers)
+        sum += t.cts;
+    return sum;
+}
+
+uint32_t
+PlanBuilder::label(const std::string& name)
+{
+    for (uint32_t i = 0; i < plan_.labels.size(); ++i)
+        if (plan_.labels[i] == name)
+            return i;
+    plan_.labels.push_back(name);
+    return static_cast<uint32_t>(plan_.labels.size() - 1);
+}
+
+uint64_t
+PlanBuilder::addOp(PlanOp op)
+{
+    HYDRA_ASSERT(op.card < plan_.cards, "plan op card out of range");
+    op.id = nextOp_++;
+    uint64_t id = op.id;
+    plan_.events.push_back(
+        {PlanEvent::Kind::Compute,
+         static_cast<uint32_t>(plan_.ops.size())});
+    plan_.ops.push_back(std::move(op));
+    return id;
+}
+
+uint64_t
+PlanBuilder::addTransfer(PlanTransfer t)
+{
+    HYDRA_ASSERT(t.src < plan_.cards, "plan transfer src out of range");
+    HYDRA_ASSERT(t.dst == kBroadcast || t.dst < plan_.cards,
+                 "plan transfer dst out of range");
+    t.msg = nextMsg_++;
+    uint64_t msg = t.msg;
+    plan_.events.push_back(
+        {PlanEvent::Kind::Transfer,
+         static_cast<uint32_t>(plan_.transfers.size())});
+    plan_.transfers.push_back(std::move(t));
+    return msg;
+}
+
+uint64_t
+PlanBuilder::addOpList(size_t card, std::vector<PlanTerm> terms,
+                       size_t limbs, uint32_t label,
+                       std::vector<uint64_t> wait_msgs)
+{
+    PlanOp op;
+    op.card = card;
+    op.kind = PlanOpKind::OpList;
+    op.terms = std::move(terms);
+    op.limbs = limbs;
+    op.label = label;
+    op.waitMsgs = std::move(wait_msgs);
+    return addOp(std::move(op));
+}
+
+uint64_t
+PlanBuilder::addMixRepeat(size_t card, const OpMix& mix, uint64_t repeat,
+                          size_t limbs, uint32_t label,
+                          std::vector<uint64_t> wait_msgs)
+{
+    PlanOp op;
+    op.card = card;
+    op.kind = PlanOpKind::MixRepeat;
+    op.mix = mix;
+    op.repeat = repeat;
+    op.limbs = limbs;
+    op.label = label;
+    op.waitMsgs = std::move(wait_msgs);
+    return addOp(std::move(op));
+}
+
+uint64_t
+PlanBuilder::addBootstrapLocal(size_t card, const OpMix& cost_mix,
+                               uint64_t repeat, size_t limbs,
+                               uint32_t label,
+                               std::vector<uint64_t> wait_msgs)
+{
+    PlanOp op;
+    op.card = card;
+    op.kind = PlanOpKind::BootstrapLocal;
+    op.mix = cost_mix;
+    op.repeat = repeat;
+    op.limbs = limbs;
+    op.label = label;
+    op.waitMsgs = std::move(wait_msgs);
+    return addOp(std::move(op));
+}
+
+uint64_t
+PlanBuilder::sendTo(size_t src, size_t dst, uint64_t cts, size_t limbs,
+                    uint64_t after_compute)
+{
+    PlanTransfer t;
+    t.src = src;
+    t.dst = dst;
+    t.cts = cts;
+    t.limbs = limbs;
+    t.afterCompute = after_compute;
+    return addTransfer(std::move(t));
+}
+
+uint64_t
+PlanBuilder::broadcastFrom(size_t src, uint64_t cts, size_t limbs,
+                           uint64_t after_compute)
+{
+    return sendTo(src, kBroadcast, cts, limbs, after_compute);
+}
+
+} // namespace hydra

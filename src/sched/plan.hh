@@ -1,0 +1,185 @@
+/**
+ * @file
+ * LogicalPlan: the machine-independent step IR of the schedule
+ * compiler (stage 1 of plan -> lower -> optimize).
+ *
+ * A plan captures *what* the StepMapper decided — which card runs
+ * which operation group, in what emission order, and which logical
+ * transfers connect them — without binding a cost or network model:
+ * compute ops carry HeOp term lists / op-mix repetitions instead of
+ * Ticks, and transfers carry ciphertext counts instead of bytes.  The
+ * lower stage (sched/lower.hh) replays the plan against an
+ * OpCostModel/NetworkModel pair to produce an executable Program, so
+ * one decomposition re-costs across Hydra-S/M/L and the baseline
+ * machines without re-running the Eq.-1/Alg.-1 searches.
+ *
+ * Structural caveat: the bootstrap DFT shape (Radix/bs per level,
+ * Eq. 1) is itself chosen with a cost model, so a plan freezes the
+ * planning machine's DFT decomposition; lowering re-prices it but
+ * does not re-optimize it.
+ */
+
+#ifndef HYDRA_SCHED_PLAN_HH
+#define HYDRA_SCHED_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sync/task.hh"
+#include "trace/heop.hh"
+
+namespace hydra {
+
+/** How a PlanOp's duration/cost lower against a cost model. */
+enum class PlanOpKind : uint8_t
+{
+    /** Sum of PlanTerm op latencies/costs (tree phases, reductions). */
+    OpList,
+    /** One OpMix priced as a unit, repeated `repeat` times: duration
+     *  is latency(mixCost(mix)) * repeat — the roofline is taken once,
+     *  exactly like the uniform-step chunk formula. */
+    MixRepeat,
+    /** `repeat` whole single-card bootstraps (2 DFTs + EvaExp +
+     *  double-angle); duration needs the Eq.-1 model at lower time. */
+    BootstrapLocal,
+};
+
+const char* planOpKindName(PlanOpKind k);
+
+/**
+ * One HeOp term of an OpList.  `timed`/`costed` express asymmetric
+ * accounting: the bootstrap double-angle step times rot+ha+pm but
+ * charges only the CMult iterations to the energy model.
+ */
+struct PlanTerm
+{
+    HeOpType op = HeOpType::HAdd;
+    uint64_t count = 0;
+    bool timed = true;
+    bool costed = true;
+};
+
+/** One compute node of the plan (lowers to one ComputeTask). */
+struct PlanOp
+{
+    /** Plan-local id, dense from 1 in emission order. */
+    uint64_t id = 0;
+    size_t card = 0;
+    PlanOpKind kind = PlanOpKind::OpList;
+    /** OpList only. */
+    std::vector<PlanTerm> terms;
+    /** MixRepeat / BootstrapLocal: the priced (representative) mix. */
+    OpMix mix;
+    /** MixRepeat / BootstrapLocal repetition count. */
+    uint64_t repeat = 1;
+    /** Active modulus-chain limbs for every term of this op. */
+    size_t limbs = 0;
+    /** Plan-local message ids that must land first (CT_d). */
+    std::vector<uint64_t> waitMsgs;
+    /** Index into LogicalPlan::labels. */
+    uint32_t label = 0;
+};
+
+/** One logical transfer (lowers to a send plus its recvs). */
+struct PlanTransfer
+{
+    /** Plan-local message id, dense from 1 in emission order. */
+    uint64_t msg = 0;
+    size_t src = 0;
+    /** Destination card or kBroadcast. */
+    size_t dst = 0;
+    /** Payload in ciphertexts; bytes bind at lower time as
+     *  cts * OpCostModel::ciphertextBytes(limbs). */
+    uint64_t cts = 0;
+    size_t limbs = 0;
+    /** Plan-local compute id the send is anchored on (0 = none). */
+    uint64_t afterCompute = 0;
+};
+
+/** Emission-order record: which table the next event lives in. */
+struct PlanEvent
+{
+    enum class Kind : uint8_t { Compute, Transfer };
+
+    Kind kind = Kind::Compute;
+    /** Index into LogicalPlan::ops or ::transfers. */
+    uint32_t index = 0;
+};
+
+/**
+ * A whole-step logical plan.  `events` preserves the exact
+ * interleaving of compute and transfer emission, so lowering replays
+ * the same ProgramBuilder call sequence the direct path used to make
+ * — ids, queue orders and label interning come out bit-identical.
+ */
+struct LogicalPlan
+{
+    size_t cards = 0;
+    /** log2 slot count of the planned workload (bootstrap lowering). */
+    size_t logSlots = 0;
+    std::vector<std::string> labels;
+    std::vector<PlanOp> ops;
+    std::vector<PlanTransfer> transfers;
+    std::vector<PlanEvent> events;
+
+    /** Total transfer payload in ciphertexts (no cost model needed). */
+    uint64_t totalTransferCts() const;
+};
+
+/**
+ * Mirror of ProgramBuilder for the plan layer: hands out plan-local
+ * compute and message ids in call order and records the emission
+ * sequence.
+ */
+class PlanBuilder
+{
+  public:
+    explicit PlanBuilder(size_t n_cards) { plan_.cards = n_cards; }
+
+    LogicalPlan take() { return std::move(plan_); }
+    LogicalPlan& plan() { return plan_; }
+    size_t cardCount() const { return plan_.cards; }
+
+    void setLogSlots(size_t log_slots) { plan_.logSlots = log_slots; }
+
+    /** Intern a label name, returning its id. */
+    uint32_t label(const std::string& name);
+
+    /** Append an OpList compute op; returns its plan-local id. */
+    uint64_t addOpList(size_t card, std::vector<PlanTerm> terms,
+                       size_t limbs, uint32_t label,
+                       std::vector<uint64_t> wait_msgs = {});
+
+    /** Append a MixRepeat compute op; returns its plan-local id. */
+    uint64_t addMixRepeat(size_t card, const OpMix& mix, uint64_t repeat,
+                          size_t limbs, uint32_t label,
+                          std::vector<uint64_t> wait_msgs = {});
+
+    /** Append a BootstrapLocal compute op; returns its plan-local id. */
+    uint64_t addBootstrapLocal(size_t card, const OpMix& cost_mix,
+                               uint64_t repeat, size_t limbs,
+                               uint32_t label,
+                               std::vector<uint64_t> wait_msgs = {});
+
+    /** Logical point-to-point transfer of `cts` ciphertexts; returns
+     *  the plan-local message id. */
+    uint64_t sendTo(size_t src, size_t dst, uint64_t cts, size_t limbs,
+                    uint64_t after_compute = 0);
+
+    /** Logical broadcast of `cts` ciphertexts from `src`. */
+    uint64_t broadcastFrom(size_t src, uint64_t cts, size_t limbs,
+                           uint64_t after_compute = 0);
+
+  private:
+    uint64_t addOp(PlanOp op);
+    uint64_t addTransfer(PlanTransfer t);
+
+    LogicalPlan plan_;
+    uint64_t nextOp_ = 1;  // 0 means "no dependency"
+    uint64_t nextMsg_ = 1;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SCHED_PLAN_HH

@@ -1,0 +1,126 @@
+#include "sched/progcache.hh"
+
+#include <cinttypes>
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+CompiledStep
+compileStep(const OpCostModel& cost, const NetworkModel& net,
+            size_t cards, size_t log_slots, const MappingConfig& mapping,
+            const Step& step, OptLevel level)
+{
+    StepMapper mapper(cost, net, cards, log_slots, mapping);
+    CompiledStep out;
+    Program prog = lowerPlan(mapper.planStep(step), cost, net, mapping);
+    out.program = optimizeProgram(std::move(prog), level,
+                                  net.overlapsCompute(), &out.report);
+    return out;
+}
+
+std::string
+stepCacheKey(const PrototypeSpec& spec, const ClusterConfig& exec_cluster,
+             const ClusterConfig& net_cluster, size_t ring_n,
+             size_t log_slots, const Step& step, OptLevel level)
+{
+    const FpgaParams& f = spec.fpga;
+    const MappingConfig& m = spec.mapping;
+    // Machine half: everything the cost/network models read.
+    std::string key = strf(
+        "m=%s|x=%zux%zu|nx=%zux%zu|n=%zu|d=%zu|f=%.17g,%zu,%zu,%.17g,"
+        "%zu,%.17g,%.17g,%.17g|k=%d",
+        spec.name.c_str(), exec_cluster.servers,
+        exec_cluster.cardsPerServer, net_cluster.servers,
+        net_cluster.cardsPerServer, ring_n, spec.dnum, f.clockHz,
+        f.lanes, f.nttRadix, f.hbmBytesPerSec, f.scratchpadBytes,
+        f.hbmTrafficFactor, f.scratchpadOverflowPenalty, f.computeDerate,
+        static_cast<int>(spec.netKind));
+    if (spec.netKind == PrototypeSpec::NetKind::Switched)
+        key += strf("|nw=%.17g,%" PRIu64 ",%" PRIu64 ",%d",
+                    spec.net.linkBytesPerSec, spec.net.switchLatency,
+                    spec.net.dmaConfigLatency,
+                    spec.net.crossServerExtraHops);
+    else
+        key += strf("|nw=%.17g,%.17g,%" PRIu64 "",
+                    spec.hostNet.pcieBytesPerSec,
+                    spec.hostNet.lanBytesPerSec,
+                    spec.hostNet.hostLatency);
+    key += strf("|mc=%zu,%zu,%zu,%zu|ls=%zu|o=%s", m.maxChunksPerCard,
+                m.evalExpDegree, m.dafIters, m.dftLevels, log_slots,
+                optLevelName(level));
+    // Step half: content only — the name/index is deliberately
+    // excluded so repeated identical layers share one entry.
+    key += strf("|s=%d,%zu,%u,%u,%u,%u,%zu,%d,%zu,%.17g,%zu",
+                static_cast<int>(step.kind), step.parallelism,
+                step.perUnit.rotations, step.perUnit.cmults,
+                step.perUnit.pmults, step.perUnit.hadds, step.limbs,
+                static_cast<int>(step.agg), step.polyDegree,
+                step.unitScale, step.outputCts);
+    return key;
+}
+
+ProgramCache&
+ProgramCache::global()
+{
+    static ProgramCache cache;
+    return cache;
+}
+
+std::shared_ptr<const CompiledStep>
+ProgramCache::getOrCompile(const std::string& key,
+                           const std::function<CompiledStep()>& compile)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++hits_;
+            return it->second;
+        }
+        ++misses_;
+    }
+    // Compile outside the lock: compilation is pure and slow; a
+    // concurrent duplicate compile is deterministic and harmless (one
+    // of the identical results is published).
+    auto compiled = std::make_shared<const CompiledStep>(compile());
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = map_.emplace(key, compiled);
+    return it->second;
+}
+
+std::shared_ptr<const CompiledStep>
+ProgramCache::lookup(const std::string& key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : it->second;
+}
+
+ProgramCache::Stats
+ProgramCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries = map_.size();
+    return s;
+}
+
+void
+ProgramCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    hits_ = 0;
+    misses_ = 0;
+}
+
+void
+ProgramCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+}
+
+} // namespace hydra

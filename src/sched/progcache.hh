@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shared compiled-program cache: the reuse layer of the schedule
+ * compiler (plan -> lower -> optimize -> cache).
+ *
+ * The paper's host software preloads instruction streams (Section
+ * IV-D); compiling one is pure — a Program depends only on the cost
+ * model (card microarchitecture, ring, dnum), the network model (kind,
+ * parameters, topology), the card count, the mapping knobs and the
+ * step content — and is fault-independent: fault plans act at
+ * *execution* time, so a cached Program stays valid under any
+ * FaultPlan.  InferenceRunner (run / degraded re-dispatch / runJob)
+ * and ServeSim therefore share one process-wide cache keyed by those
+ * inputs, in the counter style of BufferPool: deep serving runs and
+ * repeated identical layers (ResNet blocks, transformer layers) hit
+ * after the first compile.
+ *
+ * Keys are explicit human-readable strings covering every mapping
+ * input (no hash collisions by construction); step *names* and step
+ * indices are excluded so content-identical layers share one entry.
+ */
+
+#ifndef HYDRA_SCHED_PROGCACHE_HH
+#define HYDRA_SCHED_PROGCACHE_HH
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sched/lower.hh"
+#include "sched/passes.hh"
+#include "sched/runner.hh"
+
+namespace hydra {
+
+/** One cached compilation result (immutable once published). */
+struct CompiledStep
+{
+    Program program;
+    OptReport report;
+};
+
+/**
+ * Compile one step end to end: plan (StepMapper decomposition), lower
+ * (bind `cost`/`net`), optimize (`level` pass pipeline, gated on
+ * net.overlapsCompute()).
+ */
+CompiledStep compileStep(const OpCostModel& cost, const NetworkModel& net,
+                         size_t cards, size_t log_slots,
+                         const MappingConfig& mapping, const Step& step,
+                         OptLevel level = OptLevel::Safe);
+
+/**
+ * Cache key for one step compilation.
+ *
+ * @param spec machine description (name + card/network/mapping params)
+ * @param exec_cluster topology of the executing (sub-)cluster — the
+ *        mapper's card count
+ * @param net_cluster topology the network model was built from (the
+ *        degraded re-dispatch path keeps the machine network while
+ *        shrinking the executing cluster, so the two can differ)
+ * @param ring_n CKKS ring dimension of the cost model
+ * @param log_slots workload slot geometry (bootstrap DFT size)
+ */
+std::string stepCacheKey(const PrototypeSpec& spec,
+                         const ClusterConfig& exec_cluster,
+                         const ClusterConfig& net_cluster, size_t ring_n,
+                         size_t log_slots, const Step& step,
+                         OptLevel level = OptLevel::Safe);
+
+/** Process-wide compiled-program cache (BufferPool-style counters). */
+class ProgramCache
+{
+  public:
+    /** Counter snapshot; hits/misses are cumulative, entries current. */
+    struct Stats
+    {
+        uint64_t hits = 0;   ///< lookups served from the cache
+        uint64_t misses = 0; ///< lookups that compiled fresh
+        uint64_t entries = 0;
+
+        double
+        hitRate() const
+        {
+            uint64_t n = hits + misses;
+            return n ? static_cast<double>(hits) /
+                           static_cast<double>(n)
+                     : 0.0;
+        }
+    };
+
+    /** The singleton cache shared by runner and serving layers. */
+    static ProgramCache& global();
+
+    ProgramCache() = default;
+    ProgramCache(const ProgramCache&) = delete;
+    ProgramCache& operator=(const ProgramCache&) = delete;
+
+    /**
+     * Return the entry for `key`, invoking `compile` on a miss.  The
+     * returned CompiledStep is shared and immutable; executors run the
+     * program without copying it.
+     */
+    std::shared_ptr<const CompiledStep>
+    getOrCompile(const std::string& key,
+                 const std::function<CompiledStep()>& compile);
+
+    /** Peek without counting or compiling (tests). */
+    std::shared_ptr<const CompiledStep>
+    lookup(const std::string& key) const;
+
+    Stats stats() const;
+
+    /** Zero the cumulative hit/miss counters (entries stay). */
+    void resetStats();
+
+    /** Drop every entry (counters stay). */
+    void clear();
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_ptr<const CompiledStep>>
+        map_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SCHED_PROGCACHE_HH

@@ -1,10 +1,37 @@
 #include "sched/runner.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.hh"
+#include "sched/progcache.hh"
 
 namespace hydra {
+
+namespace {
+
+/**
+ * The one program-construction path of the runner: fetch the step's
+ * compiled Program from the shared ProgramCache, compiling
+ * plan -> lower -> optimize(Safe) on a miss.  run(), the degraded
+ * re-dispatch loops and runJob() all come through here, so identical
+ * (machine, cluster, step) combinations compile exactly once per
+ * process.
+ */
+std::shared_ptr<const CompiledStep>
+compiledFor(const PrototypeSpec& spec, const ClusterConfig& exec_cluster,
+            const ClusterConfig& net_cluster, const OpCostModel& cost,
+            const NetworkModel& net, size_t log_slots, const Step& step)
+{
+    std::string key = stepCacheKey(spec, exec_cluster, net_cluster,
+                                   cost.n(), log_slots, step);
+    return ProgramCache::global().getOrCompile(key, [&] {
+        return compileStep(cost, net, exec_cluster.totalCards(),
+                           log_slots, spec.mapping, step);
+    });
+}
+
+} // namespace
 
 std::unique_ptr<NetworkModel>
 PrototypeSpec::makeNetwork() const
@@ -115,16 +142,16 @@ InferenceRunner::runFused(const WorkloadModel& workload) const
 InferenceResult
 InferenceRunner::run(const WorkloadModel& workload) const
 {
-    StepMapper mapper(cost_, *net_, spec_.cluster.totalCards(),
-                      workload.logSlots, spec_.mapping);
     ClusterExecutor executor(spec_.cluster, *net_);
 
     InferenceResult result;
     result.machine = spec_.name;
     result.workload = workload.name;
     for (const auto& step : workload.steps) {
-        Program prog = mapper.mapStep(step);
-        RunStats stats = executor.run(prog);
+        auto compiled =
+            compiledFor(spec_, spec_.cluster, spec_.cluster, cost_,
+                        *net_, workload.logSlots, step);
+        RunStats stats = executor.run(compiled->program);
         result.total.append(stats, net_->stepSyncLatency());
         result.steps.push_back(StepResult{step.name, step.kind, stats});
     }
@@ -190,9 +217,6 @@ InferenceRunner::run(const WorkloadModel& workload,
     // to a step is shifted by the time elapsed so far.
     FaultPlan plan = faults;
     ClusterConfig cluster = spec_.cluster;
-    auto mapper = std::make_unique<StepMapper>(
-        cost_, *net_, cluster.totalCards(), workload.logSlots,
-        spec_.mapping);
     auto executor = std::make_unique<ClusterExecutor>(cluster, *net_);
     executor->setRetryPolicy(retry);
 
@@ -205,8 +229,13 @@ InferenceRunner::run(const WorkloadModel& workload,
                 stepPlan.cardFailAt[card] = t > elapsed ? t - elapsed : 0;
             executor->setFaultPlan(stepPlan);
 
-            Program prog = mapper->mapStep(step);
-            RunResult rr = executor->tryRun(prog);
+            // The compiled program is fault-independent: only the
+            // executor's fault plan differs between attempts, so the
+            // cache stays valid across retries and re-dispatches.
+            auto compiled = compiledFor(spec_, cluster, spec_.cluster,
+                                        cost_, *net_, workload.logSlots,
+                                        step);
+            RunResult rr = executor->tryRun(compiled->program);
             if (rr.ok()) {
                 result.total.append(rr.stats, net_->stepSyncLatency());
                 result.steps.push_back(
@@ -235,9 +264,6 @@ InferenceRunner::run(const WorkloadModel& workload,
             }
             plan = remapPlanAfterDeath(plan, dead);
             cluster = ClusterConfig{1, alive.size()};
-            mapper = std::make_unique<StepMapper>(
-                cost_, *net_, cluster.totalCards(), workload.logSlots,
-                spec_.mapping);
             executor = std::make_unique<ClusterExecutor>(cluster, *net_);
             executor->setRetryPolicy(retry);
         }
@@ -266,9 +292,6 @@ InferenceRunner::runJob(const WorkloadModel& workload,
     PrototypeSpec sub = groupSubSpec(spec_, group);
     std::unique_ptr<NetworkModel> net = sub.makeNetwork();
     ClusterConfig cluster = sub.cluster;
-    auto mapper = std::make_unique<StepMapper>(
-        cost_, *net, cluster.totalCards(), workload.logSlots,
-        spec_.mapping);
     auto executor = std::make_unique<ClusterExecutor>(cluster, *net);
     executor->setRetryPolicy(retry);
 
@@ -286,8 +309,12 @@ InferenceRunner::runJob(const WorkloadModel& workload,
             executor->setTimeOrigin(start_tick + result.total.makespan);
             executor->setFaultPlan(planForGroup(faults, alive));
 
-            Program prog = mapper->mapStep(step);
-            RunResult rr = executor->tryRun(prog);
+            // Identical (workload, group size, alignment) jobs share
+            // one compiled program — the serving layer's reuse.
+            auto compiled = compiledFor(sub, cluster, sub.cluster,
+                                        cost_, *net, workload.logSlots,
+                                        step);
+            RunResult rr = executor->tryRun(compiled->program);
             if (rr.ok()) {
                 result.total.append(rr.stats, net->stepSyncLatency());
                 result.steps.push_back(
@@ -313,9 +340,6 @@ InferenceRunner::runJob(const WorkloadModel& workload,
                 return result;
             }
             cluster = ClusterConfig{1, alive.size()};
-            mapper = std::make_unique<StepMapper>(
-                cost_, *net, cluster.totalCards(), workload.logSlots,
-                spec_.mapping);
             executor = std::make_unique<ClusterExecutor>(cluster, *net);
             executor->setRetryPolicy(retry);
         }

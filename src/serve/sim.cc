@@ -1,8 +1,6 @@
 #include "serve/sim.hh"
 
 #include <algorithm>
-#include <map>
-#include <tuple>
 
 #include "common/logging.hh"
 #include "serve/workload_gen.hh"
@@ -22,13 +20,6 @@ struct JobOutcome
     Tick recoveryPenalty = 0;
 };
 
-/** Cached fault-free service profile of one (workload, group shape). */
-struct CacheEntry
-{
-    Tick span = 0;
-    bool ok = true;
-};
-
 /** One serving run's mutable state; lives for the duration of run(). */
 struct Engine
 {
@@ -40,9 +31,6 @@ struct Engine
     InferenceRunner runner;
     std::vector<std::string> wlNames;
     std::vector<WorkloadModel> models;
-    /** `faults` minus per-card entries: the transient faults every job
-     *  sees, shape-invariant and therefore safe to cache over. */
-    FaultPlan basePlan;
 
     EventQueue eq;
     WorkloadGen gen;
@@ -51,7 +39,6 @@ struct Engine
 
     std::vector<uint64_t> servedPerTenant;
     std::vector<bool> cardDead;
-    std::map<std::tuple<size_t, size_t, bool>, CacheEntry> cache;
 
     ServeStats stats;
     Tick lastActivity = 0;
@@ -68,9 +55,6 @@ struct Engine
         models.reserve(wlNames.size());
         for (const auto& n : wlNames)
             models.push_back(workloadByName(n));
-        basePlan = faults;
-        basePlan.stragglers.clear();
-        basePlan.cardFailAt.clear();
         servedPerTenant.assign(serve.tenants.size(), 0);
         cardDead.assign(spec.cluster.totalCards(), false);
         stats.tenants.resize(serve.tenants.size());
@@ -89,37 +73,6 @@ struct Engine
         depthAcc += static_cast<double>(queue.depth()) *
                     static_cast<double>(now - lastDepthTick);
         lastDepthTick = now;
-    }
-
-    /** Whether a job on `g` must simulate (un-cached) because a card
-     *  of the group carries a straggler factor or a pending kill. */
-    bool
-    perCardFaults(const ServeGroup& g) const
-    {
-        for (size_t c : g.cards.cards)
-            if (faults.stragglers.count(c) ||
-                (faults.cardFailAt.count(c) && !cardDead[c]))
-                return true;
-        return false;
-    }
-
-    const CacheEntry&
-    cachedService(const ServeGroup& g)
-    {
-        auto key = std::make_tuple(g.workload, g.cards.size(),
-                                   g.cards.alignedTo(spec.cluster));
-        auto it = cache.find(key);
-        if (it == cache.end()) {
-            // Probe at t=0: basePlan has no time-dated faults, so the
-            // profile is start-time invariant.
-            InferenceResult res = runner.runJob(models[g.workload],
-                                                g.cards, 0, basePlan,
-                                                retry);
-            it = cache.emplace(key, CacheEntry{res.total.makespan,
-                                               res.ok()})
-                     .first;
-        }
-        return it->second;
     }
 
     void
@@ -250,24 +203,18 @@ struct Engine
         r.dispatched = now;
         ++servedPerTenant[r.tenant];
         g.busy = true;
+        // Every job executes for real on the shared clock — reuse
+        // comes from the compiled-program cache inside runJob, not
+        // from memoized service times, so absolute-tick faults always
+        // land where they should.
+        InferenceResult res = runner.runJob(models[g.workload], g.cards,
+                                            now, faults, retry);
         JobOutcome out;
-        if (!perCardFaults(g)) {
-            const CacheEntry& e = cachedService(g);
-            out.ok = e.ok;
-            out.span = e.span;
-        } else {
-            // The group carries stragglers or pending kills: simulate
-            // this job for real on the shared clock so absolute-tick
-            // faults land where they should.
-            InferenceResult res = runner.runJob(models[g.workload],
-                                                g.cards, now, faults,
-                                                retry);
-            out.ok = res.ok();
-            out.span = res.total.makespan;
-            out.failedCards = res.failedCards;
-            out.redispatches = res.redispatches;
-            out.recoveryPenalty = res.recoveryPenalty;
-        }
+        out.ok = res.ok();
+        out.span = res.total.makespan;
+        out.failedCards = res.failedCards;
+        out.redispatches = res.redispatches;
+        out.recoveryPenalty = res.recoveryPenalty;
         size_t gid = g.id;
         eq.schedule(now + out.span, [this, gid, r, out] {
             onComplete(gid, r, out);

@@ -14,9 +14,11 @@
  * dispatched at t0 run with the cluster executor's time origin set to
  * t0, so FaultPlan::cardFailAt ticks are absolute serve-clock times
  * and a kill lands in whatever job (or idle period) covers it.
- * Fault-free service times are cached per (workload, group size,
- * alignment) — identical groups replay identical virtual runs, which
- * keeps thousand-request simulations fast and bit-deterministic.
+ * Every job executes for real; reuse comes from the shared
+ * ProgramCache inside InferenceRunner::runJob — identical (workload,
+ * group size, alignment) jobs replay one compiled Program, which
+ * keeps thousand-request simulations fast and bit-deterministic
+ * while letting absolute-tick faults land in any job.
  *
  * Fault handling: transient faults (drop/corrupt/degrade) apply
  * inside every job; permanent card kills are consumed by the job in

@@ -23,6 +23,42 @@ RunStats::commOverhead() const
     return makespan > floor ? makespan - floor : 0;
 }
 
+uint64_t
+RunStats::fingerprint() const
+{
+    // FNV-1a over every execution-visible field, so two runs hash
+    // equal iff they are bit-identical (execution-equivalence tests).
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(makespan);
+    mix(computeBusy.size());
+    for (Tick t : computeBusy)
+        mix(t);
+    mix(commBusy.size());
+    for (Tick t : commBusy)
+        mix(t);
+    mix(netBytes);
+    mix(netMessages);
+    mix(totalCost.cycles);
+    mix(totalCost.hbmBytes);
+    for (uint64_t v : totalCost.cuOps)
+        mix(v);
+    mix(totalCost.limbs);
+    for (const auto& [label, ticks] : labelComputeTicks) {
+        mix(label);
+        mix(ticks);
+    }
+    mix(retries);
+    mix(droppedTransfers);
+    mix(corruptedTransfers);
+    mix(timedOutTransfers);
+    mix(retryBackoffTicks);
+    return h;
+}
+
 void
 RunStats::append(const RunStats& next, Tick step_gap)
 {

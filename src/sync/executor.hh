@@ -76,6 +76,10 @@ struct RunStats
      *  and load imbalance (the paper's "communication overhead"). */
     Tick commOverhead() const;
 
+    /** FNV-1a hash of every execution-visible field (timeline
+     *  excluded): equal iff two runs are bit-identical. */
+    uint64_t fingerprint() const;
+
     /** Accumulate a subsequent step's stats (makespans add). */
     void append(const RunStats& next, Tick step_gap = 0);
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/prototypes.hh"
+#include "sched/progcache.hh"
 #include "serve/sim.hh"
 
 namespace hydra {
@@ -56,6 +57,22 @@ TEST(ServeSim, SameSeedIdenticalStats)
         "seed=6,duration=120,tenant=vision:open:resnet18:0.05,"
         "tenant=nlp:open:bert:0.005");
     EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(ServeSim, JobsReuseCompiledPrograms)
+{
+    ProgramCache& cache = ProgramCache::global();
+    cache.clear();
+    cache.resetStats();
+    ServeStats st = runServe("hydra-m", kMixed);
+    ASSERT_GT(st.completed, 1u);
+    // Every job executes for real, but identical (workload, group)
+    // jobs share compiled Programs: after the first job of each class
+    // every step lookup hits.
+    ProgramCache::Stats cs = cache.stats();
+    EXPECT_GT(cs.hits, 0u);
+    EXPECT_GT(cs.hitRate(), 0.5);
+    EXPECT_LT(cs.entries, cs.hits + cs.misses);
 }
 
 TEST(ServeSim, ClosedLoopSustainsLoad)
