@@ -9,15 +9,25 @@
  * case to `path`:
  *
  *   {"bench": "...", "case": "...", "wall_us": ..., "allocs": ...,
- *    "pool_hits": ...}
+ *    "pool_hits": ..., "simd_level": "...", "repetitions": ...}
  *
  * wall_us is per-iteration wall time; allocs / pool_hits are
  * per-iteration BufferPool miss / hit counts captured by wrapping the
- * measurement loop in a PoolCounterScope.  Any further counter a bench
- * sets in state.counters (e.g. the serving bench's throughput_rps and
- * latency percentiles) is passed through as an extra field of the same
- * name.  BENCH_micro.json / BENCH_serving.json at the repo root are
- * the checked-in snapshots tracking the perf trajectory across PRs.
+ * measurement loop in a PoolCounterScope.  simd_level records the
+ * kernel dispatch level the run executed with (scalar/avx2/avx512) so
+ * snapshots from different levels are never compared blind.  Any
+ * further counter a bench sets in state.counters (e.g. the serving
+ * bench's throughput_rps and latency percentiles) is passed through as
+ * an extra field of the same name.  BENCH_micro.json /
+ * BENCH_serving.json at the repo root are the checked-in snapshots
+ * tracking the perf trajectory across PRs.
+ *
+ * `--min-of <N>` runs the whole suite N times and keeps, per case, the
+ * record with the smallest wall_us (repetitions = N in the output).
+ * Minimum-of-N is the standard estimator for run-to-run noise that is
+ * strictly additive -- scheduler preemption, frequency ramps, pool
+ * warm-up -- which is exactly what the thread-count sweeps in
+ * micro_parallel are exposed to.
  */
 
 #ifndef HYDRA_BENCH_BENCH_UTIL_HH
@@ -28,12 +38,15 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "baselines/prototypes.hh"
+#include "common/cpu.hh"
 #include "common/pool.hh"
 #include "common/table.hh"
+#include "math/simd/simd.hh"
 #include "sched/runner.hh"
 #include "workloads/model.hh"
 
@@ -115,15 +128,42 @@ extractJsonFlag(int& argc, char** argv)
 }
 
 /**
+ * Strip `--min-of <N>` / `--min-of=<N>` from argv.  Returns N, or 1
+ * when the flag is absent or unparseable.
+ */
+inline int
+extractMinOfFlag(int& argc, char** argv)
+{
+    long reps = 1;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--min-of") == 0 && i + 1 < argc) {
+            reps = std::strtol(argv[++i], nullptr, 10);
+        } else if (std::strncmp(argv[i], "--min-of=", 9) == 0) {
+            reps = std::strtol(argv[i] + 9, nullptr, 10);
+        } else {
+            argv[w++] = argv[i];
+        }
+    }
+    argc = w;
+    return reps > 1 ? static_cast<int>(reps) : 1;
+}
+
+/**
  * Secondary reporter emitting one JSON record per benchmark case.  The
  * records accumulate in memory and are written as a JSON array when
- * the run finalizes.
+ * the run finalizes.  Under --min-of, the suite reports into the same
+ * instance several times and each case keeps the repetition with the
+ * smallest wall_us; Finalize() then writes once, in first-seen order.
  */
 class JsonLinesReporter : public benchmark::BenchmarkReporter
 {
   public:
-    JsonLinesReporter(std::string bench, std::string path)
-        : bench_(std::move(bench)), path_(std::move(path))
+    JsonLinesReporter(std::string bench, std::string path,
+                      int repetitions = 1)
+        : bench_(std::move(bench)),
+          path_(std::move(path)),
+          repetitions_(repetitions)
     {
     }
 
@@ -150,9 +190,12 @@ class JsonLinesReporter : public benchmark::BenchmarkReporter
             std::snprintf(line, sizeof(line),
                           "{\"bench\": \"%s\", \"case\": \"%s\", "
                           "\"wall_us\": %.3f, \"allocs\": %.2f, "
-                          "\"pool_hits\": %.2f",
+                          "\"pool_hits\": %.2f, \"simd_level\": "
+                          "\"%s\", \"repetitions\": %d",
                           bench_.c_str(), run.benchmark_name().c_str(),
-                          wall_us, allocs, hits);
+                          wall_us, allocs, hits,
+                          simdLevelName(simd::activeLevel()),
+                          repetitions_);
             std::string record(line);
             // Every other user counter passes through by name, so
             // benches can export domain metrics (throughput, latency
@@ -166,7 +209,16 @@ class JsonLinesReporter : public benchmark::BenchmarkReporter
                 record += line;
             }
             record += "}";
-            records_.push_back(std::move(record));
+
+            std::string key = run.benchmark_name();
+            auto it = best_.find(key);
+            if (it == best_.end()) {
+                order_.push_back(key);
+                best_.emplace(std::move(key),
+                              Best{wall_us, std::move(record)});
+            } else if (wall_us < it->second.wall_us) {
+                it->second = Best{wall_us, std::move(record)};
+            }
         }
     }
 
@@ -175,8 +227,9 @@ class JsonLinesReporter : public benchmark::BenchmarkReporter
     {
         std::ofstream out(path_);
         out << "[\n";
-        for (size_t i = 0; i < records_.size(); ++i)
-            out << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
+        for (size_t i = 0; i < order_.size(); ++i)
+            out << best_.at(order_[i]).record
+                << (i + 1 < order_.size() ? ",\n" : "\n");
         out << "]\n";
     }
 
@@ -190,9 +243,17 @@ class JsonLinesReporter : public benchmark::BenchmarkReporter
                    : fallback;
     }
 
+    struct Best
+    {
+        double wall_us;
+        std::string record;
+    };
+
     std::string bench_;
     std::string path_;
-    std::vector<std::string> records_;
+    int repetitions_;
+    std::vector<std::string> order_;
+    std::map<std::string, Best> best_;
 };
 
 /**
@@ -203,8 +264,9 @@ class JsonLinesReporter : public benchmark::BenchmarkReporter
 class TeeJsonReporter : public benchmark::ConsoleReporter
 {
   public:
-    TeeJsonReporter(std::string bench, std::string path)
-        : json_(std::move(bench), std::move(path))
+    TeeJsonReporter(std::string bench, std::string path,
+                    int repetitions = 1)
+        : json_(std::move(bench), std::move(path), repetitions)
     {
     }
 
@@ -233,19 +295,25 @@ class TeeJsonReporter : public benchmark::ConsoleReporter
     JsonLinesReporter json_;
 };
 
-/** main() for the micro benches: BENCHMARK_MAIN plus --json support. */
+/**
+ * main() for the micro benches: BENCHMARK_MAIN plus --json and
+ * --min-of support.
+ */
 inline int
 benchMain(const char* bench_name, int argc, char** argv)
 {
     std::string json_path = extractJsonFlag(argc, argv);
+    int reps = extractMinOfFlag(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     if (json_path.empty()) {
-        benchmark::RunSpecifiedBenchmarks();
+        for (int r = 0; r < reps; ++r)
+            benchmark::RunSpecifiedBenchmarks();
     } else {
-        TeeJsonReporter tee(bench_name, json_path);
-        benchmark::RunSpecifiedBenchmarks(&tee);
+        TeeJsonReporter tee(bench_name, json_path, reps);
+        for (int r = 0; r < reps; ++r)
+            benchmark::RunSpecifiedBenchmarks(&tee);
     }
     benchmark::Shutdown();
     return 0;

@@ -33,6 +33,7 @@
 #include "baselines/prototypes.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "math/simd/simd.hh"
 #include "sched/progcache.hh"
 
 using namespace hydra;
@@ -156,8 +157,11 @@ main(int argc, char** argv)
     std::printf("machine : %s (%zu server(s) x %zu card(s))\n",
                 spec.name.c_str(), spec.cluster.servers,
                 spec.cluster.cardsPerServer);
-    std::printf("workload: %s (%zu steps)\n\n", wl.name.c_str(),
+    std::printf("workload: %s (%zu steps)\n", wl.name.c_str(),
                 wl.steps.size());
+    std::printf("simd    : %s (best available %s)\n\n",
+                simdLevelName(simd::activeLevel()),
+                simdLevelName(simd::bestAvailableLevel()));
 
     FaultPlan plan = FaultPlan::parse(faultSpec);
     if (!plan.empty())

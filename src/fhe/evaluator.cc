@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/pool.hh"
+#include "math/simd/simd.hh"
 
 namespace hydra {
 
@@ -249,8 +250,7 @@ Evaluator::decomposeDigits(const RnsPoly& d) const
         // of the same 64-bit words).
         PoolBuffer scratch = BufferPool::global().acquire(n);
         i64* centered = reinterpret_cast<i64*>(scratch.data());
-        for (size_t t = 0; t < n; ++t)
-            centered[t] = qi.toCentered(src[t]);
+        simd::kernels().toCenteredSpan(centered, src, n, qi.value());
         RnsPoly dig = RnsPoly::fromSigned(ctx_.basis(), levels, true,
                                           centered);
         dig.toNtt();
@@ -287,22 +287,24 @@ Evaluator::accumulateKey(const std::vector<RnsPoly>& digits,
         const Modulus& mj = acc0.mod(kpos);
         u64* a0 = acc0.limbData(kpos);
         u64* a1 = acc1.limbData(kpos);
+        // The hoisted-rotation variant gathers the digit limb through
+        // the Galois permutation once into pooled scratch so the MAC
+        // below always runs on contiguous spans.
+        PoolBuffer gathered;
+        if (map)
+            gathered = BufferPool::global().acquire(nn);
         for (size_t i = 0; i < digits.size(); ++i) {
             const u64* dl = digits[i].limbData(kpos);
             const u64* bkey = key.b[i].limbData(key_pos);
             const u64* akey = key.a[i].limbData(key_pos);
             if (map) {
-                for (size_t t = 0; t < nn; ++t) {
-                    u64 dv = dl[(*map)[t]];
-                    a0[t] = mj.addMod(a0[t], mj.mulMod(dv, bkey[t]));
-                    a1[t] = mj.addMod(a1[t], mj.mulMod(dv, akey[t]));
-                }
-            } else {
-                for (size_t t = 0; t < nn; ++t) {
-                    a0[t] = mj.addMod(a0[t], mj.mulMod(dl[t], bkey[t]));
-                    a1[t] = mj.addMod(a1[t], mj.mulMod(dl[t], akey[t]));
-                }
+                u64* g = gathered.data();
+                for (size_t t = 0; t < nn; ++t)
+                    g[t] = dl[(*map)[t]];
+                dl = g;
             }
+            simd::kernels().macPairSpan(a0, a1, dl, bkey, akey, nn,
+                                        mj);
         }
     });
 

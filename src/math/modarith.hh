@@ -50,6 +50,9 @@ class Modulus
     /** Bit length of q. */
     int bits() const { return k_; }
 
+    /** Barrett constant mu = floor(2^(2k) / q) (for SIMD kernels). */
+    u64 barrettMu() const { return mu_; }
+
     /** Reduce x < q^2 modulo q via Barrett. */
     u64
     reduce(u128 x) const
@@ -166,6 +169,9 @@ class ShoupMul
     }
 
     u64 value() const { return w_; }
+
+    /** Precomputed quotient w' = floor(w * 2^64 / q). */
+    u64 shoup() const { return wShoup_; }
 
     /** (a * w) mod q; a must be < q. */
     u64

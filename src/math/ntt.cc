@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "math/primes.hh"
+#include "math/simd/simd.hh"
 
 namespace hydra {
 
@@ -17,162 +18,44 @@ NttTable::NttTable(size_t n, Modulus q)
     u64 psi = primitiveRoot2N(q, n);
     u64 psi_inv = q.invMod(psi);
 
-    rootPow_.resize(n);
-    rootPowInv_.resize(n);
+    fwdW_.resize(n);
+    fwdWShoup_.resize(n);
+    invW_.resize(n);
+    invWShoup_.resize(n);
     u64 fwd = 1;
     u64 inv = 1;
     for (size_t i = 0; i < n; ++i) {
         size_t r = bitReverse(i, logN_);
-        rootPow_[r] = ShoupMul(fwd, q);
-        rootPowInv_[r] = ShoupMul(inv, q);
+        ShoupMul sf(fwd, q);
+        ShoupMul si(inv, q);
+        fwdW_[r] = sf.value();
+        fwdWShoup_[r] = sf.shoup();
+        invW_[r] = si.value();
+        invWShoup_[r] = si.shoup();
         fwd = q.mulMod(fwd, psi);
         inv = q.mulMod(inv, psi_inv);
     }
-    nInv_ = ShoupMul(q.invMod(static_cast<u64>(n)), q);
+    ShoupMul ni(q.invMod(static_cast<u64>(n)), q);
+    nInvW_ = ni.value();
+    nInvWShoup_ = ni.shoup();
 }
 
 void
 NttTable::forward(u64* a) const
 {
-    // Harvey lazy butterflies: array values live in [0, 4q) between
-    // stages.  Each butterfly conditionally pulls its top input into
-    // [0, 2q), takes the twiddle product lazily in [0, 2q), and emits
-    // sums/differences in [0, 4q) with no per-element reduction.  One
-    // normalization pass at the end restores canonical [0, q) values,
-    // so outputs are bit-identical to the fully-reduced form.
-    const u64 q = q_.value();
-    const u64 two_q = 2 * q;
-    size_t t = n_;
-    for (size_t m = 1; m < n_; m <<= 1) {
-        t >>= 1;
-        for (size_t i = 0; i < m; ++i) {
-            size_t j1 = 2 * i * t;
-            const ShoupMul& s = rootPow_[m + i];
-            for (size_t j = j1; j < j1 + t; ++j) {
-                u64 u = a[j];
-                if (u >= two_q)
-                    u -= two_q;
-                u64 v = s.mulModLazy(a[j + t], q);
-                a[j] = u + v;
-                a[j + t] = u - v + two_q;
-            }
-        }
-    }
-    for (size_t j = 0; j < n_; ++j) {
-        u64 x = a[j];
-        if (x >= two_q)
-            x -= two_q;
-        if (x >= q)
-            x -= q;
-        a[j] = x;
-    }
+    simd::kernels().nttForward(*this, a);
 }
 
 void
 NttTable::forwardRadix4(u64* a) const
 {
-    // Same lazy [0, 4q) discipline as forward(), applied to the fused
-    // two-stage pass: the stage-1 outputs feed stage 2 through the same
-    // conditional 2q pull-down a fresh butterfly load would get.
-    const u64 q = q_.value();
-    const u64 two_q = 2 * q;
-    size_t m = 1;
-    while (m * 2 < n_) {
-        // Fuse stages m and 2m: one pass applies both butterflies.
-        size_t t1 = n_ / (2 * m); // stage-1 offset
-        size_t t2 = t1 >> 1;      // stage-2 offset
-        for (size_t i = 0; i < m; ++i) {
-            size_t j1 = 2 * i * t1;
-            const ShoupMul& s1 = rootPow_[m + i];
-            const ShoupMul& s2a = rootPow_[2 * m + 2 * i];
-            const ShoupMul& s2b = rootPow_[2 * m + 2 * i + 1];
-            for (size_t j = j1; j < j1 + t2; ++j) {
-                u64 x0 = a[j];
-                if (x0 >= two_q)
-                    x0 -= two_q;
-                u64 x1 = a[j + t2];
-                if (x1 >= two_q)
-                    x1 -= two_q;
-                // Stage 1: pairs (x0,x2) and (x1,x3), twiddle S1.
-                u64 v0 = s1.mulModLazy(a[j + t1], q);
-                u64 v1 = s1.mulModLazy(a[j + t1 + t2], q);
-                u64 u0 = x0 + v0;
-                u64 u2 = x0 - v0 + two_q;
-                u64 u1 = x1 + v1;
-                u64 u3 = x1 - v1 + two_q;
-                if (u0 >= two_q)
-                    u0 -= two_q;
-                if (u2 >= two_q)
-                    u2 -= two_q;
-                // Stage 2: (u0,u1) with S2a, (u2,u3) with S2b.
-                u64 w0 = s2a.mulModLazy(u1, q);
-                u64 w1 = s2b.mulModLazy(u3, q);
-                a[j] = u0 + w0;
-                a[j + t2] = u0 - w0 + two_q;
-                a[j + t1] = u2 + w1;
-                a[j + t1 + t2] = u2 - w1 + two_q;
-            }
-        }
-        m <<= 2;
-    }
-    if (m < n_) {
-        // Odd log2(n): one radix-2 stage remains (t == 1).
-        size_t t = n_ / (2 * m);
-        for (size_t i = 0; i < m; ++i) {
-            size_t j1 = 2 * i * t;
-            const ShoupMul& s = rootPow_[m + i];
-            for (size_t j = j1; j < j1 + t; ++j) {
-                u64 u = a[j];
-                if (u >= two_q)
-                    u -= two_q;
-                u64 v = s.mulModLazy(a[j + t], q);
-                a[j] = u + v;
-                a[j + t] = u - v + two_q;
-            }
-        }
-    }
-    for (size_t j = 0; j < n_; ++j) {
-        u64 x = a[j];
-        if (x >= two_q)
-            x -= two_q;
-        if (x >= q)
-            x -= q;
-        a[j] = x;
-    }
+    simd::kernels().nttForwardRadix4(*this, a);
 }
 
 void
 NttTable::inverse(u64* a) const
 {
-    // Lazy Gentleman-Sande: values stay in [0, 2q) across stages (the
-    // sum gets one conditional 2q pull-down, the difference is absorbed
-    // by the lazy twiddle product).  The final n^-1 scaling reduces to
-    // canonical [0, q).
-    const u64 q = q_.value();
-    const u64 two_q = 2 * q;
-    size_t t = 1;
-    for (size_t m = n_; m > 1; m >>= 1) {
-        size_t j1 = 0;
-        size_t h = m >> 1;
-        for (size_t i = 0; i < h; ++i) {
-            const ShoupMul& s = rootPowInv_[h + i];
-            for (size_t j = j1; j < j1 + t; ++j) {
-                u64 u = a[j];
-                u64 v = a[j + t];
-                u64 sum = u + v;
-                if (sum >= two_q)
-                    sum -= two_q;
-                a[j] = sum;
-                a[j + t] = s.mulModLazy(u - v + two_q, q);
-            }
-            j1 += 2 * t;
-        }
-        t <<= 1;
-    }
-    for (size_t j = 0; j < n_; ++j) {
-        u64 x = nInv_.mulModLazy(a[j], q);
-        a[j] = x >= q ? x - q : x;
-    }
+    simd::kernels().nttInverse(*this, a);
 }
 
 } // namespace hydra

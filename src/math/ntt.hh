@@ -9,6 +9,11 @@
  * canonical [0, q) representative only once per transform, so outputs
  * match the fully-reduced form bit for bit.  This is the functional
  * counterpart of the paper's radix-based NTT compute unit.
+ *
+ * The transform bodies live in src/math/simd/ as runtime-dispatched
+ * kernels (scalar / AVX2 / AVX-512); this class owns the twiddle
+ * tables, stored struct-of-arrays (separate w and Shoup-quotient
+ * vectors) so vector lanes can load twiddles contiguously.
  */
 
 #ifndef HYDRA_MATH_NTT_HH
@@ -32,6 +37,7 @@ class NttTable
     NttTable(size_t n, Modulus q);
 
     size_t n() const { return n_; }
+    int logN() const { return logN_; }
     const Modulus& modulus() const { return q_; }
 
     /** In-place forward negacyclic NTT (coefficients -> evaluations). */
@@ -45,7 +51,9 @@ class NttTable
      * pass (the paper's radix-4 dataflow: "we use Radix-4 ... as it is
      * a better match to the application parameters").  Bit-identical
      * to forward(); halves the number of passes over the coefficient
-     * array.
+     * array.  Under a vector dispatch level this maps to the SIMD
+     * radix-2 kernel, whose lane-parallel passes subsume the memory
+     * win.
      */
     void forwardRadix4(u64* a) const;
 
@@ -58,16 +66,31 @@ class NttTable
     void forward(std::vector<u64>& a) const { forward(a.data()); }
     void inverse(std::vector<u64>& a) const { inverse(a.data()); }
 
+    /// @name Twiddle access for the dispatched kernels
+    /// @{
+    /** psi^brv(i) for the forward transform (bit-reversed order). */
+    const u64* fwdW() const { return fwdW_.data(); }
+    /** Shoup quotients matching fwdW(). */
+    const u64* fwdWShoup() const { return fwdWShoup_.data(); }
+    /** psi^-brv(i) for the inverse transform. */
+    const u64* invW() const { return invW_.data(); }
+    /** Shoup quotients matching invW(). */
+    const u64* invWShoup() const { return invWShoup_.data(); }
+    /** n^-1 mod q and its Shoup quotient (inverse normalization). */
+    u64 nInvW() const { return nInvW_; }
+    u64 nInvWShoup() const { return nInvWShoup_; }
+    /// @}
+
   private:
     size_t n_;
     int logN_;
     Modulus q_;
-    /** psi^brv(i) for the forward transform. */
-    std::vector<ShoupMul> rootPow_;
-    /** psi^-brv(i) for the inverse transform. */
-    std::vector<ShoupMul> rootPowInv_;
-    /** n^-1 mod q. */
-    ShoupMul nInv_;
+    std::vector<u64> fwdW_;
+    std::vector<u64> fwdWShoup_;
+    std::vector<u64> invW_;
+    std::vector<u64> invWShoup_;
+    u64 nInvW_ = 0;
+    u64 nInvWShoup_ = 0;
 };
 
 /** Reverse the low `bits` bits of v. */

@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "math/ntt.hh"
+#include "math/simd/simd.hh"
 
 namespace hydra {
 
@@ -77,12 +78,9 @@ RnsPoly::fromSigned(std::shared_ptr<const RnsBasis> basis, size_t n_limbs,
                     bool has_special, const i64* coeffs)
 {
     RnsPoly p(std::move(basis), n_limbs, has_special, false, Uninit{});
-    for (size_t k = 0; k < p.limbCount(); ++k) {
-        const Modulus& m = p.mod(k);
-        u64* limb = p.limbData(k);
-        for (size_t i = 0; i < p.n_; ++i)
-            limb[i] = m.reduceI64(coeffs[i]);
-    }
+    for (size_t k = 0; k < p.limbCount(); ++k)
+        simd::kernels().reduceCenteredSpan(p.limbData(k), coeffs, p.n_,
+                                           p.mod(k));
     return p;
 }
 
@@ -121,11 +119,8 @@ RnsPoly::add(const RnsPoly& other)
 {
     HYDRA_ASSERT(sameShape(other), "shape mismatch in add");
     parallelFor(0, limbCount_, [&](size_t k) {
-        const Modulus& m = mod(k);
-        u64* a = limbData(k);
-        const u64* b = other.limbData(k);
-        for (size_t i = 0; i < n_; ++i)
-            a[i] = m.addMod(a[i], b[i]);
+        simd::kernels().addSpan(limbData(k), other.limbData(k), n_,
+                                mod(k).value());
     });
 }
 
@@ -134,11 +129,8 @@ RnsPoly::sub(const RnsPoly& other)
 {
     HYDRA_ASSERT(sameShape(other), "shape mismatch in sub");
     parallelFor(0, limbCount_, [&](size_t k) {
-        const Modulus& m = mod(k);
-        u64* a = limbData(k);
-        const u64* b = other.limbData(k);
-        for (size_t i = 0; i < n_; ++i)
-            a[i] = m.subMod(a[i], b[i]);
+        simd::kernels().subSpan(limbData(k), other.limbData(k), n_,
+                                mod(k).value());
     });
 }
 
@@ -146,10 +138,7 @@ void
 RnsPoly::negate()
 {
     parallelFor(0, limbCount_, [&](size_t k) {
-        const Modulus& m = mod(k);
-        u64* a = limbData(k);
-        for (size_t i = 0; i < n_; ++i)
-            a[i] = m.negMod(a[i]);
+        simd::kernels().negSpan(limbData(k), n_, mod(k).value());
     });
 }
 
@@ -159,11 +148,8 @@ RnsPoly::mulPointwise(const RnsPoly& other)
     HYDRA_ASSERT(sameShape(other) && nttForm_,
                  "mulPointwise requires matching NTT-form operands");
     parallelFor(0, limbCount_, [&](size_t k) {
-        const Modulus& m = mod(k);
-        u64* a = limbData(k);
-        const u64* b = other.limbData(k);
-        for (size_t i = 0; i < n_; ++i)
-            a[i] = m.mulMod(a[i], b[i]);
+        simd::kernels().mulSpan(limbData(k), other.limbData(k), n_,
+                                mod(k));
     });
 }
 
@@ -173,12 +159,8 @@ RnsPoly::addMulPointwise(const RnsPoly& a, const RnsPoly& b)
     HYDRA_ASSERT(sameShape(a) && sameShape(b) && nttForm_,
                  "addMulPointwise requires matching NTT-form operands");
     parallelFor(0, limbCount_, [&](size_t k) {
-        const Modulus& m = mod(k);
-        u64* dst = limbData(k);
-        const u64* x = a.limbData(k);
-        const u64* y = b.limbData(k);
-        for (size_t i = 0; i < n_; ++i)
-            dst[i] = m.addMod(dst[i], m.mulMod(x[i], y[i]));
+        simd::kernels().macSpan(limbData(k), a.limbData(k),
+                                b.limbData(k), n_, mod(k));
     });
 }
 
@@ -187,10 +169,9 @@ RnsPoly::mulScalar(u64 a)
 {
     parallelFor(0, limbCount_, [&](size_t k) {
         const Modulus& m = mod(k);
-        u64 ak = m.reduceU64(a);
-        u64* x = limbData(k);
-        for (size_t i = 0; i < n_; ++i)
-            x[i] = m.mulMod(x[i], ak);
+        ShoupMul w(m.reduceU64(a), m);
+        simd::kernels().mulScalarSpan(limbData(k), n_, w.value(),
+                                      w.shoup(), m.value());
     });
 }
 
@@ -200,9 +181,9 @@ RnsPoly::mulScalarPerLimb(const std::vector<u64>& a)
     HYDRA_ASSERT(a.size() == limbCount_, "per-limb scalar count");
     parallelFor(0, limbCount_, [&](size_t k) {
         const Modulus& m = mod(k);
-        u64* x = limbData(k);
-        for (size_t i = 0; i < n_; ++i)
-            x[i] = m.mulMod(x[i], a[k]);
+        ShoupMul w(m.reduceU64(a[k]), m);
+        simd::kernels().mulScalarSpan(limbData(k), n_, w.value(),
+                                      w.shoup(), m.value());
     });
 }
 
@@ -331,29 +312,22 @@ RnsPoly::divideRoundByLast()
     std::memcpy(corr, limbData(last), nn * sizeof(u64));
     if (nttForm_)
         ntt_l.inverse(corr);
-    for (size_t i = 0; i < nn; ++i)
-        centered[i] = ql.toCentered(corr[i]);
+    simd::kernels().toCenteredSpan(centered, corr, nn, ql.value());
 
     parallelFor(0, last, [&](size_t k) {
         size_t kb = basisIndex(k);
         const Modulus& m = basis_->mod(kb);
-        u64 inv = basis_->invQlModQj(last_basis, kb);
+        ShoupMul inv(basis_->invQlModQj(last_basis, kb), m);
         u64* limb = limbData(k);
-        if (nttForm_) {
-            // NTT the reduced correction, then combine pointwise.
-            PoolBuffer cb = BufferPool::global().acquire(nn);
-            u64* c = cb.data();
-            for (size_t i = 0; i < nn; ++i)
-                c[i] = m.reduceI64(centered[i]);
+        // Reduce the centered correction into this limb's modulus, NTT
+        // it when needed, then fold in (limb - c) * qL^-1 fused.
+        PoolBuffer cb = BufferPool::global().acquire(nn);
+        u64* c = cb.data();
+        simd::kernels().reduceCenteredSpan(c, centered, nn, m);
+        if (nttForm_)
             basis_->ntt(kb).forward(c);
-            for (size_t i = 0; i < nn; ++i)
-                limb[i] = m.mulMod(m.subMod(limb[i], c[i]), inv);
-        } else {
-            for (size_t i = 0; i < nn; ++i) {
-                u64 c = m.reduceI64(centered[i]);
-                limb[i] = m.mulMod(m.subMod(limb[i], c), inv);
-            }
-        }
+        simd::kernels().subMulScalarSpan(limb, c, nn, inv.value(),
+                                         inv.shoup(), m.value());
     });
 
     dropLast();

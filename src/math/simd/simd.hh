@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel set for the FHE hot path.
+ *
+ * Every inner loop the CKKS evaluator spends its time in -- Harvey
+ * lazy-reduction NTT butterflies, Barrett modular span arithmetic, the
+ * keyswitch multiply-accumulate, and the centered-lift spans of digit
+ * decomposition -- is routed through one process-wide table of kernel
+ * function pointers.  Three tables exist:
+ *
+ *   scalar  -- always compiled; the bit-exactness oracle.  Identical
+ *              arithmetic to the pre-SIMD code paths.
+ *   avx2    -- 4 x u64 lanes (compiled when HYDRA_SIMD is ON and the
+ *              compiler supports -mavx2).
+ *   avx512  -- 8 x u64 lanes, needs F+DQ+BW+VL (vpmullq, vpminuq,
+ *              64-bit lane permutes for the short-stride NTT stages).
+ *
+ * The active table is chosen once per process: the strongest level that
+ * is both compiled in and reported by cpuid, optionally capped by the
+ * HYDRA_SIMD_LEVEL environment variable ("scalar" | "avx2" | "avx512")
+ * for A/B runs and CI equivalence checks.  Tests may force a level at
+ * runtime with setLevel().
+ *
+ * Every kernel computes the exact same per-element integer expressions
+ * as its scalar counterpart (same lazy [0,2q)/[0,4q) bounds in the NTT,
+ * same Barrett quotient estimate, same correction count), so outputs
+ * are bit-identical at every level -- vectorization changes execution
+ * order across elements, never the value any element takes.
+ */
+
+#ifndef HYDRA_MATH_SIMD_SIMD_HH
+#define HYDRA_MATH_SIMD_SIMD_HH
+
+#include <cstddef>
+
+#include "common/cpu.hh"
+#include "math/modarith.hh"
+
+namespace hydra {
+
+class NttTable;
+
+namespace simd {
+
+/**
+ * One dispatch level's kernel set.  Span kernels take canonical [0, q)
+ * inputs and produce canonical outputs; n is the element count and may
+ * be any size (vector bodies handle the tail scalar).
+ */
+struct Kernels
+{
+    SimdLevel level;
+
+    /** a[i] = (a[i] + b[i]) mod q. */
+    void (*addSpan)(u64* a, const u64* b, size_t n, u64 q);
+    /** a[i] = (a[i] - b[i]) mod q. */
+    void (*subSpan)(u64* a, const u64* b, size_t n, u64 q);
+    /** a[i] = (-a[i]) mod q. */
+    void (*negSpan)(u64* a, size_t n, u64 q);
+    /** a[i] = (a[i] * b[i]) mod q (Barrett). */
+    void (*mulSpan)(u64* a, const u64* b, size_t n, const Modulus& m);
+    /** acc[i] = (acc[i] + x[i] * y[i]) mod q. */
+    void (*macSpan)(u64* acc, const u64* x, const u64* y, size_t n,
+                    const Modulus& m);
+    /**
+     * Fused keyswitch MAC: acc0[i] += x[i]*y0[i], acc1[i] += x[i]*y1[i]
+     * (mod q).  Shares the decomposition of x across both products --
+     * the dominant loop of accumulateKey.
+     */
+    void (*macPairSpan)(u64* acc0, u64* acc1, const u64* x,
+                        const u64* y0, const u64* y1, size_t n,
+                        const Modulus& m);
+    /** a[i] = (a[i] * w) mod q via the Shoup quotient w_shoup. */
+    void (*mulScalarSpan)(u64* a, size_t n, u64 w, u64 w_shoup, u64 q);
+    /** a[i] = ((a[i] - c[i]) * w) mod q (rescale/ModDown combine). */
+    void (*subMulScalarSpan)(u64* a, const u64* c, size_t n, u64 w,
+                             u64 w_shoup, u64 q);
+    /** dst[i] = centered representative of src[i] in [-q/2, q/2]. */
+    void (*toCenteredSpan)(i64* dst, const u64* src, size_t n, u64 q);
+    /** dst[i] = src[i] mod q lifted to [0, q) (digit decomposition). */
+    void (*reduceCenteredSpan)(u64* dst, const i64* src, size_t n,
+                               const Modulus& m);
+
+    /** In-place forward NTT (lazy Harvey butterflies). */
+    void (*nttForward)(const NttTable& t, u64* a);
+    /** Radix-4 forward (bit-identical to nttForward). */
+    void (*nttForwardRadix4)(const NttTable& t, u64* a);
+    /** In-place inverse NTT. */
+    void (*nttInverse)(const NttTable& t, u64* a);
+};
+
+/** The active kernel table (initialized on first use). */
+const Kernels& kernels();
+
+/** The scalar oracle table, regardless of the active level. */
+const Kernels& scalarKernels();
+
+/** Level of the active table. */
+SimdLevel activeLevel();
+
+/**
+ * Strongest level this process can actually run: compiled in AND
+ * supported by the host CPU (before any HYDRA_SIMD_LEVEL cap).
+ */
+SimdLevel bestAvailableLevel();
+
+/**
+ * Force a dispatch level (clamped to bestAvailableLevel); returns the
+ * level actually applied.  Intended for tests and A/B benches; safe to
+ * call at any time -- kernels at every level are bit-identical, so
+ * in-flight spans finishing on the old table stay correct.
+ */
+SimdLevel setLevel(SimdLevel want);
+
+} // namespace simd
+} // namespace hydra
+
+#endif // HYDRA_MATH_SIMD_SIMD_HH

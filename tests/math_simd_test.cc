@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Bit-exactness tests for the runtime-dispatched SIMD kernel sets.
+ *
+ * The scalar table is the oracle: for every dispatch level the host can
+ * run, every span kernel and NTT transform must produce bit-identical
+ * output on the same input -- including lazy-reduction corner cases
+ * (moduli near the 2^62 ceiling), small-n fallback paths, and non-lane
+ * -multiple tails.  A final battery checks full evaluator ops end to
+ * end at each level against the scalar result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hh"
+#include "fhe_test_util.hh"
+#include "math/ntt.hh"
+#include "math/primes.hh"
+#include "math/simd/simd.hh"
+
+namespace hydra {
+namespace {
+
+/** Every level this host can actually dispatch to (scalar always). */
+std::vector<SimdLevel>
+runnableLevels()
+{
+    std::vector<SimdLevel> out{SimdLevel::Scalar};
+    if (simd::bestAvailableLevel() >= SimdLevel::Avx2)
+        out.push_back(SimdLevel::Avx2);
+    if (simd::bestAvailableLevel() >= SimdLevel::Avx512)
+        out.push_back(SimdLevel::Avx512);
+    return out;
+}
+
+/** Moduli spanning the supported range, including near-2^62 primes. */
+std::vector<u64>
+testModuli()
+{
+    std::vector<u64> qs;
+    for (int bits : {30, 45, 50, 59, 61})
+        qs.push_back(nttPrimes(4096, bits, 1)[0]);
+    return qs;
+}
+
+/** Span lengths hitting full vectors, tails, and sub-vector sizes. */
+const size_t kSpanSizes[] = {1, 3, 7, 8, 9, 15, 16, 64, 333, 1024};
+
+std::vector<u64>
+randomCanonical(size_t n, u64 q, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u64> v(n);
+    for (auto& x : v)
+        x = rng.uniformU64(q);
+    return v;
+}
+
+std::vector<i64>
+randomSigned(size_t n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<i64> v(n);
+    for (auto& x : v) {
+        u64 raw = rng.uniformU64(~u64{0} - 1) + 1;
+        std::memcpy(&x, &raw, sizeof(x));
+        // Avoid INT64_MIN: |x| overflows and reduceI64 is the oracle
+        // for representable magnitudes only.
+        if (x == std::numeric_limits<i64>::min())
+            x += 1;
+    }
+    return v;
+}
+
+class SimdLevelGuard
+{
+  public:
+    ~SimdLevelGuard() { simd::setLevel(simd::bestAvailableLevel()); }
+};
+
+TEST(SimdDispatchTest, SetLevelClampsToAvailable)
+{
+    SimdLevelGuard guard;
+    EXPECT_EQ(simd::setLevel(SimdLevel::Scalar), SimdLevel::Scalar);
+    EXPECT_EQ(simd::activeLevel(), SimdLevel::Scalar);
+    SimdLevel best = simd::setLevel(SimdLevel::Avx512);
+    EXPECT_EQ(best, simd::bestAvailableLevel());
+    EXPECT_EQ(simd::kernels().level, best);
+}
+
+TEST(SimdSpanTest, FuzzAllKernelsMatchScalarOracle)
+{
+    SimdLevelGuard guard;
+    u64 seed = 0x5eed;
+    for (SimdLevel level : runnableLevels()) {
+        ASSERT_EQ(simd::setLevel(level), level);
+        const simd::Kernels& k = simd::kernels();
+        const simd::Kernels& oracle = simd::scalarKernels();
+        for (u64 qv : testModuli()) {
+            Modulus m(qv);
+            for (size_t n : kSpanSizes) {
+                std::vector<u64> a = randomCanonical(n, qv, ++seed);
+                std::vector<u64> b = randomCanonical(n, qv, ++seed);
+                std::vector<u64> c = randomCanonical(n, qv, ++seed);
+                u64 w = randomCanonical(1, qv, ++seed)[0];
+                ShoupMul ws(w, m);
+
+                auto check = [&](const char* name, auto&& run) {
+                    std::vector<u64> got = a;
+                    std::vector<u64> want = a;
+                    run(k, got);
+                    run(oracle, want);
+                    ASSERT_EQ(got, want)
+                        << name << " level="
+                        << simdLevelName(level) << " q=" << qv
+                        << " n=" << n;
+                };
+
+                check("addSpan",
+                      [&](const simd::Kernels& t, std::vector<u64>& x) {
+                          t.addSpan(x.data(), b.data(), n, qv);
+                      });
+                check("subSpan",
+                      [&](const simd::Kernels& t, std::vector<u64>& x) {
+                          t.subSpan(x.data(), b.data(), n, qv);
+                      });
+                check("negSpan",
+                      [&](const simd::Kernels& t, std::vector<u64>& x) {
+                          t.negSpan(x.data(), n, qv);
+                      });
+                check("mulSpan",
+                      [&](const simd::Kernels& t, std::vector<u64>& x) {
+                          t.mulSpan(x.data(), b.data(), n, m);
+                      });
+                check("macSpan",
+                      [&](const simd::Kernels& t, std::vector<u64>& x) {
+                          t.macSpan(x.data(), b.data(), c.data(), n, m);
+                      });
+                check("mulScalarSpan",
+                      [&](const simd::Kernels& t, std::vector<u64>& x) {
+                          t.mulScalarSpan(x.data(), n, ws.value(),
+                                          ws.shoup(), qv);
+                      });
+                check("subMulScalarSpan",
+                      [&](const simd::Kernels& t, std::vector<u64>& x) {
+                          t.subMulScalarSpan(x.data(), b.data(), n,
+                                             ws.value(), ws.shoup(),
+                                             qv);
+                      });
+
+                {
+                    std::vector<u64> g0 = a, w0 = a, g1 = b, w1 = b;
+                    k.macPairSpan(g0.data(), g1.data(), c.data(),
+                                  a.data(), b.data(), n, m);
+                    oracle.macPairSpan(w0.data(), w1.data(), c.data(),
+                                       a.data(), b.data(), n, m);
+                    ASSERT_EQ(g0, w0) << "macPairSpan acc0 q=" << qv;
+                    ASSERT_EQ(g1, w1) << "macPairSpan acc1 q=" << qv;
+                }
+                {
+                    std::vector<i64> got(n), want(n);
+                    k.toCenteredSpan(got.data(), a.data(), n, qv);
+                    oracle.toCenteredSpan(want.data(), a.data(), n, qv);
+                    ASSERT_EQ(got, want) << "toCenteredSpan q=" << qv;
+                }
+                {
+                    std::vector<i64> src = randomSigned(n, ++seed);
+                    std::vector<u64> got(n), want(n);
+                    k.reduceCenteredSpan(got.data(), src.data(), n, m);
+                    oracle.reduceCenteredSpan(want.data(), src.data(),
+                                              n, m);
+                    ASSERT_EQ(got, want)
+                        << "reduceCenteredSpan q=" << qv;
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdNttTest, TransformsMatchScalarAndRoundTrip)
+{
+    SimdLevelGuard guard;
+    u64 seed = 0xabcd;
+    for (SimdLevel level : runnableLevels()) {
+        ASSERT_EQ(simd::setLevel(level), level);
+        const simd::Kernels& k = simd::kernels();
+        const simd::Kernels& oracle = simd::scalarKernels();
+        // n = 4 and 8 exercise the small-n scalar fallbacks, 16 the
+        // tile-transposed short strides alone, larger sizes both loop
+        // families plus odd/even log2(n) for the radix-4 path.
+        for (size_t n : {size_t{4}, size_t{8}, size_t{16}, size_t{32},
+                         size_t{1024}, size_t{4096}}) {
+            for (int bits : {45, 59, 61}) {
+                Modulus q(nttPrimes(n, bits, 1)[0]);
+                NttTable table(n, q);
+                std::vector<u64> input =
+                    randomCanonical(n, q.value(), ++seed);
+
+                std::vector<u64> fwd = input;
+                k.nttForward(table, fwd.data());
+                std::vector<u64> want = input;
+                oracle.nttForward(table, want.data());
+                ASSERT_EQ(fwd, want)
+                    << "forward n=" << n << " bits=" << bits
+                    << " level=" << simdLevelName(level);
+
+                std::vector<u64> r4 = input;
+                k.nttForwardRadix4(table, r4.data());
+                ASSERT_EQ(r4, want)
+                    << "radix4 n=" << n << " bits=" << bits
+                    << " level=" << simdLevelName(level);
+
+                std::vector<u64> inv = fwd;
+                k.nttInverse(table, inv.data());
+                ASSERT_EQ(inv, input)
+                    << "roundtrip n=" << n << " bits=" << bits
+                    << " level=" << simdLevelName(level);
+
+                std::vector<u64> inv_want = fwd;
+                oracle.nttInverse(table, inv_want.data());
+                ASSERT_EQ(inv, inv_want);
+            }
+        }
+    }
+}
+
+/** All limbs of two polynomials byte-identical. */
+void
+expectPolyEq(const RnsPoly& a, const RnsPoly& b, const char* what)
+{
+    ASSERT_EQ(a.limbCount(), b.limbCount()) << what;
+    for (size_t kk = 0; kk < a.limbCount(); ++kk)
+        ASSERT_EQ(std::memcmp(a.limbData(kk), b.limbData(kk),
+                              a.n() * sizeof(u64)),
+                  0)
+            << what << " limb " << kk;
+}
+
+TEST(SimdEvaluatorTest, OpsBitIdenticalAcrossLevels)
+{
+    SimdLevelGuard guard;
+    test::FheHarness h(CkksParams::unitTest(), {1});
+    std::vector<cplx> va = test::randomComplexVec(h.ctx.slots(), 7);
+    std::vector<cplx> vb = test::randomComplexVec(h.ctx.slots(), 8);
+    Ciphertext ca = h.encryptVec(va);
+    Ciphertext cb = h.encryptVec(vb);
+    Plaintext pt = h.encoder.encode(vb, h.ctx.params().scale(),
+                                    h.ctx.levels());
+
+    // One pass per level over the same inputs; every output ciphertext
+    // must match the scalar pass bit for bit.
+    struct Outputs
+    {
+        Ciphertext add, mul_plain, mac, cmult, rot;
+    };
+    std::vector<std::pair<SimdLevel, Outputs>> runs;
+    for (SimdLevel level : runnableLevels()) {
+        ASSERT_EQ(simd::setLevel(level), level);
+        Outputs o;
+        o.add = h.eval.add(ca, cb);
+        o.mul_plain = h.eval.mulPlain(ca, pt);
+        o.mac = ca;
+        o.mac.scale *= pt.scale;
+        h.eval.addMulPlain(o.mac, cb, pt);
+        o.cmult = h.eval.rescale(h.eval.mulRelin(ca, cb));
+        o.rot = h.eval.rotate(ca, 1);
+        runs.emplace_back(level, std::move(o));
+    }
+
+    const Outputs& base = runs.front().second;
+    for (size_t i = 1; i < runs.size(); ++i) {
+        const Outputs& o = runs[i].second;
+        expectPolyEq(o.add.c0, base.add.c0, "add c0");
+        expectPolyEq(o.add.c1, base.add.c1, "add c1");
+        expectPolyEq(o.mul_plain.c0, base.mul_plain.c0, "pmul c0");
+        expectPolyEq(o.mul_plain.c1, base.mul_plain.c1, "pmul c1");
+        expectPolyEq(o.mac.c0, base.mac.c0, "mac c0");
+        expectPolyEq(o.mac.c1, base.mac.c1, "mac c1");
+        expectPolyEq(o.cmult.c0, base.cmult.c0, "cmult c0");
+        expectPolyEq(o.cmult.c1, base.cmult.c1, "cmult c1");
+        expectPolyEq(o.rot.c0, base.rot.c0, "rotate c0");
+        expectPolyEq(o.rot.c1, base.rot.c1, "rotate c1");
+    }
+}
+
+} // namespace
+} // namespace hydra
