@@ -13,6 +13,9 @@
  *   BM_ServeClosed            closed-loop client pool on Hydra-M
  *   BM_ServeFaulted           same stream with a mid-stream card kill
  *                             (repartition + shed accounting path)
+ *   BM_ServeFederated         4-cluster federation losing one cluster
+ *                             mid-run (health-gated routing, failover,
+ *                             checkpointed recovery)
  */
 
 #include <benchmark/benchmark.h>
@@ -47,6 +50,17 @@ exportStats(benchmark::State& state, const ServeStats& st)
     state.counters["mean_util"] =
         st.groups.empty() ? 0.0 : busy / static_cast<double>(st.groups.size());
     state.counters["virtual_s"] = ticksToSeconds(st.horizon);
+    // Federation fault accounting (all zero for single-cluster runs).
+    state.counters["failovers"] = static_cast<double>(st.failovers);
+    state.counters["spilled"] = static_cast<double>(st.spilled);
+    state.counters["recovered_steps"] =
+        static_cast<double>(st.recoveredSteps);
+    state.counters["replayed_steps"] =
+        static_cast<double>(st.replayedSteps);
+    state.counters["health_transitions"] =
+        static_cast<double>(st.healthTransitions);
+    state.counters["canary_probes"] =
+        static_cast<double>(st.canaryProbes);
 }
 
 void
@@ -111,6 +125,20 @@ BM_ServeFaulted(benchmark::State& state)
               "kill=1@40");
 }
 BENCHMARK(BM_ServeFaulted)->Unit(benchmark::kMillisecond);
+
+void
+BM_ServeFederated(benchmark::State& state)
+{
+    // The PR 7 acceptance scenario: a 4-cluster federation under a
+    // saturating closed-loop pool loses cluster 1 mid-run; survivors
+    // absorb the spillover and the aborted jobs resume from their
+    // checkpointed step boundaries.
+    serveCase(state, hydraMSpec(),
+              "seed=9,duration=40,clusters=4,group=resnet18:8,"
+              "tenant=pool:closed:resnet18:8:0",
+              "ckill=1@30");
+}
+BENCHMARK(BM_ServeFederated)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace hydra

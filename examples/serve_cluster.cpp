@@ -1,14 +1,21 @@
 /**
  * @file
- * Multi-tenant serving driver: carve one machine into card groups,
- * push a deterministic request stream through the admission queue, and
- * report throughput, utilization, and p50/p95/p99 latency.
+ * Multi-tenant serving driver: carve one machine into card groups (or
+ * a whole federation of identical clusters), push a deterministic
+ * request stream through the admission queue, and report throughput,
+ * utilization, p50/p95/p99 latency, and federation fault accounting.
  *
  * Usage:
  *   serve_cluster [--machine NAME]      (see --list-machines)
  *                 [--serve SPEC]        (serving spec; see below)
  *                 [--faults SPEC]       (fault plan; kill=CARD@SECONDS
  *                  ticks are absolute serve-clock times)
+ *                 [--clusters N]        (federate N identical clusters
+ *                  behind the health-gated routing tier; shorthand for
+ *                  clusters=N in the serve spec)
+ *                 [--cluster-faults SPEC] (cluster-granularity faults:
+ *                  ckill=CLUSTER@SECONDS, cpart=CLUSTER@SECONDS:HEAL_S;
+ *                  merged into --faults)
  *                 [--max-attempts N]    (per-transfer retry budget)
  *                 [--json]              (one JSON object on stdout)
  *                 [--dump-program]      (print each fleet group's
@@ -17,17 +24,18 @@
  *                 [--list-machines] [--list-workloads]
  *
  * The serve SPEC is a comma list (defaults in parentheses):
- *   seed=N (1)  duration=S (5)  queue=N (64)  requests=N (200000)
+ *   seed=N (1)  clusters=N (1)  duration=S (5)  queue=N (64)
+ *   requests=N (200000)
  *   tenant=NAME:open:WL:RATE            open-loop Poisson, RATE req/s
  *   tenant=NAME:closed:WL:CLIENTS[:THINK_S]
  *   prio=NAME:P                         priority tier (0 highest)
  *   at=SEC:NAME:WL                      trace-replay arrival
  *   group=WL:CARDS[:MIN]                partition plan (else even split)
  *
- * Example: a mixed ResNet-18 + BERT-base stream on Hydra-M:
- *   serve_cluster --machine hydra-m \
- *     --serve "duration=300,tenant=vision:open:resnet18:0.05,\
- *              tenant=nlp:open:bert:0.005" --json
+ * Example: a 4-cluster federation losing one cluster mid-run:
+ *   serve_cluster --machine hydra-m --clusters 4 \
+ *     --serve "duration=120,tenant=pool:closed:resnet18:8:0" \
+ *     --cluster-faults "ckill=1@30" --json
  */
 
 #include <cstdio>
@@ -87,6 +95,8 @@ main(int argc, char** argv)
         "duration=300,tenant=vision:open:resnet18:0.05,"
         "tenant=nlp:open:bert:0.005";
     std::string faultSpecStr;
+    std::string clusterFaultStr;
+    size_t clustersOverride = 0;
     RetryPolicy retry;
     bool json = false;
     bool dumpProgram = false;
@@ -103,6 +113,13 @@ main(int argc, char** argv)
             serveSpecStr = next();
         else if (arg == "--faults")
             faultSpecStr = next();
+        else if (arg == "--clusters") {
+            std::string v = next();
+            if (!parseSize(v, clustersOverride) || clustersOverride == 0)
+                fatal("--clusters wants an integer >= 1, got '%s'",
+                      v.c_str());
+        } else if (arg == "--cluster-faults")
+            clusterFaultStr = next();
         else if (arg == "--max-attempts")
             retry.maxAttempts = static_cast<uint32_t>(
                 std::strtoul(next().c_str(), nullptr, 10));
@@ -125,7 +142,20 @@ main(int argc, char** argv)
 
     PrototypeSpec spec = machineByName(machine);
     ServeSpec serve = ServeSpec::parse(serveSpecStr);
+    if (clustersOverride)
+        serve.clusters = clustersOverride;
     FaultPlan faults = FaultPlan::parse(faultSpecStr);
+    if (!clusterFaultStr.empty()) {
+        // --cluster-faults is plain fault-spec syntax, merged on top of
+        // --faults so the two flags compose.
+        FaultPlan extra = FaultPlan::parse(clusterFaultStr);
+        for (const auto& [c, t] : extra.clusterKillAt)
+            faults.clusterKillAt[c] = t;
+        for (const auto& [c, p] : extra.clusterPartitionAt)
+            faults.clusterPartitionAt[c] = p;
+        for (const auto& [c, t] : extra.cardFailAt)
+            faults.cardFailAt[c] = t;
+    }
 
     if (dumpProgram) {
         std::printf("machine : %s, serve: %s\n\n", spec.name.c_str(),
@@ -144,10 +174,12 @@ main(int argc, char** argv)
         return 0;
     }
 
-    std::printf("machine : %s (%zu server(s) x %zu card(s))\n",
+    std::printf("machine : %s (%zu server(s) x %zu card(s))",
                 sim.spec().name.c_str(), sim.spec().cluster.servers,
                 sim.spec().cluster.cardsPerServer);
-    std::printf("serve   : %s\n", serve.describe().c_str());
+    if (serve.clusters > 1)
+        std::printf(" x %zu cluster(s)", serve.clusters);
+    std::printf("\nserve   : %s\n", serve.describe().c_str());
     if (!faults.empty())
         std::printf("faults  : %s\n", faults.describe().c_str());
     std::printf("\n%s", stats.describe().c_str());

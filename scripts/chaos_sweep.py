@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Chaos sweep for the federated serving simulator.
+
+Runs `serve_cluster` over a seed sweep of randomly generated (but
+seed-deterministic) cluster-fault plans and asserts, for every seed:
+
+  1. the binary exits 0 and prints exactly one valid JSON object
+     (--json machinery survives arbitrary chaos plans);
+  2. the accounting identity holds exactly:
+         offered  == completed + shed.total
+         admitted == completed + federation.shed_after_admit
+         shed.total == shed.queue_full + shed.no_capacity
+  3. a rerun of the same seed is bit-identical (same stats hash);
+  4. the hash is invariant under HYDRA_THREADS=1 vs HYDRA_THREADS=4
+     (virtual-time results never depend on host parallelism).
+
+Usage: chaos_sweep.py PATH/TO/serve_cluster [--seeds N] [--machine M]
+
+The fault plans are derived from the seed with a splitmix64 generator,
+so the sweep itself is reproducible: every CI run tests the same plans
+until --seeds changes.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+
+MASK = (1 << 64) - 1
+
+
+def splitmix64(state):
+    """One splitmix64 step: returns (new_state, 64-bit draw)."""
+    state = (state + 0x9E3779B97F4A7C15) & MASK
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK
+    return state, z ^ (z >> 31)
+
+
+def make_plan(seed, clusters, duration):
+    """Derive a deterministic chaos plan for this seed.
+
+    Mixes cluster kills, partitions, and card kills; always leaves at
+    least one cluster untouched so the run can make progress.
+    """
+    state = seed * 0x9E3779B97F4A7C15 & MASK or 1
+    parts = []
+    victims = list(range(1, clusters))  # cluster 0 always survives
+    state, draw = splitmix64(state)
+    n_faults = 1 + draw % min(2, len(victims))
+    for i in range(n_faults):
+        cluster = victims[i % len(victims)]
+        state, draw = splitmix64(state)
+        at = 5 + draw % (duration // 2)
+        state, draw = splitmix64(state)
+        if draw % 3 == 0:
+            state, draw = splitmix64(state)
+            heal = 2 + draw % 10
+            parts.append("cpart=%d@%d:%d" % (cluster, at, heal))
+        else:
+            parts.append("ckill=%d@%d" % (cluster, at))
+    state, draw = splitmix64(state)
+    if draw % 2 == 0:  # sometimes also kill a single card on cluster 0
+        state, draw = splitmix64(state)
+        parts.append("kill=%d@%d" % (draw % 8, 3 + draw % duration))
+    return ",".join(parts)
+
+
+def run_once(binary, machine, serve, plan, threads):
+    cmd = [binary, "--machine", machine, "--serve", serve,
+           "--cluster-faults", plan, "--json"]
+    env = dict(os.environ, HYDRA_THREADS=str(threads))
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        raise SystemExit("CRASH (exit %d) for plan '%s':\n%s"
+                         % (proc.returncode, plan, proc.stderr))
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        raise SystemExit("bad JSON for plan '%s': %s\n%s"
+                         % (plan, e, proc.stdout))
+
+
+def check_accounting(st, plan):
+    offered = st["offered"]
+    admitted = st["admitted"]
+    completed = st["completed"]
+    shed = st["shed"]
+    fed = st["federation"]
+    if offered != completed + shed["total"]:
+        raise SystemExit(
+            "accounting broken for '%s': offered %d != completed %d "
+            "+ shed %d" % (plan, offered, completed, shed["total"]))
+    if admitted != completed + fed["shed_after_admit"]:
+        raise SystemExit(
+            "accounting broken for '%s': admitted %d != completed %d "
+            "+ shed_after_admit %d"
+            % (plan, admitted, completed, fed["shed_after_admit"]))
+    if shed["total"] != shed["queue_full"] + shed["no_capacity"]:
+        raise SystemExit(
+            "shed split broken for '%s': %d != %d + %d"
+            % (plan, shed["total"], shed["queue_full"],
+               shed["no_capacity"]))
+    per_cluster = sum(c["completed"] for c in fed["clusters"])
+    if per_cluster != completed:
+        raise SystemExit(
+            "per-cluster completion sum broken for '%s': %d != %d"
+            % (plan, per_cluster, completed))
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("binary", help="path to the serve_cluster binary")
+    ap.add_argument("--seeds", type=int, default=6)
+    ap.add_argument("--machine", default="hydra-m")
+    ap.add_argument("--clusters", type=int, default=4)
+    ap.add_argument("--duration", type=int, default=30)
+    args = ap.parse_args()
+
+    for seed in range(1, args.seeds + 1):
+        plan = make_plan(seed, args.clusters, args.duration)
+        serve = ("seed=%d,duration=%d,clusters=%d,group=resnet18:8,"
+                 "tenant=pool:closed:resnet18:6:0"
+                 % (seed, args.duration, args.clusters))
+        first = run_once(args.binary, args.machine, serve, plan, 4)
+        check_accounting(first, plan)
+        rerun = run_once(args.binary, args.machine, serve, plan, 4)
+        if first["hash"] != rerun["hash"]:
+            raise SystemExit("rerun hash diverged for '%s': %s vs %s"
+                             % (plan, first["hash"], rerun["hash"]))
+        serial = run_once(args.binary, args.machine, serve, plan, 1)
+        if first["hash"] != serial["hash"]:
+            raise SystemExit(
+                "HYDRA_THREADS=1 vs 4 hash diverged for '%s': %s vs %s"
+                % (plan, first["hash"], serial["hash"]))
+        fed = first["federation"]
+        print("seed %d ok: plan[%s] completed=%d shed=%d failovers=%d "
+              "recovered=%d stalled=%s hash=%s"
+              % (seed, plan, first["completed"], first["shed"]["total"],
+                 fed["failovers"], fed["recovered_steps"],
+                 fed["stalled"], first["hash"]))
+    print("chaos sweep: %d seed(s) clean" % args.seeds)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Strict spec-string parsing helpers shared by the CLI-facing
+ * key=value parsers (FaultPlan, ServeSpec).
+ *
+ * The strto* family silently yields 0 on garbage, which turns a typo
+ * into a quietly different experiment.  These helpers accept a token
+ * only when the whole token converts, and the tryParse() entry points
+ * built on them report a structured SpecError naming the offending
+ * token instead of exiting — no crash, no silent default.
+ */
+
+#ifndef HYDRA_COMMON_PARSE_HH
+#define HYDRA_COMMON_PARSE_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace hydra {
+
+/** Structured outcome of a failed spec parse: what went wrong, and
+ *  the exact token that caused it. */
+struct SpecError
+{
+    std::string message;
+    /** The offending token (item, field, or number), verbatim. */
+    std::string token;
+
+    bool ok() const { return message.empty(); }
+
+    std::string
+    describe() const
+    {
+        return ok() ? "ok" : message + " (at '" + token + "')";
+    }
+};
+
+/** Parse `s` as an unsigned 64-bit decimal; the whole token must
+ *  convert. */
+inline bool
+parseU64(const std::string& s, uint64_t& out)
+{
+    if (s.empty() || s[0] == '-' || s[0] == '+')
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno == ERANGE || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+/** Parse `s` as a size_t decimal; the whole token must convert. */
+inline bool
+parseSize(const std::string& s, size_t& out)
+{
+    uint64_t v = 0;
+    if (!parseU64(s, v) || v > static_cast<uint64_t>(static_cast<size_t>(-1)))
+        return false;
+    out = static_cast<size_t>(v);
+    return true;
+}
+
+/** Parse `s` as a finite double; the whole token must convert. */
+inline bool
+parseF64(const std::string& s, double& out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno == ERANGE || end != s.c_str() + s.size())
+        return false;
+    // Reject nan/inf spellings: no spec field means to be non-finite.
+    if (!(v == v) || v > 1e300 || v < -1e300)
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace hydra
+
+#endif // HYDRA_COMMON_PARSE_HH

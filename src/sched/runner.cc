@@ -154,6 +154,7 @@ InferenceRunner::run(const WorkloadModel& workload) const
         RunStats stats = executor.run(compiled->program);
         result.total.append(stats, net_->stepSyncLatency());
         result.steps.push_back(StepResult{step.name, step.kind, stats});
+        result.stepEnds.push_back(result.total.makespan);
     }
     return result;
 }
@@ -240,6 +241,7 @@ InferenceRunner::run(const WorkloadModel& workload,
                 result.total.append(rr.stats, net_->stepSyncLatency());
                 result.steps.push_back(
                     StepResult{step.name, step.kind, rr.stats});
+                result.stepEnds.push_back(result.total.makespan);
                 break;
             }
             if (rr.error.kind != RunError::Kind::CardFailed) {
@@ -319,6 +321,7 @@ InferenceRunner::runJob(const WorkloadModel& workload,
                 result.total.append(rr.stats, net->stepSyncLatency());
                 result.steps.push_back(
                     StepResult{step.name, step.kind, rr.stats});
+                result.stepEnds.push_back(result.total.makespan);
                 break;
             }
             if (rr.error.kind != RunError::Kind::CardFailed) {

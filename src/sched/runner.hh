@@ -81,6 +81,14 @@ struct InferenceResult
     std::string workload;
     std::vector<StepResult> steps;
     RunStats total;
+    /**
+     * Checkpoint boundaries: offset from the run's start (in ticks) at
+     * which each successfully completed step ended, in execution order
+     * (sync latency included).  The serving layer uses these to resume
+     * a job killed mid-run from its last completed step boundary via
+     * runJob(first_step, ...) instead of restarting from step 0.
+     */
+    std::vector<Tick> stepEnds;
 
     /** Cards (original indices) that failed permanently during the
      *  run; the affected steps were re-dispatched onto survivors. */

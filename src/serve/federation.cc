@@ -1,0 +1,732 @@
+#include "serve/federation.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "serve/workload_gen.hh"
+#include "workloads/model.hh"
+
+namespace hydra {
+
+namespace {
+
+/** Failover budget per request: re-queue attempts before shedding. */
+constexpr uint32_t kFailoverBudget = 3;
+
+/**
+ * The fault plan one cluster's jobs see: card-granularity entries
+ * re-keyed from federation-global to cluster-local indices, cluster
+ * entries stripped (the routing tier interprets those), and the seed
+ * decorrelated per cluster so identical clusters don't fail in
+ * lockstep.  Cluster 0 keeps the plan's own seed, so a single-cluster
+ * federation is tick-identical to the pre-federation ServeSim.
+ */
+FaultPlan
+clusterLocalPlan(const FaultPlan& f, size_t c, size_t cards_per)
+{
+    FaultPlan out = f;
+    out.cardFailAt.clear();
+    out.stragglers.clear();
+    out.clusterKillAt.clear();
+    out.clusterPartitionAt.clear();
+    if (c)
+        out.seed =
+            f.seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(c);
+    for (const auto& [card, tick] : f.cardFailAt)
+        if (card / cards_per == c)
+            out.cardFailAt[card % cards_per] = tick;
+    for (const auto& [card, factor] : f.stragglers)
+        if (card / cards_per == c)
+            out.stragglers[card % cards_per] = factor;
+    return out;
+}
+
+/** What one dispatched job did, carried into its completion event. */
+struct JobOutcome
+{
+    bool ok = true;
+    Tick span = 0;
+    std::vector<size_t> failedCards; // cluster-local indices
+    uint64_t redispatches = 0;
+    Tick recoveryPenalty = 0;
+    uint64_t timedOut = 0;
+    /** Absolute serve-clock ticks of completed step boundaries. */
+    std::vector<Tick> stepEnds;
+};
+
+/** An in-flight job; erased on completion or cluster-kill abort. */
+struct JobRecord
+{
+    Request req;
+    size_t cluster = 0;
+    size_t group = 0; // cluster-local group id
+    Tick start = 0;
+    JobOutcome out;
+};
+
+/** An in-flight half-open canary probe. */
+struct ProbeRecord
+{
+    size_t cluster = 0;
+    size_t group = 0;
+    Tick span = 0;
+    bool ok = false;
+};
+
+/** Runtime state of one cluster of the federation. */
+struct ClusterRt
+{
+    size_t id = 0;
+    FleetPartition fleet;
+    std::vector<bool> cardDead;
+    /** Card-granularity plan re-keyed to this cluster's local cards. */
+    FaultPlan faults;
+    bool killed = false;
+    /** A probe wants to launch but every live group was busy; the next
+     *  completion on this cluster launches it. */
+    bool probePending = false;
+    uint64_t completed = 0;
+    /** In-flight jobs this cluster lost to its cluster_kill. */
+    uint64_t lostJobs = 0;
+    uint64_t canaries = 0;
+
+    ClusterRt(size_t id_, const PrototypeSpec& spec,
+              const ServeSpec& serve,
+              const std::vector<std::string>& wl_names, FaultPlan local)
+        : id(id_), fleet(spec, serve, wl_names), faults(std::move(local))
+    {
+        cardDead.assign(spec.cluster.totalCards(), false);
+    }
+};
+
+/** One federated run's mutable state; lives for the duration of run(). */
+struct Engine
+{
+    const PrototypeSpec& spec;
+    const ServeSpec& serve;
+    const FaultPlan& faults;
+    const RetryPolicy& retry;
+
+    InferenceRunner runner; // shared: clusters are identical machines
+    std::vector<std::string> wlNames;
+    std::vector<WorkloadModel> models;
+
+    EventQueue eq;
+    WorkloadGen gen;
+    AdmissionQueue queue;
+    std::vector<ClusterRt> clusters;
+    HealthMonitor health;
+    size_t cardsPer = 0;
+
+    std::vector<uint64_t> servedPerTenant;
+    /** In-flight jobs and probes, keyed by a shared token counter; a
+     *  std::map so cluster-kill iteration is in dispatch order. */
+    std::map<uint64_t, JobRecord> inflight;
+    std::map<uint64_t, ProbeRecord> probes;
+    uint64_t nextToken = 1;
+
+    ServeStats stats;
+    Tick lastActivity = 0;
+    Tick lastDepthTick = 0;
+    double depthAcc = 0.0;
+
+    Engine(const PrototypeSpec& spec_, const ServeSpec& serve_,
+           const FaultPlan& faults_, const RetryPolicy& retry_,
+           const HealthPolicy& health_)
+        : spec(spec_), serve(serve_), faults(faults_), retry(retry_),
+          runner(spec_), wlNames(serve_.workloadTable()),
+          gen(serve_, wlNames), queue(serve_.queueCapacity),
+          health(serve_.clusters ? serve_.clusters : 1, health_),
+          cardsPer(spec_.cluster.totalCards())
+    {
+        models.reserve(wlNames.size());
+        for (const auto& n : wlNames)
+            models.push_back(workloadByName(n));
+        size_t n = serve.clusters ? serve.clusters : 1;
+        clusters.reserve(n);
+        for (size_t c = 0; c < n; ++c)
+            clusters.emplace_back(c, spec, serve, wlNames,
+                                  clusterLocalPlan(faults, c, cardsPer));
+        servedPerTenant.assign(serve.tenants.size(), 0);
+        stats.tenants.resize(serve.tenants.size());
+        for (size_t i = 0; i < serve.tenants.size(); ++i)
+            stats.tenants[i].name = serve.tenants[i].name;
+    }
+
+    TenantStats& tenant(const Request& r) { return stats.tenants[r.tenant]; }
+
+    /** Fold queue depth into the time-weighted integral; call before
+     *  any mutation of the queue at the current tick. */
+    void
+    noteDepth()
+    {
+        Tick now = eq.now();
+        depthAcc += static_cast<double>(queue.depth()) *
+                    static_cast<double>(now - lastDepthTick);
+        lastDepthTick = now;
+    }
+
+    /** Any cluster that could (now or after healing) serve `wl`:
+     *  quarantined clusters count — their queued work waits for the
+     *  probe path — but dead/killed ones don't. */
+    bool
+    servableAnywhere(size_t wl) const
+    {
+        for (const auto& cl : clusters)
+            if (!cl.killed && !health.dead(cl.id) &&
+                cl.fleet.servable(wl))
+                return true;
+        return false;
+    }
+
+    void
+    shedNew(const Request& r, RejectReason why)
+    {
+        ++stats.shed;
+        ++tenant(r).shed;
+        if (why == RejectReason::QueueFull)
+            ++stats.shedQueueFull;
+        else
+            ++stats.shedNoCapacity;
+    }
+
+    /** Shed a request that was already admitted (capacity-loss flush,
+     *  terminal job failure, exhausted failover budget, stall flush). */
+    void
+    shedAdmitted(const Request& r, bool respawn = true)
+    {
+        ++stats.shed;
+        ++stats.shedNoCapacity;
+        ++stats.shedAfterAdmit;
+        ++tenant(r).shed;
+        if (respawn)
+            respawnClosed(r);
+    }
+
+    /** Closed-loop clients react to any terminal outcome of their
+     *  request (completed or shed) by thinking and trying again. */
+    void
+    respawnClosed(const Request& r)
+    {
+        if (auto nr = gen.closedArrival(r.tenant, eq.now()))
+            scheduleArrival(*nr);
+    }
+
+    void
+    scheduleArrival(const Request& r)
+    {
+        eq.schedule(r.arrival, [this, r] { onArrival(r); });
+    }
+
+    /** Shed queued work of every workload class that lost its last
+     *  possible route (all serving clusters dead). */
+    void
+    flushUnservable()
+    {
+        for (size_t wl = 0; wl < wlNames.size(); ++wl) {
+            if (queue.depthFor(wl) == 0 || servableAnywhere(wl))
+                continue;
+            noteDepth();
+            for (const auto& r : queue.drainWorkload(wl))
+                shedAdmitted(r);
+        }
+    }
+
+    /** Kill a card (cluster-local index): record it, repair that
+     *  cluster's partition, and flush queued work of a workload class
+     *  that lost its last group federation-wide. */
+    void
+    applyDeath(ClusterRt& cl, size_t local)
+    {
+        if (cl.cardDead[local])
+            return;
+        cl.cardDead[local] = true;
+        stats.failedCards.push_back(cl.id * cardsPer + local);
+        ServeGroup* g = cl.fleet.groupOf(local);
+        if (!g)
+            return;
+        size_t wl = g->workload;
+        auto action = cl.fleet.onCardDeath(local);
+        if (action == FleetPartition::DeathAction::Dissolved ||
+            action == FleetPartition::DeathAction::Donated)
+            ++stats.repartitions;
+        if (!servableAnywhere(wl)) {
+            noteDepth();
+            for (const auto& r : queue.drainWorkload(wl))
+                shedAdmitted(r);
+        }
+    }
+
+    /** Apply kills dated at or before `now` on `g`'s cards that the
+     *  in-flight job did not consume (e.g. dated exactly at its end,
+     *  or falling in the post-step synchronization window). */
+    void
+    applyPendingKills(ClusterRt& cl, ServeGroup& g, Tick now)
+    {
+        if (!g.live())
+            return;
+        std::vector<size_t> snapshot = g.cards.cards;
+        for (size_t c : snapshot) {
+            auto it = cl.faults.cardFailAt.find(c);
+            if (it != cl.faults.cardFailAt.end() && it->second <= now)
+                applyDeath(cl, c);
+        }
+    }
+
+    void
+    onArrival(const Request& r)
+    {
+        Tick now = eq.now();
+        lastActivity = std::max(lastActivity, now);
+        ++stats.offered;
+        ++tenant(r).offered;
+        if (!servableAnywhere(r.workload)) {
+            shedNew(r, RejectReason::NoCapacity);
+            respawnClosed(r);
+            return;
+        }
+        if (queue.full()) {
+            shedNew(r, RejectReason::QueueFull);
+            respawnClosed(r);
+            return;
+        }
+        noteDepth();
+        queue.offer(r);
+        ++stats.admitted;
+        ++tenant(r).admitted;
+        stats.maxQueueDepth =
+            std::max(stats.maxQueueDepth, queue.depth());
+        dispatchIdle();
+    }
+
+    /** Health-gated routing: healthy clusters pull first, degraded
+     *  ones take what's left, quarantined/dead receive nothing. */
+    void
+    dispatchIdle()
+    {
+        for (bool progress = true; progress;) {
+            progress = false;
+            for (ClusterHealth rank :
+                 {ClusterHealth::Healthy, ClusterHealth::Degraded}) {
+                for (auto& cl : clusters) {
+                    if (health.state(cl.id) != rank)
+                        continue;
+                    for (auto& g : cl.fleet.groups()) {
+                        if (!g.live() || g.busy)
+                            continue;
+                        noteDepth();
+                        auto r =
+                            queue.popFor(g.workload, servedPerTenant);
+                        if (!r)
+                            continue;
+                        startJob(cl, g, *r);
+                        progress = true;
+                    }
+                }
+            }
+        }
+    }
+
+    void
+    startJob(ClusterRt& cl, ServeGroup& g, Request r)
+    {
+        Tick now = eq.now();
+        r.dispatched = now;
+        // Deficit charge: spillover traffic counts double in the
+        // least-served fairness ledger, so a tenant riding failover
+        // capacity loses dequeue ties to native tenants.
+        servedPerTenant[r.tenant] += r.spilled ? 2 : 1;
+        if (r.spilled)
+            ++stats.spilled;
+        g.busy = true;
+        const WorkloadModel& m = models[g.workload];
+        size_t total = m.steps.size();
+        size_t first = std::min(r.firstStep, total);
+        // Every job executes for real on the shared clock — reuse
+        // comes from the compiled-program cache inside runJob, not
+        // from memoized service times, so absolute-tick faults always
+        // land where they should.
+        InferenceResult res = runner.runJob(m, g.cards, now, cl.faults,
+                                            retry, first, total - first);
+        uint64_t id = nextToken++;
+        JobRecord& jr = inflight[id];
+        jr.req = r;
+        jr.cluster = cl.id;
+        jr.group = g.id;
+        jr.start = now;
+        jr.out.ok = res.ok();
+        jr.out.span = res.total.makespan;
+        jr.out.failedCards = res.failedCards;
+        jr.out.redispatches = res.redispatches;
+        jr.out.recoveryPenalty = res.recoveryPenalty;
+        jr.out.timedOut = res.total.timedOutTransfers;
+        jr.out.stepEnds.reserve(res.stepEnds.size());
+        for (Tick t : res.stepEnds)
+            jr.out.stepEnds.push_back(now + t);
+        eq.schedule(now + jr.out.span, [this, id] { onComplete(id); });
+    }
+
+    /**
+     * Re-queue already-admitted work that lost its job (cluster kill
+     * or terminal failure), resuming from its checkpoint: `done` steps
+     * completed since `req.firstStep` are conserved.  Sheds instead
+     * when the failover budget is spent or no route remains.
+     */
+    void
+    failoverOrShed(const Request& req, size_t done)
+    {
+        Request r = req;
+        size_t total = models[r.workload].steps.size();
+        r.firstStep = std::min(r.firstStep + done, total);
+        if (r.failovers >= kFailoverBudget ||
+            !servableAnywhere(r.workload)) {
+            shedAdmitted(r);
+            return;
+        }
+        ++r.failovers;
+        r.spilled = true;
+        ++stats.failovers;
+        stats.recoveredSteps += done;
+        if (r.firstStep < total)
+            ++stats.replayedSteps; // the interrupted step re-runs
+        noteDepth();
+        queue.requeue(r);
+        stats.maxQueueDepth =
+            std::max(stats.maxQueueDepth, queue.depth());
+    }
+
+    void
+    onComplete(uint64_t id)
+    {
+        auto it = inflight.find(id);
+        if (it == inflight.end())
+            return; // aborted by a cluster kill; superseded
+        JobRecord jr = std::move(it->second);
+        inflight.erase(it);
+        Tick now = eq.now();
+        lastActivity = std::max(lastActivity, now);
+        ClusterRt& cl = clusters[jr.cluster];
+        ServeGroup& g = cl.fleet.groups()[jr.group];
+        g.busy = false;
+        g.busyTicks += jr.out.span;
+        stats.redispatches += jr.out.redispatches;
+        stats.recoveryPenalty += jr.out.recoveryPenalty;
+        for (size_t c : jr.out.failedCards)
+            applyDeath(cl, c);
+        applyPendingKills(cl, g, now);
+        bool strained = jr.out.redispatches > 0 || jr.out.timedOut > 0 ||
+                        !jr.out.failedCards.empty();
+        if (health.recordOutcome(cl.id, jr.out.ok, strained, now))
+            scheduleBreakerProbe(cl.id);
+        if (jr.out.ok) {
+            ++g.completed;
+            ++cl.completed;
+            ++stats.completed;
+            ++tenant(jr.req).completed;
+            stats.latency.add(now - jr.req.arrival);
+            stats.queueWait.add(jr.req.dispatched - jr.req.arrival);
+            stats.service.add(now - jr.req.dispatched);
+            respawnClosed(jr.req);
+        } else {
+            // Terminal job failure: conserve the steps this attempt
+            // finished and fail the request over to another route.
+            failoverOrShed(jr.req, jr.out.stepEnds.size());
+        }
+        if (cl.probePending) {
+            cl.probePending = false;
+            launchProbe(cl.id);
+        }
+        dispatchIdle();
+    }
+
+    /** Card-granularity kill event (federation-global index). */
+    void
+    onKillCard(size_t card)
+    {
+        ClusterRt& cl = clusters[card / cardsPer];
+        size_t local = card % cardsPer;
+        if (cl.killed || cl.cardDead[local])
+            return;
+        ServeGroup* g = cl.fleet.groupOf(local);
+        if (g && g->busy)
+            return; // the in-flight job's fault plan owns this kill;
+                    // reconciled in onComplete via applyPendingKills
+        applyDeath(cl, local);
+        dispatchIdle();
+    }
+
+    /** cluster_kill: the whole cluster dies.  In-flight jobs abort and
+     *  resume from their last completed step boundary on survivors. */
+    void
+    onClusterKill(size_t c)
+    {
+        ClusterRt& cl = clusters[c];
+        if (cl.killed)
+            return;
+        Tick now = eq.now();
+        lastActivity = std::max(lastActivity, now);
+        cl.killed = true;
+        ++stats.clusterKills;
+        health.onClusterKill(c, now);
+        for (auto& g : cl.fleet.groups()) {
+            g.retired = true;
+            g.busy = false;
+        }
+        cl.cardDead.assign(cl.cardDead.size(), true);
+        cl.probePending = false;
+
+        std::vector<uint64_t> doomedJobs, doomedProbes;
+        for (const auto& [id, jr] : inflight)
+            if (jr.cluster == c)
+                doomedJobs.push_back(id);
+        for (const auto& [id, pr] : probes)
+            if (pr.cluster == c)
+                doomedProbes.push_back(id);
+        for (uint64_t id : doomedProbes)
+            probes.erase(id);
+        for (uint64_t id : doomedJobs) {
+            JobRecord jr = std::move(inflight[id]);
+            inflight.erase(id);
+            ++cl.lostJobs;
+            // Checkpoint: step boundaries at or before the kill are
+            // conserved; the partially executed step (if any) is the
+            // one replayed step this job pays.
+            size_t k = 0;
+            while (k < jr.out.stepEnds.size() &&
+                   jr.out.stepEnds[k] <= now)
+                ++k;
+            Tick lastEnd = k ? jr.out.stepEnds[k - 1] : jr.start;
+            stats.recoveryPenalty += now - lastEnd;
+            cl.fleet.groups()[jr.group].busyTicks += now - jr.start;
+            failoverOrShed(jr.req, k);
+        }
+        flushUnservable();
+        dispatchIdle();
+    }
+
+    void
+    onPartitionStart(size_t c)
+    {
+        ClusterRt& cl = clusters[c];
+        if (cl.killed || health.dead(c))
+            return;
+        ++stats.clusterPartitions;
+        health.onPartitionStart(c, eq.now());
+        // In-flight jobs keep running (the cluster is cut off, not
+        // down); only new routing is gated.
+    }
+
+    void
+    onPartitionHeal(size_t c)
+    {
+        if (health.onPartitionHeal(c, eq.now()))
+            launchProbe(c); // half-open: canary decides re-admission
+    }
+
+    /** Breaker opened on error rate: schedule the half-open probe.
+     *  maxProbes == 0 disables probing entirely (sticky quarantine —
+     *  operator intervention assumed; the stall watchdog reports any
+     *  work this strands). */
+    void
+    scheduleBreakerProbe(size_t c)
+    {
+        if (health.policy().maxProbes == 0)
+            return;
+        eq.schedule(eq.now() + health.policy().probeDelay(),
+                    [this, c] { breakerProbe(c); });
+    }
+
+    void
+    breakerProbe(size_t c)
+    {
+        if (health.partitioned(c))
+            return; // the partition's heal event owns re-admission
+        launchProbe(c);
+    }
+
+    void
+    launchProbe(size_t c)
+    {
+        ClusterRt& cl = clusters[c];
+        if (cl.killed || health.partitioned(c) ||
+            health.state(c) != ClusterHealth::Quarantined ||
+            health.policy().maxProbes == 0)
+            return;
+        ServeGroup* pick = nullptr;
+        for (auto& g : cl.fleet.groups())
+            if (g.live() && !g.busy) {
+                pick = &g;
+                break;
+            }
+        if (!pick) {
+            // No idle group: stragglers from before the quarantine are
+            // still draining; probe when the next one completes.
+            cl.probePending = true;
+            return;
+        }
+        Tick now = eq.now();
+        ++stats.canaryProbes;
+        ++cl.canaries;
+        pick->busy = true;
+        // Cheap canary: the first step of the group's own workload.
+        InferenceResult res = runner.runJob(models[pick->workload],
+                                            pick->cards, now, cl.faults,
+                                            retry, 0, 1);
+        uint64_t id = nextToken++;
+        ProbeRecord& pr = probes[id];
+        pr.cluster = c;
+        pr.group = pick->id;
+        pr.span = res.total.makespan;
+        pr.ok = res.ok();
+        eq.schedule(now + pr.span, [this, id] { onProbeDone(id); });
+    }
+
+    void
+    onProbeDone(uint64_t id)
+    {
+        auto it = probes.find(id);
+        if (it == probes.end())
+            return; // cluster died while the probe was in flight
+        ProbeRecord pr = it->second;
+        probes.erase(it);
+        Tick now = eq.now();
+        lastActivity = std::max(lastActivity, now);
+        ClusterRt& cl = clusters[pr.cluster];
+        ServeGroup& g = cl.fleet.groups()[pr.group];
+        g.busy = false;
+        g.busyTicks += pr.span;
+        bool again = health.onProbeResult(pr.cluster, pr.ok, now);
+        if (pr.ok) {
+            dispatchIdle(); // breaker closed: back in the rotation
+        } else if (again) {
+            eq.schedule(now + health.policy().probeDelay(),
+                        [this, c = pr.cluster] { breakerProbe(c); });
+        } else {
+            // Probe budget exhausted: written off as dead.  Queued
+            // work whose last route this was sheds now.
+            flushUnservable();
+        }
+        if (cl.probePending) {
+            cl.probePending = false;
+            launchProbe(pr.cluster);
+        }
+    }
+
+    StallReport
+    buildStallReport() const
+    {
+        StallReport rep;
+        rep.tick = eq.now();
+        rep.queuedRequests = queue.depth();
+        for (size_t wl = 0; wl < wlNames.size(); ++wl) {
+            size_t d = queue.depthFor(wl);
+            if (d)
+                rep.depths.push_back({wlNames[wl], d});
+        }
+        for (const auto& cl : clusters) {
+            StallReport::ClusterLine line;
+            line.cluster = cl.id;
+            line.health = health.state(cl.id);
+            for (const auto& g : cl.fleet.groups()) {
+                line.liveGroups += g.live();
+                line.busyGroups += g.live() && g.busy;
+            }
+            rep.clusters.push_back(line);
+        }
+        if (const Request* o = queue.oldest()) {
+            rep.oldestRequestId = o->id;
+            rep.oldestTenant = serve.tenants[o->tenant].name;
+            rep.oldestAge = rep.tick - o->arrival;
+        }
+        return rep;
+    }
+
+    ServeStats
+    go()
+    {
+        for (const auto& r : gen.initialArrivals())
+            scheduleArrival(r);
+        for (const auto& [card, tick] : faults.cardFailAt)
+            if (card < cardsPer * clusters.size())
+                eq.schedule(tick,
+                            [this, c = card] { onKillCard(c); });
+        for (const auto& [c, tick] : faults.clusterKillAt)
+            if (c < clusters.size())
+                eq.schedule(tick, [this, c] { onClusterKill(c); });
+        for (const auto& [c, p] : faults.clusterPartitionAt) {
+            if (c >= clusters.size())
+                continue;
+            eq.schedule(p.start, [this, c] { onPartitionStart(c); });
+            eq.schedule(p.heal, [this, c] { onPartitionHeal(c); });
+        }
+        eq.run();
+
+        // No-progress watchdog: the event queue drained but admitted
+        // requests are still queued — every route is quarantined (with
+        // probing disabled) or gone.  Report and shed rather than
+        // wedge; no respawn (the run is over).
+        if (queue.depth() > 0) {
+            StallReport rep = buildStallReport();
+            stats.stalled = true;
+            stats.stallReport = rep.describe();
+            noteDepth();
+            for (const auto& r : queue.drainAll())
+                shedAdmitted(r, /*respawn=*/false);
+        }
+
+        stats.horizon = std::max(serve.durationTicks(), lastActivity);
+        if (stats.horizon > lastDepthTick)
+            depthAcc += static_cast<double>(queue.depth()) *
+                        static_cast<double>(stats.horizon -
+                                            lastDepthTick);
+        stats.meanQueueDepth =
+            stats.horizon
+                ? depthAcc / static_cast<double>(stats.horizon)
+                : 0.0;
+        stats.healthTransitions = health.transitions();
+        for (const auto& cl : clusters) {
+            for (const auto& g : cl.fleet.groups()) {
+                GroupStats gs;
+                gs.id = g.id;
+                gs.cluster = cl.id;
+                gs.workload = wlNames[g.workload];
+                gs.cards = g.cards.size();
+                gs.completed = g.completed;
+                gs.busyTicks = g.busyTicks;
+                gs.retired = g.retired;
+                stats.groups.push_back(gs);
+            }
+            ClusterStats cs;
+            cs.id = cl.id;
+            cs.health = clusterHealthName(health.state(cl.id));
+            cs.completed = cl.completed;
+            cs.failovers = cl.lostJobs;
+            cs.canaryProbes = cl.canaries;
+            cs.deadCards = static_cast<size_t>(std::count(
+                cl.cardDead.begin(), cl.cardDead.end(), true));
+            cs.killed = cl.killed;
+            stats.clusters.push_back(cs);
+        }
+        return std::move(stats);
+    }
+};
+
+} // namespace
+
+Federation::Federation(PrototypeSpec spec, ServeSpec serve,
+                       FaultPlan faults, RetryPolicy retry,
+                       HealthPolicy health)
+    : spec_(std::move(spec)), serve_(std::move(serve)),
+      faults_(std::move(faults)), retry_(retry), health_(health)
+{
+}
+
+ServeStats
+Federation::run()
+{
+    Engine eng(spec_, serve_, faults_, retry_, health_);
+    return eng.go();
+}
+
+} // namespace hydra

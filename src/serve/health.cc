@@ -1,0 +1,175 @@
+#include "serve/health.hh"
+
+#include "common/logging.hh"
+
+namespace hydra {
+
+const char*
+clusterHealthName(ClusterHealth h)
+{
+    switch (h) {
+    case ClusterHealth::Healthy:
+        return "healthy";
+    case ClusterHealth::Degraded:
+        return "degraded";
+    case ClusterHealth::Quarantined:
+        return "quarantined";
+    case ClusterHealth::Dead:
+        return "dead";
+    }
+    return "?";
+}
+
+HealthMonitor::HealthMonitor(size_t clusters, HealthPolicy policy)
+    : policy_(policy)
+{
+    clusters_.resize(clusters);
+    for (auto& cl : clusters_)
+        cl.ring.assign(policy_.window ? policy_.window : 1, 0);
+}
+
+void
+HealthMonitor::moveTo(Cluster& cl, ClusterHealth next)
+{
+    if (cl.state == next)
+        return;
+    cl.state = next;
+    ++transitions_;
+}
+
+void
+HealthMonitor::push(Cluster& cl, uint8_t outcome)
+{
+    cl.ring[cl.head] = outcome;
+    cl.head = (cl.head + 1) % cl.ring.size();
+    if (cl.filled < cl.ring.size())
+        ++cl.filled;
+}
+
+double
+HealthMonitor::errorRate(const Cluster& cl) const
+{
+    if (cl.filled == 0)
+        return 0.0;
+    size_t errors = 0;
+    for (size_t i = 0; i < cl.filled; ++i)
+        errors += cl.ring[i] == 2;
+    return static_cast<double>(errors) / static_cast<double>(cl.filled);
+}
+
+double
+HealthMonitor::strainRate(const Cluster& cl) const
+{
+    if (cl.filled == 0)
+        return 0.0;
+    size_t strained = 0;
+    for (size_t i = 0; i < cl.filled; ++i)
+        strained += cl.ring[i] != 0;
+    return static_cast<double>(strained) / static_cast<double>(cl.filled);
+}
+
+bool
+HealthMonitor::recordOutcome(size_t c, bool ok, bool strained, Tick)
+{
+    Cluster& cl = clusters_[c];
+    if (cl.state == ClusterHealth::Dead ||
+        cl.state == ClusterHealth::Quarantined) {
+        // Stragglers finishing after the breaker opened (or after a
+        // partition started) don't move the state machine: only the
+        // half-open probe path closes an open breaker.
+        return false;
+    }
+    push(cl, ok ? (strained ? 1 : 0) : 2);
+    if (cl.filled < policy_.minSamples)
+        return false;
+    if (errorRate(cl) >= policy_.quarantineRate) {
+        moveTo(cl, ClusterHealth::Quarantined);
+        return true; // breaker just opened: caller schedules a probe
+    }
+    if (errorRate(cl) >= policy_.degradeRate ||
+        strainRate(cl) >= policy_.strainRate)
+        moveTo(cl, ClusterHealth::Degraded);
+    else
+        moveTo(cl, ClusterHealth::Healthy);
+    return false;
+}
+
+void
+HealthMonitor::onClusterKill(size_t c, Tick)
+{
+    moveTo(clusters_[c], ClusterHealth::Dead);
+}
+
+void
+HealthMonitor::onPartitionStart(size_t c, Tick)
+{
+    Cluster& cl = clusters_[c];
+    if (cl.state == ClusterHealth::Dead)
+        return;
+    cl.partitioned = true;
+    moveTo(cl, ClusterHealth::Quarantined);
+}
+
+bool
+HealthMonitor::onPartitionHeal(size_t c, Tick)
+{
+    Cluster& cl = clusters_[c];
+    cl.partitioned = false;
+    return cl.state == ClusterHealth::Quarantined;
+}
+
+bool
+HealthMonitor::onProbeResult(size_t c, bool ok, Tick)
+{
+    Cluster& cl = clusters_[c];
+    if (cl.state != ClusterHealth::Quarantined)
+        return false;
+    if (ok) {
+        // Close the breaker with a clean slate: the old window's
+        // errors belong to the episode the probe just ended.
+        cl.ring.assign(cl.ring.size(), 0);
+        cl.head = 0;
+        cl.filled = 0;
+        cl.probesFailed = 0;
+        moveTo(cl, ClusterHealth::Healthy);
+        return false;
+    }
+    if (++cl.probesFailed >= policy_.maxProbes) {
+        moveTo(cl, ClusterHealth::Dead);
+        return false;
+    }
+    return true; // still within budget: schedule the next probe
+}
+
+std::string
+HealthMonitor::describe() const
+{
+    std::string s;
+    for (size_t c = 0; c < clusters_.size(); ++c)
+        s += strf("%s%zu:%s", c ? " " : "", c,
+                  clusterHealthName(clusters_[c].state));
+    return s;
+}
+
+std::string
+StallReport::describe() const
+{
+    std::string s =
+        strf("stall at %.3f s: %zu request(s) queued with no cluster "
+             "able to advance the clock\n",
+             ticksToSeconds(tick), queuedRequests);
+    for (const auto& d : depths)
+        s += strf("  workload %-12s %zu queued\n", d.workload.c_str(),
+                  d.depth);
+    for (const auto& c : clusters)
+        s += strf("  cluster %zu: %s, %zu live group(s), %zu busy\n",
+                  c.cluster, clusterHealthName(c.health), c.liveGroups,
+                  c.busyGroups);
+    s += strf("  oldest pending: request %llu (tenant %s), waiting "
+              "%.3f s\n",
+              static_cast<unsigned long long>(oldestRequestId),
+              oldestTenant.c_str(), ticksToSeconds(oldestAge));
+    return s;
+}
+
+} // namespace hydra

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Per-cluster health for the federation's routing tier.
+ *
+ * Each cluster moves through a four-state machine driven by observed
+ * job outcomes, retry/timeout strain, and explicit cluster-granularity
+ * faults:
+ *
+ *   healthy ----> degraded ----> quarantined ----> dead
+ *      ^             |   ^           |
+ *      +-------------+   +-- probe --+
+ *
+ *  - healthy:     routable, preferred by the routing tier.
+ *  - degraded:    routable but deprioritized; entered when the error
+ *                 or strain fraction of the outcome window crosses the
+ *                 degrade threshold, left again when the window heals.
+ *  - quarantined: not routable (circuit breaker open); entered when
+ *                 the error fraction crosses the quarantine threshold
+ *                 or a cluster_partition fault cuts the cluster off.
+ *                 After a cooldown the breaker half-opens: a cheap
+ *                 canary job probes the cluster, success closes the
+ *                 breaker (back to healthy), failure re-opens it.
+ *  - dead:        permanently out of service: a cluster_kill fault, or
+ *                 a quarantined cluster whose canary budget ran out.
+ *
+ * The window is a fixed-size ring of per-job outcomes, so the breaker
+ * reacts to rates, not lifetime totals: one burst of failures opens
+ * it, and the half-open probe path is the only way back in.
+ */
+
+#ifndef HYDRA_SERVE_HEALTH_HH
+#define HYDRA_SERVE_HEALTH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/eventq.hh"
+
+namespace hydra {
+
+/** Health state of one cluster in the federation. */
+enum class ClusterHealth : uint8_t
+{
+    Healthy,
+    Degraded,
+    Quarantined,
+    Dead,
+};
+
+const char* clusterHealthName(ClusterHealth h);
+
+/** Thresholds of the per-cluster circuit breaker. */
+struct HealthPolicy
+{
+    /** Job outcomes tracked per cluster (sliding window). */
+    size_t window = 16;
+    /** Outcomes required before the window is judged at all. */
+    size_t minSamples = 4;
+    /** Error fraction at which a cluster turns degraded. */
+    double degradeRate = 0.25;
+    /** Error fraction at which the breaker opens (quarantine). */
+    double quarantineRate = 0.5;
+    /** Fraction of strained jobs (heavy retries/timeouts, degraded
+     *  completions) at which a cluster turns degraded. */
+    double strainRate = 0.5;
+    /** Cooldown before a quarantined cluster gets a half-open probe. */
+    double probeAfterSeconds = 2.0;
+    /** Failed canary probes before a quarantined cluster is written
+     *  off as dead (bounds the probe loop; keeps runs finite). */
+    uint32_t maxProbes = 8;
+
+    Tick probeDelay() const { return secondsToTicks(probeAfterSeconds); }
+};
+
+/** Tracks the health state machine of every cluster. */
+class HealthMonitor
+{
+  public:
+    explicit HealthMonitor(size_t clusters, HealthPolicy policy = {});
+
+    ClusterHealth state(size_t c) const { return clusters_[c].state; }
+    /** Routable = the routing tier may dispatch new work there. */
+    bool
+    routable(size_t c) const
+    {
+        ClusterHealth s = clusters_[c].state;
+        return s == ClusterHealth::Healthy || s == ClusterHealth::Degraded;
+    }
+    bool dead(size_t c) const
+    {
+        return clusters_[c].state == ClusterHealth::Dead;
+    }
+    /** True while a cluster_partition's healing window is open; probes
+     *  wait for the heal event instead of racing it. */
+    bool partitioned(size_t c) const { return clusters_[c].partitioned; }
+
+    /**
+     * Record one job outcome on cluster `c`.  `ok` is terminal success;
+     * `strained` marks an outcome that succeeded the hard way (card
+     * deaths, heavy retries or timeouts).  Returns true when this
+     * outcome just opened the breaker — the caller schedules a
+     * half-open canary probe after policy().probeDelay().
+     */
+    bool recordOutcome(size_t c, bool ok, bool strained, Tick now);
+
+    /** cluster_kill fault: the cluster is dead, permanently. */
+    void onClusterKill(size_t c, Tick now);
+
+    /** cluster_partition fault: quarantined until the healing window
+     *  ends (no probes while partitioned). */
+    void onPartitionStart(size_t c, Tick now);
+
+    /**
+     * The healing window ended.  The cluster stays quarantined but the
+     * breaker half-opens: returns true when the caller should launch a
+     * canary probe now (false when the cluster died meanwhile).
+     */
+    bool onPartitionHeal(size_t c, Tick now);
+
+    /**
+     * Half-open canary verdict.  Success closes the breaker (healthy,
+     * window reset).  Failure re-opens it; returns true when another
+     * probe should be scheduled, false when the probe budget is
+     * exhausted and the cluster was written off as dead.
+     */
+    bool onProbeResult(size_t c, bool ok, Tick now);
+
+    /** All state transitions so far, across clusters (stats export). */
+    uint64_t transitions() const { return transitions_; }
+
+    const HealthPolicy& policy() const { return policy_; }
+
+    /** One-line summary: "0:healthy 1:quarantined ...". */
+    std::string describe() const;
+
+  private:
+    struct Cluster
+    {
+        ClusterHealth state = ClusterHealth::Healthy;
+        /** Outcome ring: 0 = ok, 1 = strained-ok, 2 = error. */
+        std::vector<uint8_t> ring;
+        size_t head = 0;
+        size_t filled = 0;
+        uint32_t probesFailed = 0;
+        bool partitioned = false;
+    };
+
+    void moveTo(Cluster& cl, ClusterHealth next);
+    void push(Cluster& cl, uint8_t outcome);
+    double errorRate(const Cluster& cl) const;
+    double strainRate(const Cluster& cl) const;
+
+    HealthPolicy policy_;
+    std::vector<Cluster> clusters_;
+    uint64_t transitions_ = 0;
+};
+
+/**
+ * No-progress diagnosis of a serving run (mirror of PR 2's
+ * DeadlockReport): the event queue drained while admitted requests
+ * were still queued — every cluster that could serve them is
+ * quarantined or dead, so the virtual clock cannot advance any work.
+ */
+struct StallReport
+{
+    Tick tick = 0;
+    size_t queuedRequests = 0;
+
+    struct WorkloadDepth
+    {
+        std::string workload;
+        size_t depth = 0;
+    };
+    std::vector<WorkloadDepth> depths;
+
+    struct ClusterLine
+    {
+        size_t cluster = 0;
+        ClusterHealth health = ClusterHealth::Healthy;
+        size_t liveGroups = 0;
+        size_t busyGroups = 0;
+    };
+    std::vector<ClusterLine> clusters;
+
+    /** Oldest request still pending when the clock wedged. */
+    uint64_t oldestRequestId = 0;
+    std::string oldestTenant;
+    Tick oldestAge = 0;
+
+    /** Multi-line human-readable report. */
+    std::string describe() const;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SERVE_HEALTH_HH

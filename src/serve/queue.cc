@@ -59,6 +59,23 @@ AdmissionQueue::popFor(size_t workload,
     return r;
 }
 
+size_t
+AdmissionQueue::depthFor(size_t workload) const
+{
+    size_t n = 0;
+    for (const auto& r : q_)
+        n += r.workload == workload;
+    return n;
+}
+
+std::vector<Request>
+AdmissionQueue::drainAll()
+{
+    std::vector<Request> out = std::move(q_);
+    q_.clear();
+    return out;
+}
+
 std::vector<Request>
 AdmissionQueue::drainWorkload(size_t workload)
 {

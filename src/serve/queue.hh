@@ -47,6 +47,26 @@ class AdmissionQueue
     bool offer(const Request& r);
 
     /**
+     * Re-admit already-admitted work (federated failover): a request
+     * re-queued off a dying cluster held no queue slot while running,
+     * so it re-enters even past the capacity bound — shedding it on a
+     * transiently full queue would break admission accounting.
+     */
+    void requeue(const Request& r) { q_.push_back(r); }
+
+    /** Earliest-admitted queued request (stall diagnostics). */
+    const Request* oldest() const
+    {
+        return q_.empty() ? nullptr : &q_.front();
+    }
+
+    /** Queued requests of one workload class (stall diagnostics). */
+    size_t depthFor(size_t workload) const;
+
+    /** Remove and return everything queued (no-progress watchdog). */
+    std::vector<Request> drainAll();
+
+    /**
      * Dequeue the best queued request of workload class `workload`:
      * lowest priority value first, then the tenant with the smallest
      * `served_per_tenant` count, then earliest admission.  Returns

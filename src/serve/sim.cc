@@ -1,300 +1,8 @@
 #include "serve/sim.hh"
 
-#include <algorithm>
-
-#include "common/logging.hh"
-#include "serve/workload_gen.hh"
-#include "workloads/model.hh"
+#include "serve/federation.hh"
 
 namespace hydra {
-
-namespace {
-
-/** What one dispatched job did, carried into its completion event. */
-struct JobOutcome
-{
-    bool ok = true;
-    Tick span = 0;
-    std::vector<size_t> failedCards;
-    uint64_t redispatches = 0;
-    Tick recoveryPenalty = 0;
-};
-
-/** One serving run's mutable state; lives for the duration of run(). */
-struct Engine
-{
-    const PrototypeSpec& spec;
-    const ServeSpec& serve;
-    const FaultPlan& faults;
-    const RetryPolicy& retry;
-
-    InferenceRunner runner;
-    std::vector<std::string> wlNames;
-    std::vector<WorkloadModel> models;
-
-    EventQueue eq;
-    WorkloadGen gen;
-    AdmissionQueue queue;
-    FleetPartition fleet;
-
-    std::vector<uint64_t> servedPerTenant;
-    std::vector<bool> cardDead;
-
-    ServeStats stats;
-    Tick lastActivity = 0;
-    Tick lastDepthTick = 0;
-    double depthAcc = 0.0;
-
-    Engine(const PrototypeSpec& spec_, const ServeSpec& serve_,
-           const FaultPlan& faults_, const RetryPolicy& retry_)
-        : spec(spec_), serve(serve_), faults(faults_), retry(retry_),
-          runner(spec_), wlNames(serve_.workloadTable()),
-          gen(serve_, wlNames), queue(serve_.queueCapacity),
-          fleet(spec_, serve_, wlNames)
-    {
-        models.reserve(wlNames.size());
-        for (const auto& n : wlNames)
-            models.push_back(workloadByName(n));
-        servedPerTenant.assign(serve.tenants.size(), 0);
-        cardDead.assign(spec.cluster.totalCards(), false);
-        stats.tenants.resize(serve.tenants.size());
-        for (size_t i = 0; i < serve.tenants.size(); ++i)
-            stats.tenants[i].name = serve.tenants[i].name;
-    }
-
-    TenantStats& tenant(const Request& r) { return stats.tenants[r.tenant]; }
-
-    /** Fold queue depth into the time-weighted integral; call before
-     *  any mutation of the queue at the current tick. */
-    void
-    noteDepth()
-    {
-        Tick now = eq.now();
-        depthAcc += static_cast<double>(queue.depth()) *
-                    static_cast<double>(now - lastDepthTick);
-        lastDepthTick = now;
-    }
-
-    void
-    shedNew(const Request& r, RejectReason why)
-    {
-        ++stats.shed;
-        ++tenant(r).shed;
-        if (why == RejectReason::QueueFull)
-            ++stats.shedQueueFull;
-        else
-            ++stats.shedNoCapacity;
-    }
-
-    /** Shed a request that was already admitted (capacity-loss flush
-     *  or terminal job failure). */
-    void
-    shedAdmitted(const Request& r)
-    {
-        ++stats.shed;
-        ++stats.shedNoCapacity;
-        ++tenant(r).shed;
-        respawnClosed(r);
-    }
-
-    /** Closed-loop clients react to any terminal outcome of their
-     *  request (completed or shed) by thinking and trying again. */
-    void
-    respawnClosed(const Request& r)
-    {
-        if (auto nr = gen.closedArrival(r.tenant, eq.now()))
-            scheduleArrival(*nr);
-    }
-
-    void
-    scheduleArrival(const Request& r)
-    {
-        eq.schedule(r.arrival, [this, r] { onArrival(r); });
-    }
-
-    /** Kill a card: record it, repair the partition, and flush queued
-     *  work of a workload class that lost its last group. */
-    void
-    applyDeath(size_t card)
-    {
-        if (cardDead[card])
-            return;
-        cardDead[card] = true;
-        stats.failedCards.push_back(card);
-        ServeGroup* g = fleet.groupOf(card);
-        if (!g)
-            return;
-        size_t wl = g->workload;
-        auto action = fleet.onCardDeath(card);
-        if (action == FleetPartition::DeathAction::Dissolved ||
-            action == FleetPartition::DeathAction::Donated)
-            ++stats.repartitions;
-        if (!fleet.servable(wl)) {
-            noteDepth();
-            for (const auto& r : queue.drainWorkload(wl))
-                shedAdmitted(r);
-        }
-    }
-
-    /** Apply kills dated at or before `now` on `g`'s cards that the
-     *  in-flight job did not consume (e.g. dated exactly at its end,
-     *  or falling in the post-step synchronization window). */
-    void
-    applyPendingKills(ServeGroup& g, Tick now)
-    {
-        if (!g.live())
-            return;
-        std::vector<size_t> snapshot = g.cards.cards;
-        for (size_t c : snapshot) {
-            auto it = faults.cardFailAt.find(c);
-            if (it != faults.cardFailAt.end() && it->second <= now)
-                applyDeath(c);
-        }
-    }
-
-    void
-    onArrival(const Request& r)
-    {
-        Tick now = eq.now();
-        lastActivity = std::max(lastActivity, now);
-        ++stats.offered;
-        ++tenant(r).offered;
-        if (!fleet.servable(r.workload)) {
-            shedNew(r, RejectReason::NoCapacity);
-            respawnClosed(r);
-            return;
-        }
-        if (queue.full()) {
-            shedNew(r, RejectReason::QueueFull);
-            respawnClosed(r);
-            return;
-        }
-        noteDepth();
-        queue.offer(r);
-        ++stats.admitted;
-        ++tenant(r).admitted;
-        stats.maxQueueDepth = std::max(stats.maxQueueDepth,
-                                       queue.depth());
-        dispatchIdle();
-    }
-
-    void
-    dispatchIdle()
-    {
-        for (bool progress = true; progress;) {
-            progress = false;
-            for (auto& g : fleet.groups()) {
-                if (!g.live() || g.busy)
-                    continue;
-                noteDepth();
-                auto r = queue.popFor(g.workload, servedPerTenant);
-                if (!r)
-                    continue;
-                startJob(g, *r);
-                progress = true;
-            }
-        }
-    }
-
-    void
-    startJob(ServeGroup& g, Request r)
-    {
-        Tick now = eq.now();
-        r.dispatched = now;
-        ++servedPerTenant[r.tenant];
-        g.busy = true;
-        // Every job executes for real on the shared clock — reuse
-        // comes from the compiled-program cache inside runJob, not
-        // from memoized service times, so absolute-tick faults always
-        // land where they should.
-        InferenceResult res = runner.runJob(models[g.workload], g.cards,
-                                            now, faults, retry);
-        JobOutcome out;
-        out.ok = res.ok();
-        out.span = res.total.makespan;
-        out.failedCards = res.failedCards;
-        out.redispatches = res.redispatches;
-        out.recoveryPenalty = res.recoveryPenalty;
-        size_t gid = g.id;
-        eq.schedule(now + out.span, [this, gid, r, out] {
-            onComplete(gid, r, out);
-        });
-    }
-
-    void
-    onComplete(size_t gid, const Request& r, const JobOutcome& out)
-    {
-        Tick now = eq.now();
-        lastActivity = std::max(lastActivity, now);
-        ServeGroup& g = fleet.groups()[gid];
-        g.busy = false;
-        g.busyTicks += out.span;
-        stats.redispatches += out.redispatches;
-        stats.recoveryPenalty += out.recoveryPenalty;
-        for (size_t c : out.failedCards)
-            applyDeath(c);
-        applyPendingKills(g, now);
-        if (out.ok) {
-            ++g.completed;
-            ++stats.completed;
-            ++tenant(r).completed;
-            stats.latency.add(now - r.arrival);
-            stats.queueWait.add(r.dispatched - r.arrival);
-            stats.service.add(now - r.dispatched);
-            respawnClosed(r);
-        } else {
-            shedAdmitted(r);
-        }
-        dispatchIdle();
-    }
-
-    void
-    onKill(size_t card)
-    {
-        if (cardDead[card])
-            return;
-        ServeGroup* g = fleet.groupOf(card);
-        if (g && g->busy)
-            return; // the in-flight job's fault plan owns this kill;
-                    // reconciled in onComplete via applyPendingKills
-        applyDeath(card);
-        dispatchIdle();
-    }
-
-    ServeStats
-    go()
-    {
-        for (const auto& r : gen.initialArrivals())
-            scheduleArrival(r);
-        for (const auto& [card, tick] : faults.cardFailAt)
-            if (card < cardDead.size())
-                eq.schedule(tick, [this, card] { onKill(card); });
-        eq.run();
-
-        stats.horizon = std::max(serve.durationTicks(), lastActivity);
-        if (stats.horizon > lastDepthTick)
-            depthAcc += static_cast<double>(queue.depth()) *
-                        static_cast<double>(stats.horizon -
-                                            lastDepthTick);
-        stats.meanQueueDepth =
-            stats.horizon ? depthAcc /
-                                static_cast<double>(stats.horizon)
-                          : 0.0;
-        for (const auto& g : fleet.groups()) {
-            GroupStats gs;
-            gs.id = g.id;
-            gs.workload = wlNames[g.workload];
-            gs.cards = g.cards.size();
-            gs.completed = g.completed;
-            gs.busyTicks = g.busyTicks;
-            gs.retired = g.retired;
-            stats.groups.push_back(gs);
-        }
-        return std::move(stats);
-    }
-};
-
-} // namespace
 
 ServeSim::ServeSim(PrototypeSpec spec, ServeSpec serve, FaultPlan faults,
                    RetryPolicy retry)
@@ -306,8 +14,12 @@ ServeSim::ServeSim(PrototypeSpec spec, ServeSpec serve, FaultPlan faults,
 ServeStats
 ServeSim::run()
 {
-    Engine eng(spec_, serve_, faults_, retry_);
-    return eng.go();
+    // The federation engine IS the serving engine: a spec with
+    // clusters=1 and no cluster faults takes the exact same code path
+    // a standalone machine always did (cluster 0 keeps the plan's own
+    // fault seed and the global card numbering).
+    Federation fed(spec_, serve_, faults_, retry_);
+    return fed.run();
 }
 
 } // namespace hydra

@@ -28,6 +28,12 @@
  * then dissolve and donate survivors to a sibling; a workload class
  * with no groups left sheds its queued and future requests with a
  * structured no-capacity reason.
+ *
+ * Federation: ServeSim is a thin wrapper over the Federation engine
+ * (serve/federation.hh).  ServeSpec::clusters > 1 replicates the
+ * machine behind a health-gated routing tier with cluster-granularity
+ * faults, failover, and checkpointed job recovery; clusters = 1 keeps
+ * the exact single-machine semantics described above.
  */
 
 #ifndef HYDRA_SERVE_SIM_HH

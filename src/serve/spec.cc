@@ -47,115 +47,147 @@ findTenant(std::vector<TenantSpec>& tenants, const std::string& name)
 
 } // namespace
 
-ServeSpec
-ServeSpec::parse(const std::string& spec)
+bool
+ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
+                    SpecError& err)
 {
-    ServeSpec out;
-    std::stringstream ss(spec);
+    ServeSpec parsed;
     std::string item;
+    auto fail = [&](std::string msg, std::string token) {
+        err.message = std::move(msg);
+        // An empty sub-token (e.g. "tenant=:open:x:1") still names the
+        // offending item, never an empty diagnosis.
+        err.token = token.empty() ? item : std::move(token);
+        return false;
+    };
+    std::stringstream ss(spec);
     while (std::getline(ss, item, ',')) {
         if (item.empty())
             continue;
         auto eq = item.find('=');
         if (eq == std::string::npos)
-            fatal("serve spec item '%s' is not key=value", item.c_str());
+            return fail("serve spec item is not key=value", item);
         std::string key = item.substr(0, eq);
         std::string val = item.substr(eq + 1);
         if (val.empty())
-            fatal("serve spec item '%s' has an empty value", item.c_str());
+            return fail("serve spec item has an empty value", item);
         if (key == "seed") {
-            out.seed = std::strtoull(val.c_str(), nullptr, 10);
+            if (!parseU64(val, parsed.seed))
+                return fail("seed wants an unsigned integer", val);
+        } else if (key == "clusters") {
+            if (!parseSize(val, parsed.clusters) || parsed.clusters == 0)
+                return fail("clusters wants an integer >= 1", val);
         } else if (key == "duration") {
-            out.durationSeconds = std::strtod(val.c_str(), nullptr);
+            if (!parseF64(val, parsed.durationSeconds))
+                return fail("duration wants seconds", val);
         } else if (key == "queue") {
-            out.queueCapacity = std::strtoul(val.c_str(), nullptr, 10);
+            if (!parseSize(val, parsed.queueCapacity))
+                return fail("queue wants an unsigned bound", val);
         } else if (key == "requests") {
-            out.maxRequests = std::strtoull(val.c_str(), nullptr, 10);
+            if (!parseU64(val, parsed.maxRequests))
+                return fail("requests wants an unsigned cap", val);
         } else if (key == "tenant") {
             auto f = splitOn(val, ':');
             if (f.size() < 4)
-                fatal("tenant wants NAME:MODE:WL:ARG[...], got '%s'",
-                      val.c_str());
+                return fail("tenant wants NAME:MODE:WL:ARG[...]", val);
             TenantSpec t;
             t.name = f[0];
             t.workload = f[2];
+            if (t.name.empty() || t.workload.empty())
+                return fail("tenant wants non-empty NAME and WL", val);
             if (f[1] == "open") {
                 t.mode = ArrivalMode::Open;
-                t.rate = std::strtod(f[3].c_str(), nullptr);
-                if (t.rate <= 0)
-                    fatal("tenant '%s': open-loop rate must be > 0",
-                          t.name.c_str());
+                if (!parseF64(f[3], t.rate) || t.rate <= 0)
+                    return fail("open-loop rate must be > 0", f[3]);
             } else if (f[1] == "closed") {
                 t.mode = ArrivalMode::Closed;
-                t.clients = std::strtoul(f[3].c_str(), nullptr, 10);
-                if (t.clients == 0)
-                    fatal("tenant '%s': closed loop wants >= 1 client",
-                          t.name.c_str());
-                if (f.size() > 4)
-                    t.thinkSeconds = std::strtod(f[4].c_str(), nullptr);
+                if (!parseSize(f[3], t.clients) || t.clients == 0)
+                    return fail("closed loop wants >= 1 client", f[3]);
+                if (f.size() > 4 &&
+                    (!parseF64(f[4], t.thinkSeconds) ||
+                     t.thinkSeconds < 0))
+                    return fail("think time wants seconds >= 0", f[4]);
             } else {
-                fatal("tenant '%s': mode must be open|closed, got '%s'",
-                      t.name.c_str(), f[1].c_str());
+                return fail("tenant mode must be open|closed", f[1]);
             }
-            if (findTenant(out.tenants, t.name))
-                fatal("duplicate tenant '%s'", t.name.c_str());
-            out.tenants.push_back(std::move(t));
+            if (findTenant(parsed.tenants, t.name))
+                return fail("duplicate tenant", t.name);
+            parsed.tenants.push_back(std::move(t));
         } else if (key == "prio") {
             auto f = splitOn(val, ':');
             if (f.size() != 2)
-                fatal("prio wants NAME:P, got '%s'", val.c_str());
-            TenantSpec* t = findTenant(out.tenants, f[0]);
+                return fail("prio wants NAME:P", val);
+            TenantSpec* t = findTenant(parsed.tenants, f[0]);
             if (!t)
-                fatal("prio: unknown tenant '%s' (declare it first)",
-                      f[0].c_str());
-            t->priority = static_cast<int>(
-                std::strtol(f[1].c_str(), nullptr, 10));
+                return fail("prio names an undeclared tenant "
+                            "(declare it first)",
+                            f[0]);
+            double p = 0;
+            if (!parseF64(f[1], p) || p != static_cast<int>(p))
+                return fail("prio wants an integer tier", f[1]);
+            t->priority = static_cast<int>(p);
         } else if (key == "at") {
             auto f = splitOn(val, ':');
             if (f.size() != 3)
-                fatal("at wants SEC:NAME:WL, got '%s'", val.c_str());
+                return fail("at wants SEC:NAME:WL", val);
             TraceEntry e;
-            e.atSeconds = std::strtod(f[0].c_str(), nullptr);
+            if (!parseF64(f[0], e.atSeconds) || e.atSeconds < 0)
+                return fail("at wants a non-negative arrival time",
+                            f[0]);
             e.tenant = f[1];
             e.workload = f[2];
-            if (e.atSeconds < 0)
-                fatal("at: negative arrival time '%s'", f[0].c_str());
-            out.trace.push_back(std::move(e));
+            if (e.tenant.empty() || e.workload.empty())
+                return fail("at wants non-empty NAME and WL", val);
+            parsed.trace.push_back(std::move(e));
         } else if (key == "group") {
             auto f = splitOn(val, ':');
             if (f.size() < 2 || f.size() > 3)
-                fatal("group wants WL:CARDS[:MIN], got '%s'", val.c_str());
+                return fail("group wants WL:CARDS[:MIN]", val);
             GroupPlan g;
             g.workload = f[0];
-            g.cards = std::strtoul(f[1].c_str(), nullptr, 10);
-            g.minCards = f.size() > 2
-                             ? std::strtoul(f[2].c_str(), nullptr, 10)
-                             : 1;
+            if (g.workload.empty())
+                return fail("group wants a non-empty workload", val);
+            if (!parseSize(f[1], g.cards))
+                return fail("group wants an unsigned card count", f[1]);
+            if (f.size() > 2 && !parseSize(f[2], g.minCards))
+                return fail("group wants an unsigned card floor", f[2]);
             if (g.cards == 0 || g.minCards == 0 || g.minCards > g.cards)
-                fatal("group '%s': want 1 <= MIN <= CARDS", val.c_str());
-            out.groups.push_back(std::move(g));
+                return fail("group wants 1 <= MIN <= CARDS", val);
+            parsed.groups.push_back(std::move(g));
         } else {
-            fatal("unknown serve spec key '%s' (want seed/duration/"
-                  "queue/requests/tenant/prio/at/group)",
-                  key.c_str());
+            return fail("unknown serve spec key (want seed/clusters/"
+                        "duration/queue/requests/tenant/prio/at/group)",
+                        key);
         }
     }
-    if (out.durationSeconds <= 0)
-        fatal("serve duration must be > 0");
-    if (out.queueCapacity == 0)
-        fatal("serve queue capacity must be >= 1");
+    if (parsed.durationSeconds <= 0)
+        return fail("serve duration must be > 0",
+                    strf("%g", parsed.durationSeconds));
+    if (parsed.queueCapacity == 0)
+        return fail("serve queue capacity must be >= 1", "0");
 
     // Trace entries for undeclared tenants implicitly declare a
     // trace-only tenant (replay convenience).
-    for (const auto& e : out.trace) {
-        if (!findTenant(out.tenants, e.tenant)) {
+    for (const auto& e : parsed.trace) {
+        if (!findTenant(parsed.tenants, e.tenant)) {
             TenantSpec t;
             t.name = e.tenant;
             t.mode = ArrivalMode::Trace;
             t.workload = e.workload;
-            out.tenants.push_back(std::move(t));
+            parsed.tenants.push_back(std::move(t));
         }
     }
+    out = std::move(parsed);
+    return true;
+}
+
+ServeSpec
+ServeSpec::parse(const std::string& spec)
+{
+    ServeSpec out;
+    SpecError err;
+    if (!tryParse(spec, out, err))
+        fatal("bad serve spec: %s", err.describe().c_str());
     return out;
 }
 
@@ -165,6 +197,8 @@ ServeSpec::describe() const
     std::string s = strf("seed=%llu duration=%.3gs queue=%zu",
                          static_cast<unsigned long long>(seed),
                          durationSeconds, queueCapacity);
+    if (clusters > 1)
+        s += strf(" clusters=%zu", clusters);
     for (const auto& t : tenants) {
         s += strf(" %s[%s %s", t.name.c_str(), arrivalModeName(t.mode),
                   t.workload.c_str());

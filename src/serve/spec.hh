@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hh"
 #include "sim/eventq.hh"
 
 namespace hydra {
@@ -80,6 +81,11 @@ struct ServeSpec
 {
     /** Seed for every stochastic draw (arrival processes). */
     uint64_t seed = 1;
+    /** Federated fault domains: the machine is replicated this many
+     *  times behind a health-gated routing tier; each cluster gets its
+     *  own fleet partition (same group plan) and cards are numbered
+     *  federation-globally (cluster c owns [c*P, (c+1)*P)). */
+    size_t clusters = 1;
     /** Arrival horizon in virtual seconds; admitted work drains after. */
     double durationSeconds = 5.0;
     /** Admission-queue bound; arrivals beyond it are shed. */
@@ -96,7 +102,7 @@ struct ServeSpec
 
     /**
      * Parse a CLI serve spec: comma-separated items.
-     *   seed=N  duration=S  queue=N  requests=N
+     *   seed=N  clusters=N  duration=S  queue=N  requests=N
      *   tenant=NAME:open:WL:RATE          (Poisson, RATE req/s)
      *   tenant=NAME:closed:WL:CLIENTS[:THINK_S]
      *   prio=NAME:P                       (priority tier; 0 highest)
@@ -105,6 +111,15 @@ struct ServeSpec
      * Calls fatal() on malformed input (CLI-facing helper).
      */
     static ServeSpec parse(const std::string& spec);
+
+    /**
+     * Library-facing parse: on success fills `out` and returns true;
+     * on malformed input returns false with `err` naming the offending
+     * token.  Never exits, never crashes, never silently defaults a
+     * field the spec spelled wrong.
+     */
+    static bool tryParse(const std::string& spec, ServeSpec& out,
+                         SpecError& err);
 
     /** One-line human summary. */
     std::string describe() const;

@@ -125,12 +125,23 @@ ServeStats::hash() const
     f.u64(shed);
     f.u64(shedQueueFull);
     f.u64(shedNoCapacity);
+    f.u64(shedAfterAdmit);
     f.u64(failedCards.size());
     for (size_t c : failedCards)
         f.u64(c);
     f.u64(repartitions);
     f.u64(redispatches);
     f.u64(recoveryPenalty);
+    f.u64(clusterKills);
+    f.u64(clusterPartitions);
+    f.u64(failovers);
+    f.u64(spilled);
+    f.u64(recoveredSteps);
+    f.u64(replayedSteps);
+    f.u64(healthTransitions);
+    f.u64(canaryProbes);
+    f.u64(stalled ? 1 : 0);
+    f.str(stallReport);
     f.u64(maxQueueDepth);
     f.f64(meanQueueDepth);
     f.hist(latency);
@@ -145,11 +156,21 @@ ServeStats::hash() const
     }
     for (const auto& g : groups) {
         f.u64(g.id);
+        f.u64(g.cluster);
         f.str(g.workload);
         f.u64(g.cards);
         f.u64(g.completed);
         f.u64(g.busyTicks);
         f.u64(g.retired ? 1 : 0);
+    }
+    for (const auto& c : clusters) {
+        f.u64(c.id);
+        f.str(c.health);
+        f.u64(c.completed);
+        f.u64(c.failovers);
+        f.u64(c.canaryProbes);
+        f.u64(c.deadCards);
+        f.u64(c.killed ? 1 : 0);
     }
     return f.h;
 }
@@ -201,6 +222,36 @@ ServeStats::toJson(const std::string& machine,
               static_cast<unsigned long long>(repartitions),
               static_cast<unsigned long long>(redispatches),
               ticksToSeconds(recoveryPenalty));
+    s += strf("\"federation\": {\"cluster_kills\": %llu, "
+              "\"cluster_partitions\": %llu, \"failovers\": %llu, "
+              "\"spilled\": %llu, \"recovered_steps\": %llu, "
+              "\"replayed_steps\": %llu, \"health_transitions\": %llu, "
+              "\"canary_probes\": %llu, \"shed_after_admit\": %llu, "
+              "\"stalled\": %s, ",
+              static_cast<unsigned long long>(clusterKills),
+              static_cast<unsigned long long>(clusterPartitions),
+              static_cast<unsigned long long>(failovers),
+              static_cast<unsigned long long>(spilled),
+              static_cast<unsigned long long>(recoveredSteps),
+              static_cast<unsigned long long>(replayedSteps),
+              static_cast<unsigned long long>(healthTransitions),
+              static_cast<unsigned long long>(canaryProbes),
+              static_cast<unsigned long long>(shedAfterAdmit),
+              stalled ? "true" : "false");
+    s += "\"clusters\": [";
+    for (size_t i = 0; i < clusters.size(); ++i) {
+        const auto& c = clusters[i];
+        s += strf("%s{\"id\": %zu, \"health\": \"%s\", "
+                  "\"completed\": %llu, \"failovers\": %llu, "
+                  "\"canary_probes\": %llu, \"dead_cards\": %zu, "
+                  "\"killed\": %s}",
+                  i ? ", " : "", c.id, c.health.c_str(),
+                  static_cast<unsigned long long>(c.completed),
+                  static_cast<unsigned long long>(c.failovers),
+                  static_cast<unsigned long long>(c.canaryProbes),
+                  c.deadCards, c.killed ? "true" : "false");
+    }
+    s += "]}, ";
     s += "\"tenants\": [";
     for (size_t i = 0; i < tenants.size(); ++i) {
         const auto& t = tenants[i];
@@ -216,10 +267,12 @@ ServeStats::toJson(const std::string& machine,
     s += "], \"groups\": [";
     for (size_t i = 0; i < groups.size(); ++i) {
         const auto& g = groups[i];
-        s += strf("%s{\"id\": %zu, \"workload\": \"%s\", "
+        s += strf("%s{\"id\": %zu, \"cluster\": %zu, "
+                  "\"workload\": \"%s\", "
                   "\"cards\": %zu, \"completed\": %llu, "
                   "\"utilization\": %.4f, \"retired\": %s}",
-                  i ? ", " : "", g.id, g.workload.c_str(), g.cards,
+                  i ? ", " : "", g.id, g.cluster, g.workload.c_str(),
+                  g.cards,
                   static_cast<unsigned long long>(g.completed),
                   g.utilization(horizon),
                   g.retired ? "true" : "false");
@@ -258,6 +311,29 @@ ServeStats::describe() const
                   static_cast<unsigned long long>(redispatches),
                   ticksToSeconds(recoveryPenalty));
     }
+    if (clusterKills || clusterPartitions || failovers || spilled ||
+        canaryProbes) {
+        s += strf("federation: %llu cluster kill(s), %llu partition(s), "
+                  "%llu failover(s), %llu spilled, %llu recovered / "
+                  "%llu replayed step(s), %llu probe(s), %llu health "
+                  "transition(s)\n",
+                  static_cast<unsigned long long>(clusterKills),
+                  static_cast<unsigned long long>(clusterPartitions),
+                  static_cast<unsigned long long>(failovers),
+                  static_cast<unsigned long long>(spilled),
+                  static_cast<unsigned long long>(recoveredSteps),
+                  static_cast<unsigned long long>(replayedSteps),
+                  static_cast<unsigned long long>(canaryProbes),
+                  static_cast<unsigned long long>(healthTransitions));
+    }
+    if (stalled)
+        s += stallReport;
+    for (const auto& c : clusters)
+        s += strf("  cluster %zu: %s%s, completed %llu, "
+                  "%zu dead card(s)\n",
+                  c.id, c.health.c_str(), c.killed ? " (killed)" : "",
+                  static_cast<unsigned long long>(c.completed),
+                  c.deadCards);
     for (const auto& t : tenants)
         s += strf("  tenant %-10s offered %6llu  completed %6llu  "
                   "shed %5llu\n",

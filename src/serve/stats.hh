@@ -65,6 +65,8 @@ struct TenantStats
 struct GroupStats
 {
     size_t id = 0;
+    /** Owning cluster (0 for single-cluster runs). */
+    size_t cluster = 0;
     std::string workload;
     /** Cards still alive at the end of the run. */
     size_t cards = 0;
@@ -81,6 +83,20 @@ struct GroupStats
     }
 };
 
+/** Per-cluster roll-up of a federated run. */
+struct ClusterStats
+{
+    size_t id = 0;
+    /** Final health state ("healthy" / "degraded" / ...). */
+    std::string health;
+    uint64_t completed = 0;
+    /** In-flight jobs this cluster lost to a cluster kill. */
+    uint64_t failovers = 0;
+    uint64_t canaryProbes = 0;
+    size_t deadCards = 0;
+    bool killed = false;
+};
+
 /** Aggregated results of one serving run. */
 struct ServeStats
 {
@@ -93,12 +109,41 @@ struct ServeStats
     uint64_t shed = 0;
     uint64_t shedQueueFull = 0;
     uint64_t shedNoCapacity = 0;
+    /** Portion of `shed` that had already been admitted (capacity-loss
+     *  flushes, terminal job failures, stall flushes): the accounting
+     *  identity is admitted == completed + shedAfterAdmit. */
+    uint64_t shedAfterAdmit = 0;
 
     /** Fault accounting rolled up from degraded jobs and idle kills. */
     std::vector<size_t> failedCards;
     uint64_t repartitions = 0;
     uint64_t redispatches = 0;
     Tick recoveryPenalty = 0;
+
+    /** Federation accounting (all zero for single-cluster runs without
+     *  cluster faults). */
+    uint64_t clusterKills = 0;
+    uint64_t clusterPartitions = 0;
+    /** In-flight jobs aborted by a cluster death and re-queued. */
+    uint64_t failovers = 0;
+    /** Requests dispatched on a different cluster after a failover. */
+    uint64_t spilled = 0;
+    /** Step boundaries conserved across failovers: steps a resumed job
+     *  did NOT have to re-run thanks to checkpointed recovery. */
+    uint64_t recoveredSteps = 0;
+    /** Steps re-executed because the kill landed mid-step (bounded by
+     *  one per failed-over in-flight job). */
+    uint64_t replayedSteps = 0;
+    /** Health state-machine transitions across all clusters. */
+    uint64_t healthTransitions = 0;
+    /** Half-open canary probes launched by the circuit breaker. */
+    uint64_t canaryProbes = 0;
+
+    /** No-progress watchdog: set when the event queue drained with
+     *  admitted requests still queued (all routes quarantined/dead);
+     *  the stuck requests are shed and the report captured here. */
+    bool stalled = false;
+    std::string stallReport;
 
     size_t maxQueueDepth = 0;
     /** Time-weighted mean queue depth over the horizon. */
@@ -113,6 +158,7 @@ struct ServeStats
 
     std::vector<TenantStats> tenants;
     std::vector<GroupStats> groups;
+    std::vector<ClusterStats> clusters;
 
     double
     throughputRps() const

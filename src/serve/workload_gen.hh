@@ -32,6 +32,18 @@ struct Request
     Tick arrival = 0;
     /** Set when the request leaves the queue for a card group. */
     Tick dispatched = 0;
+
+    // Federated failover state (all defaults for fresh arrivals).
+    /** Checkpointed resume point: first workload step still to run.
+     *  Non-zero after a cluster kill aborted the job mid-run and its
+     *  completed step boundaries were conserved. */
+    size_t firstStep = 0;
+    /** Times this request was re-queued off a dying cluster. */
+    uint32_t failovers = 0;
+    /** True once the request was re-queued onto the federation after
+     *  losing its cluster; dispatch charges a fairness deficit so
+     *  spillover traffic cannot starve native tenants. */
+    bool spilled = false;
 };
 
 /** Generates the deterministic request stream of one ServeSpec. */

@@ -36,7 +36,8 @@ FaultPlan::empty() const
 {
     return dropRate <= 0.0 && corruptRate <= 0.0 && linkDegrade <= 1.0 &&
            dropFirstAttempts == 0 && stragglers.empty() &&
-           cardFailAt.empty();
+           cardFailAt.empty() && clusterKillAt.empty() &&
+           clusterPartitionAt.empty();
 }
 
 bool
@@ -64,60 +65,137 @@ FaultPlan::stragglerFactor(size_t card) const
     return it == stragglers.end() ? 1.0 : it->second;
 }
 
-FaultPlan
-FaultPlan::parse(const std::string& spec)
+bool
+FaultPlan::tryParse(const std::string& spec, FaultPlan& out,
+                    SpecError& err)
 {
     FaultPlan plan;
-    std::stringstream ss(spec);
     std::string item;
+    auto fail = [&](std::string msg, std::string token) {
+        err.message = std::move(msg);
+        // An empty sub-token (e.g. "cpart=@5:1") still names the
+        // offending item, never an empty diagnosis.
+        err.token = token.empty() ? item : std::move(token);
+        return false;
+    };
+    std::stringstream ss(spec);
     while (std::getline(ss, item, ',')) {
         if (item.empty())
             continue;
         auto eq = item.find('=');
         if (eq == std::string::npos)
-            fatal("fault spec item '%s' is not key=value", item.c_str());
+            return fail("fault spec item is not key=value", item);
         std::string key = item.substr(0, eq);
         std::string val = item.substr(eq + 1);
         if (val.empty())
-            fatal("fault spec item '%s' has an empty value", item.c_str());
+            return fail("fault spec item has an empty value", item);
         if (key == "seed") {
-            plan.seed = std::strtoull(val.c_str(), nullptr, 10);
+            if (!parseU64(val, plan.seed))
+                return fail("seed wants an unsigned integer", val);
         } else if (key == "drop") {
-            plan.dropRate = std::strtod(val.c_str(), nullptr);
+            if (!parseF64(val, plan.dropRate))
+                return fail("drop wants a probability", val);
         } else if (key == "corrupt") {
-            plan.corruptRate = std::strtod(val.c_str(), nullptr);
+            if (!parseF64(val, plan.corruptRate))
+                return fail("corrupt wants a probability", val);
         } else if (key == "degrade") {
-            plan.linkDegrade = std::strtod(val.c_str(), nullptr);
+            if (!parseF64(val, plan.linkDegrade))
+                return fail("degrade wants a factor", val);
         } else if (key == "dropfirst") {
-            plan.dropFirstAttempts = static_cast<uint32_t>(
-                std::strtoul(val.c_str(), nullptr, 10));
+            uint64_t k = 0;
+            if (!parseU64(val, k) || k > UINT32_MAX)
+                return fail("dropfirst wants a small unsigned integer",
+                            val);
+            plan.dropFirstAttempts = static_cast<uint32_t>(k);
         } else if (key == "straggle") {
             auto colon = val.find(':');
             if (colon == std::string::npos)
-                fatal("straggle wants CARD:FACTOR, got '%s'", val.c_str());
-            size_t card = std::strtoul(val.substr(0, colon).c_str(),
-                                       nullptr, 10);
-            plan.stragglers[card] =
-                std::strtod(val.substr(colon + 1).c_str(), nullptr);
+                return fail("straggle wants CARD:FACTOR", val);
+            size_t card = 0;
+            double factor = 0;
+            if (!parseSize(val.substr(0, colon), card))
+                return fail("straggle wants an unsigned card index",
+                            val.substr(0, colon));
+            if (!parseF64(val.substr(colon + 1), factor) || factor < 1.0)
+                return fail("straggle wants a factor >= 1",
+                            val.substr(colon + 1));
+            plan.stragglers[card] = factor;
         } else if (key == "kill") {
             auto at = val.find('@');
             if (at == std::string::npos)
-                fatal("kill wants CARD@SECONDS, got '%s'", val.c_str());
-            size_t card = std::strtoul(val.substr(0, at).c_str(),
-                                       nullptr, 10);
-            double sec = std::strtod(val.substr(at + 1).c_str(), nullptr);
+                return fail("kill wants CARD@SECONDS", val);
+            size_t card = 0;
+            double sec = 0;
+            if (!parseSize(val.substr(0, at), card))
+                return fail("kill wants an unsigned card index",
+                            val.substr(0, at));
+            if (!parseF64(val.substr(at + 1), sec) || sec < 0)
+                return fail("kill wants a non-negative time",
+                            val.substr(at + 1));
             plan.cardFailAt[card] = secondsToTicks(sec);
+        } else if (key == "ckill") {
+            auto at = val.find('@');
+            if (at == std::string::npos)
+                return fail("ckill wants CLUSTER@SECONDS", val);
+            size_t cluster = 0;
+            double sec = 0;
+            if (!parseSize(val.substr(0, at), cluster))
+                return fail("ckill wants an unsigned cluster index",
+                            val.substr(0, at));
+            if (!parseF64(val.substr(at + 1), sec) || sec < 0)
+                return fail("ckill wants a non-negative time",
+                            val.substr(at + 1));
+            plan.clusterKillAt[cluster] = secondsToTicks(sec);
+        } else if (key == "cpart") {
+            auto at = val.find('@');
+            if (at == std::string::npos)
+                return fail("cpart wants CLUSTER@SECONDS:HEAL_S", val);
+            auto colon = val.find(':', at + 1);
+            if (colon == std::string::npos)
+                return fail("cpart wants CLUSTER@SECONDS:HEAL_S", val);
+            size_t cluster = 0;
+            double start = 0, healWindow = 0;
+            if (!parseSize(val.substr(0, at), cluster))
+                return fail("cpart wants an unsigned cluster index",
+                            val.substr(0, at));
+            if (!parseF64(val.substr(at + 1, colon - at - 1), start) ||
+                start < 0)
+                return fail("cpart wants a non-negative start time",
+                            val.substr(at + 1, colon - at - 1));
+            if (!parseF64(val.substr(colon + 1), healWindow) ||
+                healWindow <= 0)
+                return fail("cpart wants a positive healing window",
+                            val.substr(colon + 1));
+            ClusterPartition p;
+            p.start = secondsToTicks(start);
+            p.heal = secondsToTicks(start + healWindow);
+            plan.clusterPartitionAt[cluster] = p;
         } else {
-            fatal("unknown fault spec key '%s' (want seed/drop/corrupt/"
-                  "degrade/dropfirst/straggle/kill)",
-                  key.c_str());
+            return fail("unknown fault spec key (want seed/drop/corrupt/"
+                        "degrade/dropfirst/straggle/kill/ckill/cpart)",
+                        key);
         }
     }
-    if (plan.dropRate < 0 || plan.dropRate > 1 || plan.corruptRate < 0 ||
-        plan.corruptRate > 1)
-        fatal("fault rates must be within [0,1]");
+    if (plan.dropRate < 0 || plan.dropRate > 1)
+        return fail("drop rate must be within [0,1]",
+                    strf("%g", plan.dropRate));
+    if (plan.corruptRate < 0 || plan.corruptRate > 1)
+        return fail("corrupt rate must be within [0,1]",
+                    strf("%g", plan.corruptRate));
     if (plan.linkDegrade < 1.0)
-        fatal("degrade factor must be >= 1");
+        return fail("degrade factor must be >= 1",
+                    strf("%g", plan.linkDegrade));
+    out = std::move(plan);
+    return true;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string& spec)
+{
+    FaultPlan plan;
+    SpecError err;
+    if (!tryParse(spec, plan, err))
+        fatal("bad fault spec: %s", err.describe().c_str());
     return plan;
 }
 
@@ -135,6 +213,11 @@ FaultPlan::describe() const
         s += strf(" straggle=%zu:%.3g", c, f);
     for (const auto& [c, t] : cardFailAt)
         s += strf(" kill=%zu@%.6gs", c, ticksToSeconds(t));
+    for (const auto& [c, t] : clusterKillAt)
+        s += strf(" ckill=%zu@%.6gs", c, ticksToSeconds(t));
+    for (const auto& [c, p] : clusterPartitionAt)
+        s += strf(" cpart=%zu@%.6gs:%.6gs", c, ticksToSeconds(p.start),
+                  ticksToSeconds(p.heal - p.start));
     return s;
 }
 
@@ -184,6 +267,8 @@ RunError::kindName(Kind k)
         return "transfer-failed";
     case Kind::CardFailed:
         return "card-failed";
+    case Kind::ClusterFailed:
+        return "cluster-failed";
     }
     return "?";
 }

@@ -25,9 +25,19 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hh"
 #include "sync/task.hh"
 
 namespace hydra {
+
+/** A cluster-granularity network partition: the cluster is unreachable
+ *  for new work from `start` until `heal` (the healing window's end);
+ *  work already running on it continues locally. */
+struct ClusterPartition
+{
+    Tick start = 0;
+    Tick heal = 0;
+};
 
 /** Deterministic, seed-driven fault-injection plan for one run. */
 struct FaultPlan
@@ -47,6 +57,12 @@ struct FaultPlan
     std::map<size_t, double> stragglers;
     /** Permanent card failures: card -> tick of death. */
     std::map<size_t, Tick> cardFailAt;
+    /** Cluster-granularity faults (federation layer, PR 7): whole
+     *  clusters die (`cluster_kill`) or drop off the network for a
+     *  healing window (`cluster_partition`).  Interpreted by the
+     *  federation's routing tier; a single-cluster run ignores them. */
+    std::map<size_t, Tick> clusterKillAt;
+    std::map<size_t, ClusterPartition> clusterPartitionAt;
 
     /** True when the plan injects nothing at all. */
     bool empty() const;
@@ -64,11 +80,23 @@ struct FaultPlan
     /**
      * Parse a CLI fault spec: comma-separated key=value pairs.
      *   seed=N  drop=P  corrupt=P  degrade=F  dropfirst=K
-     *   straggle=CARD:F   (repeatable)
-     *   kill=CARD@SECONDS (repeatable; SECONDS is a double)
+     *   straggle=CARD:F    (repeatable)
+     *   kill=CARD@SECONDS  (repeatable; SECONDS is a double)
+     *   ckill=CLUSTER@SECONDS          (cluster_kill; repeatable)
+     *   cpart=CLUSTER@SECONDS:HEAL_S   (cluster_partition with a
+     *                                   HEAL_S-second healing window)
      * Calls fatal() on malformed input (CLI-facing helper).
      */
     static FaultPlan parse(const std::string& spec);
+
+    /**
+     * Library-facing parse: on success fills `out` and returns true;
+     * on malformed input returns false with `err` naming the offending
+     * token.  Never exits, never crashes, never silently defaults a
+     * field the spec spelled wrong.
+     */
+    static bool tryParse(const std::string& spec, FaultPlan& out,
+                         SpecError& err);
 
     /** One-line human summary of the plan. */
     std::string describe() const;
@@ -133,6 +161,9 @@ struct RunError
         TransferFailed,
         /** A card died permanently mid-run. */
         CardFailed,
+        /** A whole cluster died mid-job (federation layer aborts the
+         *  job and resumes it from its checkpoint on a survivor). */
+        ClusterFailed,
     };
 
     Kind kind = Kind::None;

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Parser-hardening tests for ServeSpec and FaultPlan: every malformed
+ * input must come back as a structured SpecError naming the offending
+ * token — no crash, no fatal(), no silently defaulted field — and a
+ * deterministic fuzz loop hammers both parsers with mutated specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/spec.hh"
+#include "sync/fault.hh"
+
+namespace hydra {
+namespace {
+
+// ---------------------------------------------------------------------
+// ServeSpec::tryParse
+// ---------------------------------------------------------------------
+
+TEST(ServeSpecParse, RoundTripsAValidSpec)
+{
+    ServeSpec s;
+    SpecError err;
+    ASSERT_TRUE(ServeSpec::tryParse(
+        "seed=7,clusters=4,duration=30,queue=16,requests=500,"
+        "tenant=vision:open:resnet18:0.5,"
+        "tenant=pool:closed:bert:3:0.25,prio=vision:0,"
+        "at=2.5:replay:resnet18,group=resnet18:4:2,group=bert:4",
+        s, err))
+        << err.describe();
+    EXPECT_EQ(s.seed, 7u);
+    EXPECT_EQ(s.clusters, 4u);
+    EXPECT_DOUBLE_EQ(s.durationSeconds, 30.0);
+    EXPECT_EQ(s.queueCapacity, 16u);
+    EXPECT_EQ(s.maxRequests, 500u);
+    ASSERT_EQ(s.tenants.size(), 3u); // replay implicitly declared
+    EXPECT_EQ(s.tenants[0].priority, 0);
+    EXPECT_EQ(s.tenants[1].mode, ArrivalMode::Closed);
+    EXPECT_EQ(s.tenants[1].clients, 3u);
+    EXPECT_EQ(s.tenants[2].mode, ArrivalMode::Trace);
+    ASSERT_EQ(s.groups.size(), 2u);
+    EXPECT_EQ(s.groups[0].minCards, 2u);
+}
+
+struct BadCase
+{
+    const char* spec;
+    const char* wantToken; // must appear in err.token
+};
+
+TEST(ServeSpecParse, MalformedInputNamesTheOffendingToken)
+{
+    const BadCase cases[] = {
+        {"seed=abc", "abc"},
+        {"seed=12x", "12x"},
+        {"seed=", "seed="},
+        {"clusters=0", "0"},
+        {"clusters=-2", "-2"},
+        {"clusters=1.5", "1.5"},
+        {"duration=oops", "oops"},
+        {"duration=-5,tenant=a:open:bert:1", "-5"},
+        {"queue=many", "many"},
+        {"queue=0,tenant=a:open:bert:1", "0"},
+        {"requests=1e", "1e"},
+        {"tenant=a:open:bert", "a:open:bert"},
+        {"tenant=a:burst:bert:1", "burst"},
+        {"tenant=a:open:bert:0", "0"},
+        {"tenant=a:open:bert:-1", "-1"},
+        {"tenant=a:open:bert:nan", "nan"},
+        {"tenant=a:closed:bert:0", "0"},
+        {"tenant=a:closed:bert:2:-1", "-1"},
+        {"tenant=:open:bert:1", ":open:bert:1"},
+        {"tenant=a:open:bert:1,tenant=a:open:bert:2", "a"},
+        {"prio=a:1", "a"}, // undeclared tenant
+        {"tenant=a:open:bert:1,prio=a:1.5", "1.5"},
+        {"at=1:t", "1:t"},
+        {"at=-1:t:bert", "-1"},
+        {"group=bert", "bert"},
+        {"group=bert:0", "bert:0"},
+        {"group=bert:2:3", "bert:2:3"},
+        {"group=bert:x", "x"},
+        {"notakey=1", "notakey"},
+        {"justtext", "justtext"},
+    };
+    for (const auto& c : cases) {
+        ServeSpec s;
+        SpecError err;
+        EXPECT_FALSE(ServeSpec::tryParse(c.spec, s, err)) << c.spec;
+        EXPECT_FALSE(err.message.empty()) << c.spec;
+        EXPECT_NE(err.token.find(c.wantToken), std::string::npos)
+            << c.spec << " -> " << err.describe();
+        // describe() carries both halves of the diagnosis.
+        EXPECT_NE(err.describe().find(err.token), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan::tryParse
+// ---------------------------------------------------------------------
+
+TEST(FaultPlanParse, RoundTripsAValidSpec)
+{
+    FaultPlan f;
+    SpecError err;
+    ASSERT_TRUE(FaultPlan::tryParse(
+        "seed=3,drop=0.25,corrupt=0.1,degrade=2,dropfirst=1,"
+        "straggle=2:1.5,kill=5@30,ckill=1@40,cpart=2@10:5",
+        f, err))
+        << err.describe();
+    EXPECT_EQ(f.seed, 3u);
+    EXPECT_DOUBLE_EQ(f.dropRate, 0.25);
+    EXPECT_EQ(f.cardFailAt.at(5), secondsToTicks(30.0));
+    EXPECT_EQ(f.clusterKillAt.at(1), secondsToTicks(40.0));
+    ASSERT_EQ(f.clusterPartitionAt.count(2), 1u);
+    EXPECT_EQ(f.clusterPartitionAt.at(2).start, secondsToTicks(10.0));
+    // heal is stored as the absolute end of the healing window.
+    EXPECT_EQ(f.clusterPartitionAt.at(2).heal, secondsToTicks(15.0));
+    EXPECT_FALSE(f.empty());
+}
+
+TEST(FaultPlanParse, ClusterFaultsCountTowardEmpty)
+{
+    FaultPlan f;
+    SpecError err;
+    ASSERT_TRUE(FaultPlan::tryParse("ckill=0@1", f, err));
+    EXPECT_FALSE(f.empty());
+    FaultPlan g;
+    ASSERT_TRUE(FaultPlan::tryParse("", g, err));
+    EXPECT_TRUE(g.empty());
+}
+
+TEST(FaultPlanParse, MalformedInputNamesTheOffendingToken)
+{
+    const BadCase cases[] = {
+        {"seed=banana", "banana"},
+        {"drop=high", "high"},
+        {"drop=1.5", "1.5"},
+        {"drop=-0.1", "-0.1"},
+        {"corrupt=2", "2"},
+        {"degrade=0.5", "0.5"},
+        {"dropfirst=-1", "-1"},
+        {"straggle=3", "3"},
+        {"straggle=3:0.5", "0.5"},
+        {"straggle=x:2", "x"},
+        {"kill=5", "5"},
+        {"kill=5@-1", "-1"},
+        {"kill=x@3", "x"},
+        {"ckill=1", "1"},
+        {"ckill=a@3", "a"},
+        {"ckill=1@never", "never"},
+        {"cpart=1@5", "1@5"},
+        {"cpart=1@5:0", "0"},
+        {"cpart=1@5:-2", "-2"},
+        {"cpart=@5:1", "@5:1"},
+        {"boom=1", "boom"},
+        {"kill", "kill"},
+    };
+    for (const auto& c : cases) {
+        FaultPlan f;
+        SpecError err;
+        EXPECT_FALSE(FaultPlan::tryParse(c.spec, f, err)) << c.spec;
+        EXPECT_FALSE(err.message.empty()) << c.spec;
+        EXPECT_NE(err.token.find(c.wantToken), std::string::npos)
+            << c.spec << " -> " << err.describe();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic fuzz loop: mutate valid specs, require a structured
+// verdict every time (parse or a named error — never a crash, never an
+// empty diagnosis).
+// ---------------------------------------------------------------------
+
+uint64_t
+nextRand(uint64_t& s)
+{
+    s += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::string
+mutate(const std::string& base, uint64_t& rng)
+{
+    std::string s = base;
+    const char alphabet[] = "=:,@.-xe 0157\xff\x01";
+    switch (nextRand(rng) % 5) {
+    case 0: // flip one character
+        if (!s.empty())
+            s[nextRand(rng) % s.size()] =
+                alphabet[nextRand(rng) % (sizeof(alphabet) - 1)];
+        break;
+    case 1: // delete one character
+        if (!s.empty())
+            s.erase(nextRand(rng) % s.size(), 1);
+        break;
+    case 2: // insert one character
+        s.insert(nextRand(rng) % (s.size() + 1), 1,
+                 alphabet[nextRand(rng) % (sizeof(alphabet) - 1)]);
+        break;
+    case 3: // truncate
+        s.resize(nextRand(rng) % (s.size() + 1));
+        break;
+    default: // duplicate a chunk (stress repeated/duplicate keys)
+        if (!s.empty()) {
+            size_t from = nextRand(rng) % s.size();
+            size_t len = 1 + nextRand(rng) % (s.size() - from);
+            s += ",";
+            s += s.substr(from, len);
+        }
+        break;
+    }
+    return s;
+}
+
+TEST(ServeSpecParse, FuzzedSpecsNeverCrashAndAlwaysDiagnose)
+{
+    const std::string base =
+        "seed=7,clusters=2,duration=30,queue=16,"
+        "tenant=vision:open:resnet18:0.5,tenant=pool:closed:bert:3:0.25,"
+        "prio=vision:0,at=2.5:replay:resnet18,group=resnet18:4:2";
+    uint64_t rng = 0xfeedface;
+    size_t rejected = 0;
+    for (int i = 0; i < 4000; ++i) {
+        std::string fuzzed = mutate(base, rng);
+        // Stack a second mutation on half the inputs.
+        if (nextRand(rng) & 1)
+            fuzzed = mutate(fuzzed, rng);
+        ServeSpec s;
+        SpecError err;
+        if (ServeSpec::tryParse(fuzzed, s, err)) {
+            // Accepted specs must be internally coherent, not
+            // silently defaulted garbage.
+            EXPECT_GT(s.durationSeconds, 0.0) << fuzzed;
+            EXPECT_GE(s.queueCapacity, 1u) << fuzzed;
+            EXPECT_GE(s.clusters, 1u) << fuzzed;
+            for (const auto& g : s.groups) {
+                EXPECT_GE(g.cards, g.minCards) << fuzzed;
+                EXPECT_GE(g.minCards, 1u) << fuzzed;
+            }
+        } else {
+            ++rejected;
+            EXPECT_FALSE(err.message.empty()) << fuzzed;
+            EXPECT_FALSE(err.describe().empty()) << fuzzed;
+        }
+    }
+    // The mutator must actually be exercising the failure paths.
+    EXPECT_GT(rejected, 1000u);
+}
+
+TEST(FaultPlanParse, FuzzedSpecsNeverCrashAndAlwaysDiagnose)
+{
+    const std::string base =
+        "seed=3,drop=0.25,corrupt=0.1,degrade=2,dropfirst=1,"
+        "straggle=2:1.5,kill=5@30,ckill=1@40,cpart=2@10:5";
+    uint64_t rng = 0xdecaf;
+    size_t rejected = 0;
+    for (int i = 0; i < 4000; ++i) {
+        std::string fuzzed = mutate(base, rng);
+        if (nextRand(rng) & 1)
+            fuzzed = mutate(fuzzed, rng);
+        FaultPlan f;
+        SpecError err;
+        if (FaultPlan::tryParse(fuzzed, f, err)) {
+            EXPECT_GE(f.dropRate, 0.0) << fuzzed;
+            EXPECT_LE(f.dropRate, 1.0) << fuzzed;
+            EXPECT_GE(f.corruptRate, 0.0) << fuzzed;
+            EXPECT_LE(f.corruptRate, 1.0) << fuzzed;
+            EXPECT_GE(f.linkDegrade, 1.0) << fuzzed;
+            for (const auto& [card, fac] : f.stragglers)
+                EXPECT_GE(fac, 1.0) << fuzzed;
+            for (const auto& [c, p] : f.clusterPartitionAt)
+                EXPECT_GT(p.heal, p.start) << fuzzed;
+        } else {
+            ++rejected;
+            EXPECT_FALSE(err.message.empty()) << fuzzed;
+        }
+    }
+    EXPECT_GT(rejected, 1000u);
+}
+
+} // namespace
+} // namespace hydra
