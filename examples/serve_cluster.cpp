@@ -8,6 +8,10 @@
  * Usage:
  *   serve_cluster [--machine NAME]      (see --list-machines)
  *                 [--serve SPEC]        (serving spec; see below)
+ *                 [--serve-file PATH]   (read the serving spec from a
+ *                  file — newlines are treated as commas, so bulk
+ *                  10k-tenant specs from scripts/gen_workload.py can
+ *                  be line-wrapped)
  *                 [--faults SPEC]       (fault plan; kill=CARD@SECONDS
  *                  ticks are absolute serve-clock times)
  *                 [--clusters N]        (federate N identical clusters
@@ -26,9 +30,16 @@
  * The serve SPEC is a comma list (defaults in parentheses):
  *   seed=N (1)  clusters=N (1)  duration=S (5)  queue=N (64)
  *   requests=N (200000)
+ *   sched=fifo|cake[:WAIT_S[:KICK_S]]   admission policy (fifo); cake
+ *                                       is the deficit scheduler of
+ *                                       DESIGN.md §14 (wait budget 1s,
+ *                                       starvation kick cap 10s)
  *   tenant=NAME:open:WL:RATE            open-loop Poisson, RATE req/s
  *   tenant=NAME:closed:WL:CLIENTS[:THINK_S]
- *   prio=NAME:P                         priority tier (0 highest)
+ *   tenants=COUNT:PREFIX:MODE:WL:ARG[...]  bulk block: COUNT clones
+ *                                       named PREFIX#0..PREFIX#COUNT-1
+ *   prio=NAME:P                         priority tier (0 highest);
+ *                                       a trailing '*' prefix-matches
  *   at=SEC:NAME:WL                      trace-replay arrival
  *   group=WL:CARDS[:MIN]                partition plan (else even split)
  *
@@ -36,11 +47,19 @@
  *   serve_cluster --machine hydra-m --clusters 4 \
  *     --serve "duration=120,tenant=pool:closed:resnet18:8:0" \
  *     --cluster-faults "ckill=1@30" --json
+ *
+ * Example: the fifo-vs-cake SLO A/B over a generated 10k-tenant spec:
+ *   scripts/gen_workload.py --duration 140000 > slo.spec
+ *   serve_cluster --machine hydra-m --serve-file slo.spec --json
+ *   scripts/gen_workload.py --duration 140000 --sched cake > slo2.spec
+ *   serve_cluster --machine hydra-m --serve-file slo2.spec --json
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -111,7 +130,32 @@ main(int argc, char** argv)
             machine = next();
         else if (arg == "--serve")
             serveSpecStr = next();
-        else if (arg == "--faults")
+        else if (arg == "--serve-file") {
+            std::string path = next();
+            std::ifstream in(path);
+            if (!in)
+                fatal("--serve-file: cannot read '%s'", path.c_str());
+            std::stringstream buf;
+            buf << in.rdbuf();
+            serveSpecStr.clear();
+            // Newlines (and a trailing one) act as token separators so
+            // generated specs can be line-wrapped for readability.
+            for (char c : buf.str())
+                serveSpecStr += (c == '\n' || c == '\r') ? ',' : c;
+            while (!serveSpecStr.empty() &&
+                   serveSpecStr.back() == ',')
+                serveSpecStr.pop_back();
+            size_t lead = serveSpecStr.find_first_not_of(',');
+            serveSpecStr.erase(0, lead == std::string::npos
+                                      ? serveSpecStr.size()
+                                      : lead);
+            std::string squashed;
+            for (char c : serveSpecStr)
+                if (c != ',' || squashed.empty() ||
+                    squashed.back() != ',')
+                    squashed += c;
+            serveSpecStr = std::move(squashed);
+        } else if (arg == "--faults")
             faultSpecStr = next();
         else if (arg == "--clusters") {
             std::string v = next();

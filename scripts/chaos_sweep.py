@@ -25,6 +25,10 @@ import argparse
 import json
 import os
 import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from gen_workload import make_spec  # noqa: E402
 
 MASK = (1 << 64) - 1
 
@@ -116,13 +120,30 @@ def main():
     ap.add_argument("--machine", default="hydra-m")
     ap.add_argument("--clusters", type=int, default=4)
     ap.add_argument("--duration", type=int, default=30)
+    ap.add_argument("--sched", default="fifo",
+                    help="scheduling policy to chaos-test "
+                         "(fifo, cake, cake:W:K)")
+    ap.add_argument("--bulk", type=int, default=0,
+                    help="when > 0, sweep the gen_workload bulk shape "
+                         "with this many tenants per block instead of "
+                         "the single-pool spec")
     args = ap.parse_args()
 
     for seed in range(1, args.seeds + 1):
         plan = make_plan(seed, args.clusters, args.duration)
-        serve = ("seed=%d,duration=%d,clusters=%d,group=resnet18:8,"
-                 "tenant=pool:closed:resnet18:6:0"
-                 % (seed, args.duration, args.clusters))
+        if args.bulk > 0:
+            serve = make_spec(seed=seed, clusters=args.clusters,
+                              duration=args.duration,
+                              per_block=args.bulk)
+        else:
+            serve = ("seed=%d,duration=%d,clusters=%d,"
+                     "group=resnet18:8,"
+                     "tenant=pool:closed:resnet18:6:0"
+                     % (seed, args.duration, args.clusters))
+        # Prepending sched=fifo would be a no-op; keep the legacy spec
+        # byte-identical in that case.
+        if args.sched != "fifo":
+            serve = "sched=%s,%s" % (args.sched, serve)
         first = run_once(args.binary, args.machine, serve, plan, 4)
         check_accounting(first, plan)
         rerun = run_once(args.binary, args.machine, serve, plan, 4)

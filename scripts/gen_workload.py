@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Generate bulk ServeSpec strings for the serving simulator.
+
+The serving layer's `tenants=COUNT:PREFIX:...` bulk syntax makes
+10k-tenant specs cheap to express, but the interesting part of a large
+workload is the *shape*: closed-loop tenant blocks with staggered
+think times (so arrival phases decorrelate instead of herding), a
+small pool of long-job tenants to create head-of-line blocking, and a
+group layout that leaves the long-job class under-provisioned.  This
+script derives all of that from a handful of scale knobs and prints a
+single spec string for `serve_cluster --serve` (or `--serve-file`).
+
+Why staggered think times: a closed-loop block with think=0 and more
+clients than queue capacity respawns its entire population on the same
+tick forever; with one shared think value all blocks re-arrive in
+lockstep and the queue oscillates between empty and full.  Spreading
+blocks over [think_base, think_base + think_step * blocks) keeps the
+offered load constant without synchronized herds.
+
+The default shape (25 blocks x 400 short-job tenants + 8 long-job
+tenants on a 4-cluster hydra-m federation) is the SLO acceptance
+workload: at duration=5000 it offers ~45k requests, at duration=140000
+it offers >=1M under either scheduler.  Scale with --per-block /
+--duration; everything else is seed-deterministic in the simulator, so two invocations with the
+same arguments always produce bit-identical runs.
+
+Usage:
+  gen_workload.py --duration 5000 > spec.txt
+  serve_cluster --machine hydra-m --serve-file spec.txt --json
+"""
+
+import argparse
+
+
+def make_spec(seed=11, clusters=4, duration=5000, queue=2048,
+              requests=3000000, blocks=25, per_block=400,
+              short_model="resnet20", short_cards=1,
+              think_base=940, think_step=17,
+              long_tenants=8, long_model="resnet18", long_cards=1,
+              long_think=40,
+              groups="resnet20:2,resnet20:2,resnet18:4",
+              sched=None):
+    """Build a bulk ServeSpec string; `sched=None` keeps the spec
+    scheduler-neutral so callers can prepend `sched=...` for A/B runs
+    over an otherwise identical workload."""
+    parts = []
+    if sched:
+        parts.append("sched=%s" % sched)
+    parts.append("seed=%d" % seed)
+    parts.append("clusters=%d" % clusters)
+    parts.append("duration=%d" % duration)
+    parts.append("queue=%d" % queue)
+    parts.append("requests=%d" % requests)
+    for i in range(blocks):
+        parts.append("tenants=%d:sp%d:closed:%s:%d:%d"
+                     % (per_block, i, short_model, short_cards,
+                        think_base + think_step * i))
+    if long_tenants:
+        parts.append("tenants=%d:lp:closed:%s:%d:%d"
+                     % (long_tenants, long_model, long_cards,
+                        long_think))
+    for g in groups.split(","):
+        parts.append("group=%s" % g)
+    return ",".join(parts)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="emit a bulk ServeSpec on stdout")
+    ap.add_argument("--seed", type=int, default=11)
+    ap.add_argument("--clusters", type=int, default=4)
+    ap.add_argument("--duration", type=int, default=5000,
+                    help="virtual seconds (140000 => >=1M offered)")
+    ap.add_argument("--queue", type=int, default=2048)
+    ap.add_argument("--requests", type=int, default=3000000,
+                    help="hard cap on admitted requests")
+    ap.add_argument("--blocks", type=int, default=25,
+                    help="short-job tenant blocks (staggered thinks)")
+    ap.add_argument("--per-block", type=int, default=400,
+                    help="tenants per short-job block")
+    ap.add_argument("--short-model", default="resnet20")
+    ap.add_argument("--short-cards", type=int, default=1)
+    ap.add_argument("--think-base", type=int, default=940)
+    ap.add_argument("--think-step", type=int, default=17)
+    ap.add_argument("--long-tenants", type=int, default=8)
+    ap.add_argument("--long-model", default="resnet18")
+    ap.add_argument("--long-cards", type=int, default=1)
+    ap.add_argument("--long-think", type=int, default=40)
+    ap.add_argument("--groups",
+                    default="resnet20:2,resnet20:2,resnet18:4",
+                    help="per-cluster group layout")
+    ap.add_argument("--sched", default=None,
+                    help="prepend sched=VALUE (fifo, cake, cake:W:K)")
+    args = ap.parse_args()
+    print(make_spec(seed=args.seed, clusters=args.clusters,
+                    duration=args.duration, queue=args.queue,
+                    requests=args.requests, blocks=args.blocks,
+                    per_block=args.per_block,
+                    short_model=args.short_model,
+                    short_cards=args.short_cards,
+                    think_base=args.think_base,
+                    think_step=args.think_step,
+                    long_tenants=args.long_tenants,
+                    long_model=args.long_model,
+                    long_cards=args.long_cards,
+                    long_think=args.long_think,
+                    groups=args.groups, sched=args.sched))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""SLO regression smoke for the CAKE serving scheduler.
+
+Runs the gen_workload acceptance shape twice over the same seed --
+once under `sched=fifo`, once under `sched=cake` -- and asserts the
+properties the scheduler exists to provide:
+
+  1. both runs satisfy the serving accounting identities
+     (offered == completed + shed, etc.);
+  2. cake's p99 latency is no worse than fifo's (at acceptance scale
+     it is >= 2x better; this smoke only guards the direction so a
+     scaled-down CI run stays robust);
+  3. cake sheds no more than fifo;
+  4. cake's deficit ledger conserves exactly:
+     charged == refunded + executed (mod 2^64);
+  5. a cake rerun is bit-identical, and invariant under
+     HYDRA_THREADS=1 vs 4 (virtual time never depends on host
+     parallelism).
+
+Usage: slo_bench.py PATH/TO/serve_cluster [--duration N]
+                    [--per-block N] [--machine M] [--json OUT]
+
+The default --duration 2000 keeps the full 10k-tenant overload shape
+(so the p99 comparison is exercised under real queueing pressure) but
+holds the fifo leg to seconds of wall time; pass --duration 140000
+for the full >=1M-request acceptance comparison (the fifo leg then
+executes every job for real and takes minutes).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from gen_workload import make_spec  # noqa: E402
+
+
+def run_once(binary, machine, serve, threads=4):
+    cmd = [binary, "--machine", machine, "--serve", serve, "--json"]
+    env = dict(os.environ, HYDRA_THREADS=str(threads))
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        raise SystemExit("CRASH (exit %d):\n%s"
+                         % (proc.returncode, proc.stderr))
+    return json.loads(proc.stdout)
+
+
+def check_accounting(st, label):
+    if st["offered"] != st["completed"] + st["shed"]["total"]:
+        raise SystemExit("%s: offered %d != completed %d + shed %d"
+                         % (label, st["offered"], st["completed"],
+                            st["shed"]["total"]))
+    fed = st["federation"]
+    if st["admitted"] != st["completed"] + fed["shed_after_admit"]:
+        raise SystemExit("%s: admitted %d != completed %d "
+                         "+ shed_after_admit %d"
+                         % (label, st["admitted"], st["completed"],
+                            fed["shed_after_admit"]))
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("binary", help="path to the serve_cluster binary")
+    ap.add_argument("--machine", default="hydra-m")
+    ap.add_argument("--duration", type=int, default=2000)
+    ap.add_argument("--per-block", type=int, default=400)
+    ap.add_argument("--json", default=None,
+                    help="write the A/B summary to this path")
+    args = ap.parse_args()
+
+    base = make_spec(duration=args.duration,
+                     per_block=args.per_block)
+    fifo = run_once(args.binary, args.machine, "sched=fifo," + base)
+    cake = run_once(args.binary, args.machine, "sched=cake," + base)
+    check_accounting(fifo, "fifo")
+    check_accounting(cake, "cake")
+
+    f99 = fifo["latency_ms"]["p99"]
+    c99 = cake["latency_ms"]["p99"]
+    if c99 > f99:
+        raise SystemExit("SLO regression: cake p99 %.1f ms > fifo "
+                         "p99 %.1f ms" % (c99, f99))
+    if cake["shed"]["total"] > fifo["shed"]["total"]:
+        raise SystemExit("SLO regression: cake shed %d > fifo shed %d"
+                         % (cake["shed"]["total"],
+                            fifo["shed"]["total"]))
+
+    k = cake["cake"]
+    if k["charged_ticks"] != (k["refunded_ticks"] +
+                              k["executed_ticks"]) % (1 << 64):
+        raise SystemExit("deficit ledger broken: charged %d != "
+                         "refunded %d + executed %d (mod 2^64)"
+                         % (k["charged_ticks"], k["refunded_ticks"],
+                            k["executed_ticks"]))
+
+    rerun = run_once(args.binary, args.machine, "sched=cake," + base)
+    if cake["hash"] != rerun["hash"]:
+        raise SystemExit("cake rerun hash diverged: %s vs %s"
+                         % (cake["hash"], rerun["hash"]))
+    serial = run_once(args.binary, args.machine, "sched=cake," + base,
+                      threads=1)
+    if cake["hash"] != serial["hash"]:
+        raise SystemExit("HYDRA_THREADS=1 vs 4 hash diverged: %s vs %s"
+                         % (cake["hash"], serial["hash"]))
+
+    summary = {
+        "duration_s": args.duration,
+        "tenants": 25 * args.per_block + 8,
+        "fifo": {"offered": fifo["offered"],
+                 "completed": fifo["completed"],
+                 "shed": fifo["shed"]["total"],
+                 "p50_ms": fifo["latency_ms"]["p50"],
+                 "p99_ms": f99,
+                 "hash": fifo["hash"]},
+        "cake": {"offered": cake["offered"],
+                 "completed": cake["completed"],
+                 "shed": cake["shed"]["total"],
+                 "p50_ms": cake["latency_ms"]["p50"],
+                 "p99_ms": c99,
+                 "preemptions": k["preemptions"],
+                 "steals": k["steals"],
+                 "kicks": k["kicks"],
+                 "hash": cake["hash"]},
+        "p99_improvement": f99 / c99 if c99 > 0 else 0.0,
+    }
+    if args.json:
+        with open(args.json, "w") as out:
+            json.dump(summary, out, indent=1)
+    print("slo bench ok: fifo p99 %.1f ms -> cake p99 %.1f ms "
+          "(%.2fx), shed %d -> %d, cake hash %s stable"
+          % (f99, c99, summary["p99_improvement"],
+             fifo["shed"]["total"], cake["shed"]["total"],
+             cake["hash"]))
+
+
+if __name__ == "__main__":
+    main()

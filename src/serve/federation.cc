@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "common/logging.hh"
+#include "serve/cake.hh"
+#include "serve/jobcache.hh"
 #include "serve/workload_gen.hh"
 #include "workloads/model.hh"
 
@@ -55,7 +58,8 @@ struct JobOutcome
     std::vector<Tick> stepEnds;
 };
 
-/** An in-flight job; erased on completion or cluster-kill abort. */
+/** An in-flight job; erased on completion, cluster-kill abort, or a
+ *  cake step-boundary preemption. */
 struct JobRecord
 {
     Request req;
@@ -63,6 +67,14 @@ struct JobRecord
     size_t group = 0; // cluster-local group id
     Tick start = 0;
     JobOutcome out;
+
+    // Cake-scheduler state (unused on the fifo path).
+    /** Deficit-ledger weight this dispatch was charged at. */
+    uint64_t weight = 1;
+    /** Absolute tick of the next armed slice check (0 = none). */
+    Tick sliceEnd = 0;
+    /** Steps of this dispatch's window complete at sliceEnd. */
+    size_t sliceSteps = 0;
 };
 
 /** An in-flight half-open canary probe. */
@@ -126,6 +138,20 @@ struct Engine
     std::map<uint64_t, ProbeRecord> probes;
     uint64_t nextToken = 1;
 
+    // Cake-scheduler state (null on the fifo path, which must stay
+    // bit-identical to its pre-scheduler behaviour).
+    bool cakeOn = false;
+    size_t groupsPer = 0; // shards per cluster (identical machines)
+    std::unique_ptr<DeficitLedger> ledger;
+    std::unique_ptr<CakeQueue> crq;
+    JobCache jobCache;
+    /** Ticks actually executed, weighted like the ledger's charges:
+     *  chargedTicks == refundedTicks + executedTicks, mod 2^64. */
+    uint64_t executedTicks = 0;
+    /** Lower bound on the earliest queued arrival: the starvation
+     *  sweep runs only once `now` passes bound + kick. */
+    Tick minArrivalBound = ~Tick{0};
+
     ServeStats stats;
     Tick lastActivity = 0;
     Tick lastDepthTick = 0;
@@ -152,9 +178,20 @@ struct Engine
         stats.tenants.resize(serve.tenants.size());
         for (size_t i = 0; i < serve.tenants.size(); ++i)
             stats.tenants[i].name = serve.tenants[i].name;
+        if (serve.sched == SchedPolicy::Cake) {
+            cakeOn = true;
+            stats.sched = schedPolicyName(serve.sched);
+            groupsPer = clusters.front().fleet.groups().size();
+            ledger = std::make_unique<DeficitLedger>(serve);
+            crq = std::make_unique<CakeQueue>(
+                clusters.size() * groupsPer, serve.queueCapacity);
+        }
     }
 
     TenantStats& tenant(const Request& r) { return stats.tenants[r.tenant]; }
+
+    /** Queued-request count under the active policy. */
+    size_t qdepth() const { return cakeOn ? crq->depth() : queue.depth(); }
 
     /** Fold queue depth into the time-weighted integral; call before
      *  any mutation of the queue at the current tick. */
@@ -162,9 +199,132 @@ struct Engine
     noteDepth()
     {
         Tick now = eq.now();
-        depthAcc += static_cast<double>(queue.depth()) *
+        depthAcc += static_cast<double>(qdepth()) *
                     static_cast<double>(now - lastDepthTick);
         lastDepthTick = now;
+    }
+
+    /** Shard id of a (cluster, cluster-local group) pair. */
+    size_t sid(size_t cluster, size_t group) const
+    {
+        return cluster * groupsPer + group;
+    }
+
+    /** Routable cluster: can hold queued work / accept admissions
+     *  (quarantined clusters count — probes may heal them). */
+    bool
+    clusterAlive(const ClusterRt& cl) const
+    {
+        return !cl.killed && !health.dead(cl.id);
+    }
+
+    /** Cake servability: any live group of any alive cluster can run
+     *  any workload (runJob is model-parameterized), so a class loses
+     *  its route only when the whole federation has none. */
+    bool
+    anyLiveGroup() const
+    {
+        for (const auto& cl : clusters) {
+            if (!clusterAlive(cl))
+                continue;
+            for (const auto& g : cl.fleet.groups())
+                if (g.live())
+                    return true;
+        }
+        return false;
+    }
+
+    /**
+     * Admission routing: shallowest shard among the live groups that
+     * natively serve `r`'s class, falling back to any live group when
+     * the class has no native group left (cross-class serving).
+     * Returns the shard count when nothing is routable.
+     */
+    size_t
+    pickShard(const Request& r) const
+    {
+        size_t best = clusters.size() * groupsPer;
+        size_t bestDepth = 0;
+        for (int pass = 0; pass < 2; ++pass) {
+            for (const auto& cl : clusters) {
+                if (!clusterAlive(cl))
+                    continue;
+                for (const auto& g : cl.fleet.groups()) {
+                    if (!g.live())
+                        continue;
+                    if (pass == 0 && g.workload != r.workload)
+                        continue;
+                    size_t s = sid(cl.id, g.id);
+                    size_t d = crq->shardDepth(s);
+                    if (best == clusters.size() * groupsPer ||
+                        d < bestDepth) {
+                        best = s;
+                        bestDepth = d;
+                    }
+                }
+            }
+            if (best != clusters.size() * groupsPer)
+                break; // native pass found a home
+        }
+        return best;
+    }
+
+    /** Unconditional re-admission of already-admitted work (preempt
+     *  remainders, failovers): bypasses the capacity gate, like the
+     *  fifo path's AdmissionQueue::requeue. */
+    void
+    requeueAdmitted(const Request& r)
+    {
+        if (!cakeOn) {
+            queue.requeue(r);
+            return;
+        }
+        size_t s = pickShard(r);
+        crq->push(s, r);
+        minArrivalBound = std::min(minArrivalBound, r.arrival);
+    }
+
+    /** Re-route queued work stranded on the shard of a dissolved
+     *  group or a dead/killed cluster; sheds only when the whole
+     *  federation has no live group left. */
+    void
+    rerouteDeadShards()
+    {
+        for (auto& cl : clusters) {
+            bool clusterOk = clusterAlive(cl);
+            for (auto& g : cl.fleet.groups()) {
+                size_t s = sid(cl.id, g.id);
+                if ((clusterOk && g.live()) || !crq->shardDepth(s))
+                    continue;
+                noteDepth();
+                for (const auto& r : crq->drainShard(s)) {
+                    size_t to = pickShard(r);
+                    if (to == clusters.size() * groupsPer)
+                        shedAdmitted(r);
+                    else
+                        crq->push(to, r);
+                }
+            }
+        }
+    }
+
+    /** Starvation sweep: mark queued requests older than the kick cap
+     *  so they outrank every tier and deficit at the next dispatch.
+     *  Gated on a lower arrival bound, so runs where work is served
+     *  within its budget never pay for the scan. */
+    void
+    markKicks()
+    {
+        Tick now = eq.now();
+        Tick kick = serve.kickTicks();
+        if (!crq->depth() || minArrivalBound > now ||
+            now - minArrivalBound < kick)
+            return;
+        minArrivalBound =
+            crq->kickStarved(now, kick, [this](const Request& r) {
+                ++stats.kicks;
+                ++tenant(r).kicks;
+            });
     }
 
     /** Any cluster that could (now or after healing) serve `wl`:
@@ -178,6 +338,14 @@ struct Engine
                 cl.fleet.servable(wl))
                 return true;
         return false;
+    }
+
+    /** Policy-aware servability: fifo needs a native group for the
+     *  class; cake serves any class on any live group. */
+    bool
+    servable(size_t wl) const
+    {
+        return cakeOn ? anyLiveGroup() : servableAnywhere(wl);
     }
 
     void
@@ -220,10 +388,21 @@ struct Engine
     }
 
     /** Shed queued work of every workload class that lost its last
-     *  possible route (all serving clusters dead). */
+     *  possible route (all serving clusters dead).  Cake instead
+     *  re-routes stranded shards first — work sheds only when the
+     *  whole federation has no live group. */
     void
     flushUnservable()
     {
+        if (cakeOn) {
+            rerouteDeadShards();
+            if (!anyLiveGroup() && crq->depth()) {
+                noteDepth();
+                for (const auto& r : crq->drainAll())
+                    shedAdmitted(r);
+            }
+            return;
+        }
         for (size_t wl = 0; wl < wlNames.size(); ++wl) {
             if (queue.depthFor(wl) == 0 || servableAnywhere(wl))
                 continue;
@@ -251,7 +430,11 @@ struct Engine
         if (action == FleetPartition::DeathAction::Dissolved ||
             action == FleetPartition::DeathAction::Donated)
             ++stats.repartitions;
-        if (!servableAnywhere(wl)) {
+        if (cakeOn) {
+            // A dissolved group strands its shard; its work re-routes
+            // (or sheds, if the federation has no live group left).
+            rerouteDeadShards();
+        } else if (!servableAnywhere(wl)) {
             noteDepth();
             for (const auto& r : queue.drainWorkload(wl))
                 shedAdmitted(r);
@@ -281,22 +464,26 @@ struct Engine
         lastActivity = std::max(lastActivity, now);
         ++stats.offered;
         ++tenant(r).offered;
-        if (!servableAnywhere(r.workload)) {
+        if (!servable(r.workload)) {
             shedNew(r, RejectReason::NoCapacity);
             respawnClosed(r);
             return;
         }
-        if (queue.full()) {
+        if (cakeOn ? crq->full() : queue.full()) {
             shedNew(r, RejectReason::QueueFull);
             respawnClosed(r);
             return;
         }
         noteDepth();
-        queue.offer(r);
+        if (cakeOn) {
+            crq->push(pickShard(r), r);
+            minArrivalBound = std::min(minArrivalBound, r.arrival);
+        } else {
+            queue.offer(r);
+        }
         ++stats.admitted;
         ++tenant(r).admitted;
-        stats.maxQueueDepth =
-            std::max(stats.maxQueueDepth, queue.depth());
+        stats.maxQueueDepth = std::max(stats.maxQueueDepth, qdepth());
         dispatchIdle();
     }
 
@@ -305,6 +492,10 @@ struct Engine
     void
     dispatchIdle()
     {
+        if (cakeOn) {
+            dispatchIdleCake();
+            return;
+        }
         for (bool progress = true; progress;) {
             progress = false;
             for (ClusterHealth rank :
@@ -321,6 +512,46 @@ struct Engine
                         if (!r)
                             continue;
                         startJob(cl, g, *r);
+                        progress = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /** Cake dispatch: each idle group pops the best-ranked request of
+     *  its own shard, then steals from the deepest shard anywhere in
+     *  the federation (capacity follows demand, across workload
+     *  classes and clusters).  Same health gating as the fifo path. */
+    void
+    dispatchIdleCake()
+    {
+        markKicks();
+        for (bool progress = true; progress;) {
+            progress = false;
+            for (ClusterHealth rank :
+                 {ClusterHealth::Healthy, ClusterHealth::Degraded}) {
+                for (auto& cl : clusters) {
+                    if (health.state(cl.id) != rank)
+                        continue;
+                    for (auto& g : cl.fleet.groups()) {
+                        if (!g.live() || g.busy)
+                            continue;
+                        size_t s = sid(cl.id, g.id);
+                        noteDepth();
+                        size_t victim = s;
+                        auto r = crq->popBest(s, *ledger);
+                        if (!r)
+                            r = crq->steal(s, *ledger, &victim);
+                        if (!r)
+                            continue;
+                        if (victim != s) {
+                            ++stats.steals;
+                            ++tenant(*r).steals;
+                            if (victim / groupsPer != cl.id)
+                                ++stats.stealsCross;
+                        }
+                        startJobCake(cl, g, *r);
                         progress = true;
                     }
                 }
@@ -368,6 +599,145 @@ struct Engine
     }
 
     /**
+     * Cake dispatch of one request on one group: cross-class (the job
+     * runs the REQUEST's model on the group's cards), deficit-charged
+     * at dispatch, cache-accelerated on fault-free clusters, and
+     * sliceable at step boundaries (DESIGN.md §14).
+     */
+    void
+    startJobCake(ClusterRt& cl, ServeGroup& g, Request r)
+    {
+        Tick now = eq.now();
+        if (r.executed == 0) {
+            r.firstDispatch = now;
+            stats.maxWaitTicks =
+                std::max(stats.maxWaitTicks, now - r.arrival);
+        } else {
+            ++stats.preemptResumes;
+        }
+        r.dispatched = now;
+        servedPerTenant[r.tenant] += r.spilled ? 2 : 1;
+        if (r.spilled)
+            ++stats.spilled;
+        g.busy = true;
+        const WorkloadModel& m = models[r.workload];
+        size_t total = m.steps.size();
+        size_t first = std::min(r.firstStep, total);
+        uint64_t weight = r.spilled ? 2 : 1;
+
+        uint64_t id = nextToken++;
+        JobRecord& jr = inflight[id];
+        jr.req = r;
+        jr.cluster = cl.id;
+        jr.group = g.id;
+        jr.start = now;
+        jr.weight = weight;
+
+        // Fault-free clusters replay memoized windows (runJob is
+        // start-invariant there, see serve/jobcache.hh); any cluster
+        // with local fault injection always executes for real.
+        const bool faultFree = cl.faults.empty();
+        std::vector<Tick> rel; // window-relative step ends
+        const CachedJob* hit =
+            faultFree ? jobCache.lookup(r.workload, g.cards.cards,
+                                        first, total - first)
+                      : nullptr;
+        if (hit) {
+            jr.out.ok = hit->ok;
+            jr.out.span = hit->span;
+            rel = hit->stepEnds;
+        } else {
+            InferenceResult res =
+                runner.runJob(m, g.cards, now, cl.faults, retry, first,
+                              total - first);
+            jr.out.ok = res.ok();
+            jr.out.span = res.total.makespan;
+            jr.out.failedCards = res.failedCards;
+            jr.out.redispatches = res.redispatches;
+            jr.out.recoveryPenalty = res.recoveryPenalty;
+            jr.out.timedOut = res.total.timedOutTransfers;
+            rel = res.stepEnds;
+            if (faultFree)
+                jobCache.insert(r.workload, g.cards.cards, first,
+                                total - first, res);
+        }
+        jr.out.stepEnds.reserve(rel.size());
+        for (Tick t : rel)
+            jr.out.stepEnds.push_back(now + t);
+
+        ledger->charge(r.tenant, jr.out.span, weight);
+        // Step-boundary preemption arms only on fault-free clusters:
+        // slicing discards the tail of the dispatched window, which
+        // would silently discard tail-resident fault effects.
+        if (faultFree)
+            armSlice(id, now);
+        eq.schedule(now + jr.out.span, [this, id] { onComplete(id); });
+    }
+
+    /** Arm the next slice check of job `id`: the first step boundary
+     *  at least one wait budget past `from` that still leaves a step
+     *  after it.  No-op when no such boundary exists (short jobs run
+     *  whole). */
+    void
+    armSlice(uint64_t id, Tick from)
+    {
+        JobRecord& jr = inflight[id];
+        Tick quantum = serve.waitBudgetTicks(0);
+        const auto& ends = jr.out.stepEnds;
+        for (size_t k = 0; k + 1 < ends.size(); ++k) {
+            if (ends[k] < from + quantum)
+                continue;
+            jr.sliceEnd = ends[k];
+            jr.sliceSteps = k + 1;
+            eq.schedule(ends[k], [this, id] { onSliceCheck(id); });
+            return;
+        }
+        jr.sliceEnd = 0;
+    }
+
+    /** Slice checkpoint: with work queued, preempt here — the group
+     *  frees, the remainder requeues from this step boundary with its
+     *  unrun span refunded; with nothing queued, re-arm one budget
+     *  further out and let the job run. */
+    void
+    onSliceCheck(uint64_t id)
+    {
+        auto it = inflight.find(id);
+        if (it == inflight.end() || it->second.sliceEnd != eq.now())
+            return; // completed, aborted, or stale
+        if (crq->depth() == 0) {
+            armSlice(id, eq.now());
+            return;
+        }
+        JobRecord jr = std::move(it->second);
+        inflight.erase(it);
+        Tick now = eq.now();
+        lastActivity = std::max(lastActivity, now);
+        ClusterRt& cl = clusters[jr.cluster];
+        ServeGroup& g = cl.fleet.groups()[jr.group];
+        g.busy = false;
+        Tick ran = now - jr.start;
+        g.busyTicks += ran;
+        executedTicks += ran * jr.weight;
+        ledger->refund(jr.req.tenant, jr.out.span - ran, jr.weight);
+        ++stats.preemptions;
+        ++tenant(jr.req).preemptions;
+
+        Request r = jr.req;
+        r.executed += ran;
+        size_t total = models[r.workload].steps.size();
+        r.firstStep = std::min(r.firstStep + jr.sliceSteps, total);
+        noteDepth();
+        requeueAdmitted(r);
+        stats.maxQueueDepth = std::max(stats.maxQueueDepth, qdepth());
+        if (cl.probePending) {
+            cl.probePending = false;
+            launchProbe(cl.id);
+        }
+        dispatchIdle();
+    }
+
+    /**
      * Re-queue already-admitted work that lost its job (cluster kill
      * or terminal failure), resuming from its checkpoint: `done` steps
      * completed since `req.firstStep` are conserved.  Sheds instead
@@ -380,7 +750,7 @@ struct Engine
         size_t total = models[r.workload].steps.size();
         r.firstStep = std::min(r.firstStep + done, total);
         if (r.failovers >= kFailoverBudget ||
-            !servableAnywhere(r.workload)) {
+            !servable(r.workload)) {
             shedAdmitted(r);
             return;
         }
@@ -391,9 +761,8 @@ struct Engine
         if (r.firstStep < total)
             ++stats.replayedSteps; // the interrupted step re-runs
         noteDepth();
-        queue.requeue(r);
-        stats.maxQueueDepth =
-            std::max(stats.maxQueueDepth, queue.depth());
+        requeueAdmitted(r);
+        stats.maxQueueDepth = std::max(stats.maxQueueDepth, qdepth());
     }
 
     void
@@ -419,14 +788,25 @@ struct Engine
                         !jr.out.failedCards.empty();
         if (health.recordOutcome(cl.id, jr.out.ok, strained, now))
             scheduleBreakerProbe(cl.id);
+        if (cakeOn)
+            executedTicks += jr.out.span * jr.weight;
         if (jr.out.ok) {
             ++g.completed;
             ++cl.completed;
             ++stats.completed;
             ++tenant(jr.req).completed;
             stats.latency.add(now - jr.req.arrival);
-            stats.queueWait.add(jr.req.dispatched - jr.req.arrival);
-            stats.service.add(now - jr.req.dispatched);
+            if (cakeOn) {
+                // Under preemption `dispatched` is per-slice: queue
+                // wait is to the FIRST dispatch, service is the sum
+                // of every slice actually executed.
+                stats.queueWait.add(jr.req.firstDispatch -
+                                    jr.req.arrival);
+                stats.service.add(jr.req.executed + jr.out.span);
+            } else {
+                stats.queueWait.add(jr.req.dispatched - jr.req.arrival);
+                stats.service.add(now - jr.req.dispatched);
+            }
             respawnClosed(jr.req);
         } else {
             // Terminal job failure: conserve the steps this attempt
@@ -499,6 +879,16 @@ struct Engine
             Tick lastEnd = k ? jr.out.stepEnds[k - 1] : jr.start;
             stats.recoveryPenalty += now - lastEnd;
             cl.fleet.groups()[jr.group].busyTicks += now - jr.start;
+            if (cakeOn) {
+                // Settle the dispatch's charge: the ticks it ran are
+                // executed, the unrun tail refunds (the failover's
+                // re-dispatch recharges the remainder).
+                Tick ran = now - jr.start;
+                executedTicks += ran * jr.weight;
+                ledger->refund(jr.req.tenant, jr.out.span - ran,
+                               jr.weight);
+                jr.req.executed += ran;
+            }
             failoverOrShed(jr.req, k);
         }
         flushUnservable();
@@ -618,9 +1008,9 @@ struct Engine
     {
         StallReport rep;
         rep.tick = eq.now();
-        rep.queuedRequests = queue.depth();
+        rep.queuedRequests = qdepth();
         for (size_t wl = 0; wl < wlNames.size(); ++wl) {
-            size_t d = queue.depthFor(wl);
+            size_t d = cakeOn ? crq->depthFor(wl) : queue.depthFor(wl);
             if (d)
                 rep.depths.push_back({wlNames[wl], d});
         }
@@ -634,7 +1024,8 @@ struct Engine
             }
             rep.clusters.push_back(line);
         }
-        if (const Request* o = queue.oldest()) {
+        if (const Request* o = cakeOn ? crq->oldest()
+                                      : queue.oldest()) {
             rep.oldestRequestId = o->id;
             rep.oldestTenant = serve.tenants[o->tenant].name;
             rep.oldestAge = rep.tick - o->arrival;
@@ -666,18 +1057,19 @@ struct Engine
         // requests are still queued — every route is quarantined (with
         // probing disabled) or gone.  Report and shed rather than
         // wedge; no respawn (the run is over).
-        if (queue.depth() > 0) {
+        if (qdepth() > 0) {
             StallReport rep = buildStallReport();
             stats.stalled = true;
             stats.stallReport = rep.describe();
             noteDepth();
-            for (const auto& r : queue.drainAll())
+            for (const auto& r :
+                 cakeOn ? crq->drainAll() : queue.drainAll())
                 shedAdmitted(r, /*respawn=*/false);
         }
 
         stats.horizon = std::max(serve.durationTicks(), lastActivity);
         if (stats.horizon > lastDepthTick)
-            depthAcc += static_cast<double>(queue.depth()) *
+            depthAcc += static_cast<double>(qdepth()) *
                         static_cast<double>(stats.horizon -
                                             lastDepthTick);
         stats.meanQueueDepth =
@@ -685,6 +1077,19 @@ struct Engine
                 ? depthAcc / static_cast<double>(stats.horizon)
                 : 0.0;
         stats.healthTransitions = health.transitions();
+        if (cakeOn) {
+            stats.demotions = ledger->demotions();
+            stats.promotions = ledger->promotions();
+            stats.chargedTicks = ledger->chargedTicks();
+            stats.refundedTicks = ledger->refundedTicks();
+            stats.executedTicks = executedTicks;
+            stats.jobCacheHits = jobCache.hits();
+            stats.jobCacheMisses = jobCache.misses();
+            for (size_t t = 0; t < stats.tenants.size(); ++t) {
+                stats.tenants[t].deficitTicks = ledger->deficit(t);
+                stats.tenants[t].demotions = ledger->demotionsOf(t);
+            }
+        }
         for (const auto& cl : clusters) {
             for (const auto& g : cl.fleet.groups()) {
                 GroupStats gs;

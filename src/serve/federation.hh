@@ -41,6 +41,14 @@
  * a structured StallReport (queue depths, per-cluster health, oldest
  * pending request) and sheds the stuck work, keeping the accounting
  * identity admitted == completed + shedAfterAdmit exact.
+ *
+ * Scheduling policy (`sched=fifo|cake`, serve/cake.hh, DESIGN.md
+ * §14): fifo keeps the legacy admission order above with bit-stable
+ * stats hashes; cake swaps in per-tenant deficit accounting,
+ * step-boundary preemption (fault-free clusters only, unrun tail
+ * deficit-refunded), wait-budget AQM tier demotion plus a starvation
+ * kick, and per-(cluster, group) run-queue shards with work stealing
+ * across groups and clusters.
  */
 
 #ifndef HYDRA_SERVE_FEDERATION_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fault-free job-result cache for the serving engine.
+ *
+ * With an empty cluster-local FaultPlan, InferenceRunner::runJob is a
+ * pure function of (workload, card set, step window): the executor's
+ * time origin only shifts event timestamps, so the span and step
+ * boundaries are start-invariant (pinned by RunnerJobs.
+ * AlignedGroupMatchesWholeMachine).  Million-request serving runs
+ * re-execute the same handful of (workload, group) jobs, so the
+ * engine caches the outcome and replays it in O(1) — the same spans,
+ * bit for bit, as real execution.  Any cluster whose local plan
+ * injects anything at all (rates, stragglers, kills) bypasses the
+ * cache, keeping the PR 5 guarantee that absolute-tick faults land in
+ * real executions.
+ */
+
+#ifndef HYDRA_SERVE_JOBCACHE_HH
+#define HYDRA_SERVE_JOBCACHE_HH
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "sched/runner.hh"
+
+namespace hydra {
+
+/** Memoized outcome of one fault-free runJob window. */
+struct CachedJob
+{
+    bool ok = true;
+    Tick span = 0;
+    /** Step-boundary offsets from the job's start (runJob semantics). */
+    std::vector<Tick> stepEnds;
+};
+
+/** Per-run cache of fault-free job windows. */
+class JobCache
+{
+  public:
+    /** Cached result for (workload, cards, window), or nullptr. */
+    const CachedJob*
+    lookup(size_t workload, const std::vector<size_t>& cards,
+           size_t first_step, size_t num_steps) const
+    {
+        auto it = map_.find(keyOf(workload, cards, first_step,
+                                  num_steps));
+        if (it == map_.end()) {
+            ++misses_;
+            return nullptr;
+        }
+        ++hits_;
+        return &it->second;
+    }
+
+    void
+    insert(size_t workload, const std::vector<size_t>& cards,
+           size_t first_step, size_t num_steps, const InferenceResult& r)
+    {
+        CachedJob c;
+        c.ok = r.ok();
+        c.span = r.total.makespan;
+        c.stepEnds = r.stepEnds;
+        map_.emplace(keyOf(workload, cards, first_step, num_steps),
+                     std::move(c));
+    }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    /** (workload, first, count, FNV-1a card signature).  The card set
+     *  is folded by content, so shrunken groups never alias their
+     *  pre-repair selves. */
+    using Key = std::tuple<size_t, size_t, size_t, uint64_t>;
+
+    static Key
+    keyOf(size_t workload, const std::vector<size_t>& cards,
+          size_t first_step, size_t num_steps)
+    {
+        uint64_t h = 0xcbf29ce484222325ULL;
+        auto fold = [&h](uint64_t v) {
+            for (size_t i = 0; i < sizeof(v); ++i) {
+                h ^= (v >> (i * 8)) & 0xff;
+                h *= 0x100000001b3ULL;
+            }
+        };
+        fold(cards.size());
+        for (size_t c : cards)
+            fold(c);
+        return {workload, first_step, num_steps, h};
+    }
+
+    std::map<Key, CachedJob> map_;
+    mutable uint64_t hits_ = 0;
+    mutable uint64_t misses_ = 0;
+};
+
+} // namespace hydra
+
+#endif // HYDRA_SERVE_JOBCACHE_HH

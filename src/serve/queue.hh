@@ -8,6 +8,11 @@
  * requests a group can serve, the highest priority tier first, then
  * the tenant with the fewest dispatches so far (fairness counter),
  * then FIFO arrival order.
+ *
+ * This is the `sched=fifo` (default) admission path.  Under
+ * `sched=cake` the federation bypasses this queue's dispatch order
+ * for the sharded, deficit-ranked CakeQueue (serve/cake.hh); the
+ * shed-on-full capacity contract is shared by both policies.
  */
 
 #ifndef HYDRA_SERVE_QUEUE_HH

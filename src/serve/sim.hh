@@ -8,7 +8,9 @@
  * (priority + tenant fairness, shed on full) -> fleet partition (one
  * idle card group per workload class picks the next request) ->
  * InferenceRunner::runJob on the group's cards -> ServeStats roll-up
- * (throughput, utilization, p50/p95/p99 latency).
+ * (throughput, utilization, p50/p95/p99 latency).  `sched=cake`
+ * replaces the FIFO admission order with the deficit scheduler of
+ * serve/cake.hh (preemption, AQM, work stealing — DESIGN.md §14).
  *
  * Clock composition: the serve clock is absolute virtual time.  Jobs
  * dispatched at t0 run with the cluster executor's time origin set to

@@ -22,6 +22,18 @@ arrivalModeName(ArrivalMode m)
     return "?";
 }
 
+const char*
+schedPolicyName(SchedPolicy p)
+{
+    switch (p) {
+    case SchedPolicy::Fifo:
+        return "fifo";
+    case SchedPolicy::Cake:
+        return "cake";
+    }
+    return "?";
+}
+
 namespace {
 
 /** Split `s` on `sep` (no empty-field collapsing). */
@@ -86,46 +98,112 @@ ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
         } else if (key == "requests") {
             if (!parseU64(val, parsed.maxRequests))
                 return fail("requests wants an unsigned cap", val);
-        } else if (key == "tenant") {
+        } else if (key == "sched") {
             auto f = splitOn(val, ':');
-            if (f.size() < 4)
+            if (f[0] == "fifo") {
+                if (f.size() != 1)
+                    return fail("sched=fifo takes no parameters", val);
+                parsed.sched = SchedPolicy::Fifo;
+            } else if (f[0] == "cake") {
+                parsed.sched = SchedPolicy::Cake;
+                if (f.size() > 3)
+                    return fail("sched wants cake[:WAIT_S[:KICK_S]]",
+                                val);
+                if (f.size() > 1 &&
+                    (!parseF64(f[1], parsed.waitBudgetSeconds) ||
+                     parsed.waitBudgetSeconds <= 0))
+                    return fail("cake wait budget wants seconds > 0",
+                                f[1]);
+                if (f.size() > 2 &&
+                    (!parseF64(f[2], parsed.kickSeconds) ||
+                     parsed.kickSeconds <= 0))
+                    return fail("cake kick cap wants seconds > 0",
+                                f[2]);
+            } else {
+                return fail("sched policy must be fifo|cake", f[0]);
+            }
+        } else if (key == "tenant" || key == "tenants") {
+            auto f = splitOn(val, ':');
+            size_t count = 1;
+            size_t base = 0;
+            if (key == "tenants") {
+                if (f.size() < 5)
+                    return fail(
+                        "tenants wants COUNT:PREFIX:MODE:WL:ARG[...]",
+                        val);
+                if (!parseSize(f[0], count) || count == 0)
+                    return fail("tenants wants a count >= 1", f[0]);
+                if (count > 1000000)
+                    return fail("tenants count capped at 1000000",
+                                f[0]);
+                base = 1;
+            } else if (f.size() < 4) {
                 return fail("tenant wants NAME:MODE:WL:ARG[...]", val);
+            }
             TenantSpec t;
-            t.name = f[0];
-            t.workload = f[2];
+            t.name = f[base + 0];
+            t.workload = f[base + 2];
             if (t.name.empty() || t.workload.empty())
                 return fail("tenant wants non-empty NAME and WL", val);
-            if (f[1] == "open") {
+            if (f[base + 1] == "open") {
                 t.mode = ArrivalMode::Open;
-                if (!parseF64(f[3], t.rate) || t.rate <= 0)
-                    return fail("open-loop rate must be > 0", f[3]);
-            } else if (f[1] == "closed") {
+                if (!parseF64(f[base + 3], t.rate) || t.rate <= 0)
+                    return fail("open-loop rate must be > 0",
+                                f[base + 3]);
+            } else if (f[base + 1] == "closed") {
                 t.mode = ArrivalMode::Closed;
-                if (!parseSize(f[3], t.clients) || t.clients == 0)
-                    return fail("closed loop wants >= 1 client", f[3]);
-                if (f.size() > 4 &&
-                    (!parseF64(f[4], t.thinkSeconds) ||
+                if (!parseSize(f[base + 3], t.clients) ||
+                    t.clients == 0)
+                    return fail("closed loop wants >= 1 client",
+                                f[base + 3]);
+                if (f.size() > base + 4 &&
+                    (!parseF64(f[base + 4], t.thinkSeconds) ||
                      t.thinkSeconds < 0))
-                    return fail("think time wants seconds >= 0", f[4]);
+                    return fail("think time wants seconds >= 0",
+                                f[base + 4]);
             } else {
-                return fail("tenant mode must be open|closed", f[1]);
+                return fail("tenant mode must be open|closed",
+                            f[base + 1]);
             }
-            if (findTenant(parsed.tenants, t.name))
-                return fail("duplicate tenant", t.name);
-            parsed.tenants.push_back(std::move(t));
+            if (key == "tenant") {
+                if (findTenant(parsed.tenants, t.name))
+                    return fail("duplicate tenant", t.name);
+                parsed.tenants.push_back(std::move(t));
+            } else {
+                // Bulk expansion: COUNT clones named PREFIX#i, all
+                // sharing the template's mode/workload/rate.
+                for (size_t i = 0; i < count; ++i) {
+                    TenantSpec ti = t;
+                    ti.name = strf("%s#%zu", t.name.c_str(), i);
+                    if (findTenant(parsed.tenants, ti.name))
+                        return fail("duplicate tenant", ti.name);
+                    parsed.tenants.push_back(std::move(ti));
+                }
+            }
         } else if (key == "prio") {
             auto f = splitOn(val, ':');
             if (f.size() != 2)
                 return fail("prio wants NAME:P", val);
-            TenantSpec* t = findTenant(parsed.tenants, f[0]);
-            if (!t)
-                return fail("prio names an undeclared tenant "
-                            "(declare it first)",
-                            f[0]);
             double p = 0;
             if (!parseF64(f[1], p) || p != static_cast<int>(p))
                 return fail("prio wants an integer tier", f[1]);
-            t->priority = static_cast<int>(p);
+            // A trailing '*' prefix-matches (bulk tenants= blocks).
+            size_t matched = 0;
+            if (!f[0].empty() && f[0].back() == '*') {
+                std::string prefix = f[0].substr(0, f[0].size() - 1);
+                for (auto& t : parsed.tenants)
+                    if (t.name.compare(0, prefix.size(), prefix) == 0) {
+                        t.priority = static_cast<int>(p);
+                        ++matched;
+                    }
+            } else if (TenantSpec* t = findTenant(parsed.tenants, f[0])) {
+                t->priority = static_cast<int>(p);
+                ++matched;
+            }
+            if (!matched)
+                return fail("prio names an undeclared tenant "
+                            "(declare it first)",
+                            f[0]);
         } else if (key == "at") {
             auto f = splitOn(val, ':');
             if (f.size() != 3)
@@ -156,7 +234,8 @@ ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
             parsed.groups.push_back(std::move(g));
         } else {
             return fail("unknown serve spec key (want seed/clusters/"
-                        "duration/queue/requests/tenant/prio/at/group)",
+                        "duration/queue/requests/sched/tenant/tenants/"
+                        "prio/at/group)",
                         key);
         }
     }
@@ -165,6 +244,9 @@ ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
                     strf("%g", parsed.durationSeconds));
     if (parsed.queueCapacity == 0)
         return fail("serve queue capacity must be >= 1", "0");
+    if (parsed.kickSeconds < parsed.waitBudgetSeconds)
+        return fail("cake kick cap must be >= the wait budget",
+                    strf("%g", parsed.kickSeconds));
 
     // Trace entries for undeclared tenants implicitly declare a
     // trace-only tenant (replay convenience).
@@ -199,17 +281,26 @@ ServeSpec::describe() const
                          durationSeconds, queueCapacity);
     if (clusters > 1)
         s += strf(" clusters=%zu", clusters);
-    for (const auto& t : tenants) {
-        s += strf(" %s[%s %s", t.name.c_str(), arrivalModeName(t.mode),
-                  t.workload.c_str());
-        if (t.mode == ArrivalMode::Open)
-            s += strf(" %.3g req/s", t.rate);
-        else if (t.mode == ArrivalMode::Closed)
-            s += strf(" %zu client(s) think %.3gs", t.clients,
-                      t.thinkSeconds);
-        if (t.priority != 1)
-            s += strf(" prio %d", t.priority);
-        s += "]";
+    if (sched != SchedPolicy::Fifo)
+        s += strf(" sched=%s(wait %.3gs kick %.3gs)",
+                  schedPolicyName(sched), waitBudgetSeconds,
+                  kickSeconds);
+    if (tenants.size() > 12) {
+        // Bulk specs (10k-tenant runs): summarize instead of listing.
+        s += strf(" %zu tenant(s)", tenants.size());
+    } else {
+        for (const auto& t : tenants) {
+            s += strf(" %s[%s %s", t.name.c_str(),
+                      arrivalModeName(t.mode), t.workload.c_str());
+            if (t.mode == ArrivalMode::Open)
+                s += strf(" %.3g req/s", t.rate);
+            else if (t.mode == ArrivalMode::Closed)
+                s += strf(" %zu client(s) think %.3gs", t.clients,
+                          t.thinkSeconds);
+            if (t.priority != 1)
+                s += strf(" prio %d", t.priority);
+            s += "]";
+        }
     }
     if (!trace.empty())
         s += strf(" +%zu trace arrival(s)", trace.size());

@@ -38,6 +38,25 @@ enum class ArrivalMode : uint8_t
 
 const char* arrivalModeName(ArrivalMode m);
 
+/** How admitted requests are picked for idle card groups. */
+enum class SchedPolicy : uint8_t
+{
+    /** Legacy admission: one global queue, highest priority tier
+     *  first, then least-served tenant, then FIFO.  Groups only serve
+     *  their own workload class; jobs run to completion. */
+    Fifo,
+    /** CAKE-style SLO scheduler (DESIGN.md §14): per-tenant deficit
+     *  accounting (virtual service time charged at dispatch), sharded
+     *  per-group run queues with work stealing across groups and
+     *  clusters, step-boundary preemption of hog jobs when a
+     *  higher-credit request blows its tier's wait budget, AQM tier
+     *  demotion for tenants running a deep deficit, and a starvation
+     *  kick that force-promotes anything queued past the hard cap. */
+    Cake,
+};
+
+const char* schedPolicyName(SchedPolicy p);
+
 /** One tenant of the serving experiment. */
 struct TenantSpec
 {
@@ -92,6 +111,16 @@ struct ServeSpec
     size_t queueCapacity = 64;
     /** Safety cap on generated requests (open loop + closed loop). */
     uint64_t maxRequests = 200000;
+    /** Admission scheduling policy (`sched=fifo|cake`). */
+    SchedPolicy sched = SchedPolicy::Fifo;
+    /** Cake: base wait budget of tier 0 in virtual seconds; tier t's
+     *  budget is waitBudgetSeconds * (t + 1).  A request queued past
+     *  its budget triggers a step-boundary preemption attempt against
+     *  the lowest-credit running job. */
+    double waitBudgetSeconds = 1.0;
+    /** Cake: starvation hard cap — any request queued this long is
+     *  force-promoted ahead of every tier and deficit rank. */
+    double kickSeconds = 10.0;
     std::vector<TenantSpec> tenants;
     std::vector<TraceEntry> trace;
     /** Fleet partition plan; empty = split the machine evenly across
@@ -100,12 +129,28 @@ struct ServeSpec
 
     Tick durationTicks() const { return secondsToTicks(durationSeconds); }
 
+    /** Cake wait budget of priority tier `tier` (0 = tightest). */
+    Tick
+    waitBudgetTicks(int tier) const
+    {
+        double scale = tier < 0 ? 1.0 : static_cast<double>(tier) + 1.0;
+        return secondsToTicks(waitBudgetSeconds * scale);
+    }
+
+    /** Cake starvation hard cap. */
+    Tick kickTicks() const { return secondsToTicks(kickSeconds); }
+
     /**
      * Parse a CLI serve spec: comma-separated items.
      *   seed=N  clusters=N  duration=S  queue=N  requests=N
+     *   sched=fifo | sched=cake[:WAIT_S[:KICK_S]]
      *   tenant=NAME:open:WL:RATE          (Poisson, RATE req/s)
      *   tenant=NAME:closed:WL:CLIENTS[:THINK_S]
-     *   prio=NAME:P                       (priority tier; 0 highest)
+     *   tenants=COUNT:PREFIX:MODE:WL:...  (bulk: COUNT tenants named
+     *                                      PREFIX#0..#COUNT-1, same
+     *                                      tail syntax as tenant=)
+     *   prio=NAME:P                       (priority tier; 0 highest;
+     *                                      NAME* prefix-matches)
      *   at=SEC:NAME:WL                    (trace entry; repeatable)
      *   group=WL:CARDS[:MIN]              (partition plan; repeatable)
      * Calls fatal() on malformed input (CLI-facing helper).

@@ -147,12 +147,38 @@ ServeStats::hash() const
     f.hist(latency);
     f.hist(queueWait);
     f.hist(service);
+    // Cake counters join the hash only for non-fifo runs: fifo hashes
+    // must stay bit-identical to their pre-scheduler values.
+    const bool cake = sched != "fifo";
+    if (cake) {
+        f.str(sched);
+        f.u64(preemptions);
+        f.u64(preemptResumes);
+        f.u64(steals);
+        f.u64(stealsCross);
+        f.u64(demotions);
+        f.u64(promotions);
+        f.u64(kicks);
+        f.u64(chargedTicks);
+        f.u64(refundedTicks);
+        f.u64(executedTicks);
+        f.u64(maxWaitTicks);
+        f.u64(jobCacheHits);
+        f.u64(jobCacheMisses);
+    }
     for (const auto& t : tenants) {
         f.str(t.name);
         f.u64(t.offered);
         f.u64(t.admitted);
         f.u64(t.completed);
         f.u64(t.shed);
+        if (cake) {
+            f.u64(t.deficitTicks);
+            f.u64(t.demotions);
+            f.u64(t.kicks);
+            f.u64(t.steals);
+            f.u64(t.preemptions);
+        }
     }
     for (const auto& g : groups) {
         f.u64(g.id);
@@ -214,6 +240,29 @@ ServeStats::toJson(const std::string& machine,
               ms(queueWait.percentile(0.99)));
     s += strf("\"queue\": {\"max_depth\": %zu, \"mean_depth\": %.3f}, ",
               maxQueueDepth, meanQueueDepth);
+    s += strf("\"sched\": \"%s\", ", sched.c_str());
+    if (sched != "fifo")
+        s += strf("\"cake\": {\"preemptions\": %llu, "
+                  "\"preempt_resumes\": %llu, \"steals\": %llu, "
+                  "\"steals_cross\": %llu, \"demotions\": %llu, "
+                  "\"promotions\": %llu, \"kicks\": %llu, "
+                  "\"charged_ticks\": %llu, \"refunded_ticks\": %llu, "
+                  "\"executed_ticks\": %llu, \"max_wait_s\": %.6f, "
+                  "\"job_cache_hits\": %llu, "
+                  "\"job_cache_misses\": %llu}, ",
+                  static_cast<unsigned long long>(preemptions),
+                  static_cast<unsigned long long>(preemptResumes),
+                  static_cast<unsigned long long>(steals),
+                  static_cast<unsigned long long>(stealsCross),
+                  static_cast<unsigned long long>(demotions),
+                  static_cast<unsigned long long>(promotions),
+                  static_cast<unsigned long long>(kicks),
+                  static_cast<unsigned long long>(chargedTicks),
+                  static_cast<unsigned long long>(refundedTicks),
+                  static_cast<unsigned long long>(executedTicks),
+                  ticksToSeconds(maxWaitTicks),
+                  static_cast<unsigned long long>(jobCacheHits),
+                  static_cast<unsigned long long>(jobCacheMisses));
     s += "\"faults\": {\"failed_cards\": [";
     for (size_t i = 0; i < failedCards.size(); ++i)
         s += strf("%s%zu", i ? ", " : "", failedCards[i]);
@@ -253,18 +302,36 @@ ServeStats::toJson(const std::string& machine,
     }
     s += "]}, ";
     s += "\"tenants\": [";
-    for (size_t i = 0; i < tenants.size(); ++i) {
+    // Bulk runs (10k+ tenants) would dominate the export; list the
+    // first kMaxJsonTenants and record how many were elided.
+    constexpr size_t kMaxJsonTenants = 64;
+    size_t listed = std::min(tenants.size(), kMaxJsonTenants);
+    for (size_t i = 0; i < listed; ++i) {
         const auto& t = tenants[i];
         s += strf("%s{\"name\": \"%s\", \"offered\": %llu, "
                   "\"admitted\": %llu, \"completed\": %llu, "
-                  "\"shed\": %llu}",
+                  "\"shed\": %llu",
                   i ? ", " : "", t.name.c_str(),
                   static_cast<unsigned long long>(t.offered),
                   static_cast<unsigned long long>(t.admitted),
                   static_cast<unsigned long long>(t.completed),
                   static_cast<unsigned long long>(t.shed));
+        if (sched != "fifo")
+            s += strf(", \"deficit_s\": %.6f, \"demotions\": %llu, "
+                      "\"kicks\": %llu, \"steals\": %llu, "
+                      "\"preemptions\": %llu",
+                      ticksToSeconds(t.deficitTicks),
+                      static_cast<unsigned long long>(t.demotions),
+                      static_cast<unsigned long long>(t.kicks),
+                      static_cast<unsigned long long>(t.steals),
+                      static_cast<unsigned long long>(t.preemptions));
+        s += "}";
     }
-    s += "], \"groups\": [";
+    s += "]";
+    if (listed < tenants.size())
+        s += strf(", \"tenants_elided\": %zu",
+                  tenants.size() - listed);
+    s += ", \"groups\": [";
     for (size_t i = 0; i < groups.size(); ++i) {
         const auto& g = groups[i];
         s += strf("%s{\"id\": %zu, \"cluster\": %zu, "
@@ -326,6 +393,28 @@ ServeStats::describe() const
                   static_cast<unsigned long long>(canaryProbes),
                   static_cast<unsigned long long>(healthTransitions));
     }
+    if (sched != "fifo") {
+        s += strf("%s: %llu preemption(s) (%llu resumed), %llu "
+                  "steal(s) (%llu cross-cluster), %llu demotion(s) / "
+                  "%llu promotion(s), %llu kick(s), max wait %.3f s\n",
+                  sched.c_str(),
+                  static_cast<unsigned long long>(preemptions),
+                  static_cast<unsigned long long>(preemptResumes),
+                  static_cast<unsigned long long>(steals),
+                  static_cast<unsigned long long>(stealsCross),
+                  static_cast<unsigned long long>(demotions),
+                  static_cast<unsigned long long>(promotions),
+                  static_cast<unsigned long long>(kicks),
+                  ticksToSeconds(maxWaitTicks));
+        s += strf("  ledger: charged %llu = refunded %llu + executed "
+                  "%llu tick(s) (mod 2^64); job cache %llu hit(s) / "
+                  "%llu miss(es)\n",
+                  static_cast<unsigned long long>(chargedTicks),
+                  static_cast<unsigned long long>(refundedTicks),
+                  static_cast<unsigned long long>(executedTicks),
+                  static_cast<unsigned long long>(jobCacheHits),
+                  static_cast<unsigned long long>(jobCacheMisses));
+    }
     if (stalled)
         s += stallReport;
     for (const auto& c : clusters)
@@ -334,13 +423,42 @@ ServeStats::describe() const
                   c.id, c.health.c_str(), c.killed ? " (killed)" : "",
                   static_cast<unsigned long long>(c.completed),
                   c.deadCards);
-    for (const auto& t : tenants)
+    // Bulk runs: cap the console listing (the JSON export and hash
+    // still cover every tenant).
+    constexpr size_t kMaxDescribeTenants = 20;
+    size_t shown = std::min(tenants.size(), kMaxDescribeTenants);
+    for (size_t i = 0; i < shown; ++i) {
+        const auto& t = tenants[i];
         s += strf("  tenant %-10s offered %6llu  completed %6llu  "
-                  "shed %5llu\n",
+                  "shed %5llu",
                   t.name.c_str(),
                   static_cast<unsigned long long>(t.offered),
                   static_cast<unsigned long long>(t.completed),
                   static_cast<unsigned long long>(t.shed));
+        // Cake counters print only when the tenant actually tripped
+        // the machinery — quiet tenants keep the fifo-era line shape.
+        if (t.deficitTicks || t.demotions || t.kicks || t.steals ||
+            t.preemptions) {
+            s += strf("  [deficit %.3fs", ticksToSeconds(t.deficitTicks));
+            if (t.demotions)
+                s += strf(" demoted x%llu",
+                          static_cast<unsigned long long>(t.demotions));
+            if (t.kicks)
+                s += strf(" kicked x%llu",
+                          static_cast<unsigned long long>(t.kicks));
+            if (t.steals)
+                s += strf(" stolen x%llu",
+                          static_cast<unsigned long long>(t.steals));
+            if (t.preemptions)
+                s += strf(" sliced x%llu",
+                          static_cast<unsigned long long>(
+                              t.preemptions));
+            s += "]";
+        }
+        s += "\n";
+    }
+    if (shown < tenants.size())
+        s += strf("  ... %zu more tenant(s)\n", tenants.size() - shown);
     for (const auto& g : groups)
         s += strf("  group %zu [%s] %zu card(s)%s  completed %6llu  "
                   "util %5.1f%%\n",

@@ -59,6 +59,19 @@ struct TenantStats
     uint64_t admitted = 0;
     uint64_t completed = 0;
     uint64_t shed = 0;
+
+    // Cake-scheduler counters (all zero on the fifo path; folded into
+    // the stats hash only when the run used a non-fifo policy).
+    /** Residual deficit (ticks ahead of fair share) at end of run. */
+    Tick deficitTicks = 0;
+    /** AQM tier demotions charged to this tenant. */
+    uint64_t demotions = 0;
+    /** Requests force-promoted by the starvation kick. */
+    uint64_t kicks = 0;
+    /** Requests of this tenant served via work stealing. */
+    uint64_t steals = 0;
+    /** Step-boundary preemptions of this tenant's jobs. */
+    uint64_t preemptions = 0;
 };
 
 /** Per-group usage snapshot at the end of a run. */
@@ -102,6 +115,37 @@ struct ServeStats
 {
     /** End of the run: max(arrival horizon, last completion). */
     Tick horizon = 0;
+
+    /** Scheduling policy name ("fifo" / "cake").  Everything in the
+     *  cake block below stays zero on the fifo path, and hash() folds
+     *  it only for non-fifo runs so pre-existing fifo hashes remain
+     *  bit-for-bit stable. */
+    std::string sched = "fifo";
+
+    // Cake-scheduler accounting (DESIGN.md §14).
+    /** Jobs sliced at a step boundary and requeued. */
+    uint64_t preemptions = 0;
+    /** Dispatches that resumed a previously preempted request. */
+    uint64_t preemptResumes = 0;
+    /** Dispatches served by stealing from another group's shard. */
+    uint64_t steals = 0;
+    /** Portion of `steals` taken from a different cluster. */
+    uint64_t stealsCross = 0;
+    /** AQM tier demotions / recoveries across all tenants. */
+    uint64_t demotions = 0;
+    uint64_t promotions = 0;
+    /** Starvation kicks (requests queued past the hard cap). */
+    uint64_t kicks = 0;
+    /** Deficit-ledger conservation counters, mod 2^64:
+     *  chargedTicks == refundedTicks + executedTicks for every run. */
+    uint64_t chargedTicks = 0;
+    uint64_t refundedTicks = 0;
+    uint64_t executedTicks = 0;
+    /** Longest any completed request waited before first dispatch. */
+    Tick maxWaitTicks = 0;
+    /** Fault-free job-result cache effectiveness. */
+    uint64_t jobCacheHits = 0;
+    uint64_t jobCacheMisses = 0;
 
     uint64_t offered = 0;
     uint64_t admitted = 0;

@@ -33,6 +33,18 @@ struct Request
     /** Set when the request leaves the queue for a card group. */
     Tick dispatched = 0;
 
+    // Cake-scheduler state (untouched on the fifo path).
+    /** First time the request left the queue (queue-wait metric under
+     *  preemption, where `dispatched` is overwritten per slice). */
+    Tick firstDispatch = 0;
+    /** Virtual service time consumed by completed slices of this
+     *  request (preempted runs accumulate; final slice adds its own
+     *  span at completion). */
+    Tick executed = 0;
+    /** Starvation kick: set when the request sat queued past the hard
+     *  cap — it now ranks ahead of every tier and deficit. */
+    bool kicked = false;
+
     // Federated failover state (all defaults for fresh arrivals).
     /** Checkpointed resume point: first workload step still to run.
      *  Non-zero after a cluster kill aborted the job mid-run and its

@@ -204,6 +204,45 @@ TEST(RunnerJobs, ResumeComposesWithFullRun)
               full.total.makespan);
 }
 
+TEST(RunnerJobs, PreemptedResumeFingerprintIsExact)
+{
+    // The cake scheduler's step-boundary preemption re-dispatches the
+    // tail of a sliced job via runJob(first_step, num_steps); for the
+    // slicing to be invisible, head + tail must reproduce the whole
+    // run bit for bit — not just the makespan, but every
+    // execution-visible RunStats field, at every possible split point.
+    InferenceRunner runner{hydraMSpec()};
+    WorkloadModel wl = makeResNet18();
+    CardGroup all = CardGroup::contiguous(0, 8);
+
+    InferenceResult full = runner.runJob(wl, all, 0);
+    ASSERT_TRUE(full.ok());
+
+    for (size_t cut = 1; cut < wl.steps.size(); ++cut) {
+        InferenceResult head =
+            runner.runJob(wl, all, 0, {}, {}, 0, cut);
+        ASSERT_TRUE(head.ok()) << "cut " << cut;
+        InferenceResult tail = runner.runJob(
+            wl, all, head.total.makespan, {}, {}, cut,
+            wl.steps.size() - cut);
+        ASSERT_TRUE(tail.ok()) << "cut " << cut;
+
+        RunStats composed = head.total;
+        composed.append(tail.total);
+        EXPECT_EQ(composed.fingerprint(), full.total.fingerprint())
+            << "cut " << cut;
+
+        // Checkpoint boundaries compose too: the tail's stepEnds are
+        // offsets from its own start, so shifting them by the head's
+        // makespan must reproduce the whole run's boundary list.
+        ASSERT_EQ(head.stepEnds.size(), cut) << "cut " << cut;
+        std::vector<Tick> ends = head.stepEnds;
+        for (Tick e : tail.stepEnds)
+            ends.push_back(head.total.makespan + e);
+        EXPECT_EQ(ends, full.stepEnds) << "cut " << cut;
+    }
+}
+
 TEST(RunnerJobs, RaggedGroupDegradesAndSurvives)
 {
     // Kill a card of a 3-card ragged group mid-job: the job must

@@ -82,6 +82,28 @@ TEST(ServeSpecParse, MalformedInputNamesTheOffendingToken)
         {"group=bert:x", "x"},
         {"notakey=1", "notakey"},
         {"justtext", "justtext"},
+        // sched= policy tokens
+        {"sched=x", "x"},
+        {"sched=fifo:1", "fifo:1"},
+        {"sched=cake:1:2:3", "cake:1:2:3"},
+        {"sched=cake:0", "0"},
+        {"sched=cake:-1", "-1"},
+        {"sched=cake:nan", "nan"},
+        {"sched=cake:1:0", "0"},
+        // kick cap below the wait budget (validated after parsing)
+        {"duration=10,sched=cake:2:1", "1"},
+        // bulk tenants= blocks
+        {"tenants=2:a:open:bert", "2:a:open:bert"},
+        {"tenants=x:a:open:bert:1", "x"},
+        {"tenants=0:a:open:bert:1", "0"},
+        {"tenants=2000001:a:open:bert:1", "2000001"},
+        {"tenants=2:a:open:bert:0", "0"},
+        {"tenants=2:a:burst:bert:1", "burst"},
+        {"tenants=2:a:open:bert:1,tenants=2:a:open:bert:1", "a#0"},
+        // prefix-matching prio
+        {"prio=zz*:1", "zz*"},
+        {"tenant=a:open:bert:1,prio=a*:1.5", "1.5"},
+        {"tenants=2:a:open:bert:1,prio=b*:1", "b*"},
     };
     for (const auto& c : cases) {
         ServeSpec s;
@@ -93,6 +115,47 @@ TEST(ServeSpecParse, MalformedInputNamesTheOffendingToken)
         // describe() carries both halves of the diagnosis.
         EXPECT_NE(err.describe().find(err.token), std::string::npos);
     }
+}
+
+TEST(ServeSpecParse, RoundTripsASchedulerSpec)
+{
+    ServeSpec s;
+    SpecError err;
+    ASSERT_TRUE(ServeSpec::tryParse(
+        "seed=1,duration=10,sched=cake:2:20,"
+        "tenants=3:sp:closed:resnet20:1:5,prio=sp*:2,"
+        "tenant=vip:open:resnet18:0.1,prio=vip:0",
+        s, err))
+        << err.describe();
+    EXPECT_EQ(s.sched, SchedPolicy::Cake);
+    EXPECT_DOUBLE_EQ(s.waitBudgetSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(s.kickSeconds, 20.0);
+    ASSERT_EQ(s.tenants.size(), 4u);
+    EXPECT_EQ(s.tenants[0].name, "sp#0");
+    EXPECT_EQ(s.tenants[2].name, "sp#2");
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(s.tenants[i].priority, 2);
+        EXPECT_EQ(s.tenants[i].mode, ArrivalMode::Closed);
+    }
+    EXPECT_EQ(s.tenants[3].priority, 0);
+    // Tier-scaled wait budget: base * (tier + 1).
+    EXPECT_EQ(s.waitBudgetTicks(1), 2 * s.waitBudgetTicks(0));
+    EXPECT_NE(s.describe().find("sched=cake"), std::string::npos);
+}
+
+TEST(ServeSpecParse, SchedDefaultsToFifo)
+{
+    ServeSpec s;
+    SpecError err;
+    ASSERT_TRUE(ServeSpec::tryParse(
+        "duration=10,tenant=a:open:bert:1", s, err));
+    EXPECT_EQ(s.sched, SchedPolicy::Fifo);
+    ASSERT_TRUE(ServeSpec::tryParse(
+        "duration=10,sched=cake,tenant=a:open:bert:1", s, err));
+    EXPECT_EQ(s.sched, SchedPolicy::Cake);
+    // Bare cake keeps the documented defaults (1 s budget, 10 s cap).
+    EXPECT_DOUBLE_EQ(s.waitBudgetSeconds, 1.0);
+    EXPECT_DOUBLE_EQ(s.kickSeconds, 10.0);
 }
 
 // ---------------------------------------------------------------------
@@ -219,8 +282,9 @@ mutate(const std::string& base, uint64_t& rng)
 TEST(ServeSpecParse, FuzzedSpecsNeverCrashAndAlwaysDiagnose)
 {
     const std::string base =
-        "seed=7,clusters=2,duration=30,queue=16,"
+        "seed=7,clusters=2,duration=30,queue=16,sched=cake:2:20,"
         "tenant=vision:open:resnet18:0.5,tenant=pool:closed:bert:3:0.25,"
+        "tenants=4:sp:closed:resnet20:1:5,prio=sp*:1,"
         "prio=vision:0,at=2.5:replay:resnet18,group=resnet18:4:2";
     uint64_t rng = 0xfeedface;
     size_t rejected = 0;
@@ -237,6 +301,9 @@ TEST(ServeSpecParse, FuzzedSpecsNeverCrashAndAlwaysDiagnose)
             EXPECT_GT(s.durationSeconds, 0.0) << fuzzed;
             EXPECT_GE(s.queueCapacity, 1u) << fuzzed;
             EXPECT_GE(s.clusters, 1u) << fuzzed;
+            // The starvation cap must never undercut the wait budget.
+            EXPECT_GE(s.kickSeconds, s.waitBudgetSeconds) << fuzzed;
+            EXPECT_GT(s.waitBudgetSeconds, 0.0) << fuzzed;
             for (const auto& g : s.groups) {
                 EXPECT_GE(g.cards, g.minCards) << fuzzed;
                 EXPECT_GE(g.minCards, 1u) << fuzzed;
