@@ -13,6 +13,13 @@
  *   BM_Optimize/<m>-<wl>  optimizeProgram at Aggressive (all passes)
  *   BM_CompileCold        full pipeline, cache cleared every iteration
  *   BM_CompileWarm        full pipeline through a warm ProgramCache
+ *   BM_CompileEvict       warm pipeline under a tiny LRU cap: every
+ *                         compile misses and evicts (thrash cost)
+ *   BM_GraphCompile/<wl>  network compiler over a registry model at
+ *                         Aggressive (cross-step passes + unit compile)
+ *   BM_NetMakespan/<wl>   graph runner end to end; counters export the
+ *                         Safe vs Aggressive makespans (the cross-step
+ *                         passes' modeled win, tracked across PRs)
  */
 
 #include <benchmark/benchmark.h>
@@ -22,6 +29,8 @@
 
 #include "baselines/prototypes.hh"
 #include "bench_util.hh"
+#include "sched/graph/modelspec.hh"
+#include "sched/graph/netcompile.hh"
 #include "sched/progcache.hh"
 
 namespace hydra {
@@ -158,6 +167,86 @@ compileCached(benchmark::State& state, const char* machine,
         hits + misses ? static_cast<double>(hits) /
                             static_cast<double>(hits + misses)
                       : 0.0;
+    state.counters["cache_evictions"] =
+        static_cast<double>(after.evictions - before.evictions);
+}
+
+/** Warm-style loop under an LRU cap smaller than the working set:
+ *  every compile misses and evicts — the cache-thrash floor. */
+void
+BM_CompileEvict(benchmark::State& state)
+{
+    CompileSetup s(machineByName("hydra-m"), "resnet18");
+    ProgramCache cache; // local: don't poison the global cache
+    cache.setCapacity(2);
+    for (auto _ : state) {
+        for (const auto& step : s.wl.steps) {
+            std::string key =
+                stepCacheKey(s.spec, s.spec.cluster, s.spec.cluster,
+                             s.cost.n(), s.wl.logSlots, step);
+            auto compiled = cache.getOrCompile(key, [&] {
+                return compileStep(s.cost, *s.net,
+                                   s.spec.cluster.totalCards(),
+                                   s.wl.logSlots, s.spec.mapping,
+                                   step);
+            });
+            benchmark::DoNotOptimize(compiled.get());
+        }
+    }
+    ProgramCache::Stats st = cache.stats();
+    state.counters["cache_evictions"] = static_cast<double>(st.evictions);
+    state.counters["cache_hit_rate"] = st.hitRate();
+}
+BENCHMARK(BM_CompileEvict)->Unit(benchmark::kMicrosecond);
+
+/** Network compiler over a declarative registry model: cross-step
+ *  passes plus per-unit compilation (cache cleared per iteration). */
+void
+BM_GraphCompile(benchmark::State& state, const char* machine,
+                const char* model)
+{
+    PrototypeSpec spec = machineByName(machine);
+    OpCostModel cost(spec.fpga, size_t{1} << 16, spec.dnum);
+    std::unique_ptr<NetworkModel> net = spec.makeNetwork();
+    NetworkGraph graph = modelGraphByName(model);
+    uint64_t units = 0, changes = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        ProgramCache::global().clear();
+        state.ResumeTiming();
+        CompiledNetwork cn = compileNetwork(spec, cost, *net, graph,
+                                            OptLevel::Aggressive);
+        units = cn.units.size();
+        changes = cn.report.totalChanges();
+        benchmark::DoNotOptimize(cn.programs.data());
+    }
+    state.counters["layers"] = static_cast<double>(graph.nodes.size());
+    state.counters["units"] = static_cast<double>(units);
+    state.counters["pass_changes"] = static_cast<double>(changes);
+}
+
+/** Graph runner end to end; exports the Safe and Aggressive makespans
+ *  so BENCH_compile.json records the cross-step passes' win. */
+void
+BM_NetMakespan(benchmark::State& state, const char* machine,
+               const char* model)
+{
+    InferenceRunner runner(machineByName(machine));
+    NetworkGraph graph = modelGraphByName(model);
+    Tick safe = 0, aggressive = 0;
+    for (auto _ : state) {
+        safe = runner.runGraph(graph, OptLevel::Safe).total.makespan;
+        aggressive =
+            runner.runGraph(graph, OptLevel::Aggressive).total.makespan;
+        benchmark::DoNotOptimize(safe);
+        benchmark::DoNotOptimize(aggressive);
+    }
+    state.counters["makespan_safe_s"] = ticksToSeconds(safe);
+    state.counters["makespan_aggressive_s"] = ticksToSeconds(aggressive);
+    state.counters["speedup"] =
+        aggressive ? static_cast<double>(safe) /
+                         static_cast<double>(aggressive)
+                   : 0.0;
 }
 
 void
@@ -201,6 +290,41 @@ BM_CompileWarm(benchmark::State& state)
     compileCached(state, "hydra-m", "resnet18", true);
 }
 BENCHMARK(BM_CompileWarm)->Unit(benchmark::kMicrosecond);
+
+void
+BM_GraphCompileResNet50(benchmark::State& state)
+{
+    BM_GraphCompile(state, "hydra-m", "resnet50");
+}
+BENCHMARK(BM_GraphCompileResNet50)->Unit(benchmark::kMicrosecond);
+
+void
+BM_GraphCompileBert(benchmark::State& state)
+{
+    BM_GraphCompile(state, "hydra-m", "bert");
+}
+BENCHMARK(BM_GraphCompileBert)->Unit(benchmark::kMicrosecond);
+
+void
+BM_NetMakespanResNet50(benchmark::State& state)
+{
+    BM_NetMakespan(state, "hydra-m", "resnet50");
+}
+BENCHMARK(BM_NetMakespanResNet50)->Unit(benchmark::kMillisecond);
+
+void
+BM_NetMakespanBert(benchmark::State& state)
+{
+    BM_NetMakespan(state, "hydra-m", "bert");
+}
+BENCHMARK(BM_NetMakespanBert)->Unit(benchmark::kMillisecond);
+
+void
+BM_NetMakespanOpt(benchmark::State& state)
+{
+    BM_NetMakespan(state, "fab-m", "opt");
+}
+BENCHMARK(BM_NetMakespanOpt)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace hydra

@@ -16,10 +16,21 @@
  *                 [--dump-program]     (print each step's compiled
  *                  Program: per-card queue depths, message counts,
  *                  bytes, and the optimizer's pass deltas; no run)
- *                 [--opt LEVEL]        (pass level for --dump-program:
+ *                 [--opt LEVEL]        (pass level for --dump-program,
+ *                  --model and --dump-graph:
  *                  none|safe|aggressive; default safe)
+ *                 [--model NAME]       (run a declarative-registry
+ *                  model through the network compiler / graph runner
+ *                  instead of the step-at-a-time path)
+ *                 [--dump-graph]       (print the model's NetworkGraph
+ *                  IR — layers, levels, rotations, edges — after the
+ *                  --opt passes; no run.  Without --model the
+ *                  --workload step list is lifted into a graph)
+ *                 [--json]             (emit --dump-graph as JSON)
  *                 [--list-machines]    (print machine registry, exit)
  *                 [--list-workloads]   (print workload registry, exit)
+ *                 [--list-models]      (print declarative model
+ *                  registry, exit)
  */
 
 #include <cinttypes>
@@ -34,6 +45,8 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "math/simd/simd.hh"
+#include "sched/graph/modelspec.hh"
+#include "sched/graph/netcompile.hh"
 #include "sched/progcache.hh"
 
 using namespace hydra;
@@ -100,10 +113,13 @@ main(int argc, char** argv)
 {
     std::string machine = "hydra-m";
     std::string workload = "resnet18";
+    std::string model;
     std::string faultSpec;
     size_t cards = 0;
     bool fused = false;
     bool dumpProgram = false;
+    bool dumpGraph = false;
+    bool json = false;
     OptLevel optLevel = OptLevel::Safe;
     RetryPolicy retry;
     for (int i = 1; i < argc; ++i) {
@@ -117,6 +133,12 @@ main(int argc, char** argv)
             machine = next();
         else if (arg == "--workload")
             workload = next();
+        else if (arg == "--model")
+            model = next();
+        else if (arg == "--dump-graph")
+            dumpGraph = true;
+        else if (arg == "--json")
+            json = true;
         else if (arg == "--cards")
             cards = std::strtoul(next().c_str(), nullptr, 10);
         else if (arg == "--fused")
@@ -136,13 +158,49 @@ main(int argc, char** argv)
         } else if (arg == "--list-workloads") {
             printRegistry("workloads", workloadNames());
             return 0;
+        } else if (arg == "--list-models") {
+            printRegistry("models", modelSpecNames());
+            return 0;
         } else
             fatal("unknown argument '%s' (see the file header)",
                   arg.c_str());
     }
 
     PrototypeSpec spec = resolveMachine(machine, cards);
-    WorkloadModel wl = workloadByName(workload);
+
+    // The graph path: resolve a declarative model (or lift the
+    // workload's step list) into the NetworkGraph IR.
+    NetworkGraph graph;
+    if (!model.empty()) {
+        SpecError err;
+        if (!tryModelGraphByName(model, graph, err)) {
+            std::fprintf(stderr, "bad --model: %s\n",
+                         err.describe().c_str());
+            return 1;
+        }
+    }
+    WorkloadModel wl =
+        model.empty() ? resolveWorkloadModel(workload) : graph.toModel();
+    if (model.empty() && dumpGraph)
+        graph = NetworkGraph::fromModel(wl);
+
+    if (dumpGraph) {
+        if (optLevel == OptLevel::Aggressive) {
+            // Show the post-pass graph: what actually compiles.
+            OpCostModel cost(spec.fpga, size_t{1} << 16, spec.dnum);
+            std::unique_ptr<NetworkModel> net = spec.makeNetwork();
+            CompiledNetwork cn =
+                compileNetwork(spec, cost, *net, graph, optLevel);
+            graph = cn.graph;
+            if (!json)
+                std::printf("%s\n", cn.report.describe().c_str());
+        }
+        std::printf("%s\n", json ? graph.toJson().c_str()
+                                 : graph.describe().c_str());
+        return 0;
+    }
+    if (json)
+        fatal("--json only applies to --dump-graph");
 
     if (dumpProgram) {
         std::printf("machine : %s, workload: %s, opt level: %s\n\n",
@@ -166,6 +224,9 @@ main(int argc, char** argv)
     FaultPlan plan = FaultPlan::parse(faultSpec);
     if (!plan.empty())
         std::printf("faults  : %s\n\n", plan.describe().c_str());
+    if (!model.empty() && (fused || !plan.empty()))
+        fatal("--model runs through the graph compiler; --fused and "
+              "--faults apply to the step-at-a-time path");
 
     if (fused) {
         if (!plan.empty()) {
@@ -193,8 +254,15 @@ main(int argc, char** argv)
         return 0;
     }
 
-    InferenceResult res =
-        plan.empty() ? runner.run(wl) : runner.run(wl, plan, retry);
+    NetOptReport netReport;
+    InferenceResult res;
+    if (!model.empty()) {
+        res = runner.runGraph(graph, optLevel, &netReport);
+        std::printf("graph   : %zu layer(s), %s\n\n", graph.nodes.size(),
+                    netReport.describe().c_str());
+    } else {
+        res = plan.empty() ? runner.run(wl) : runner.run(wl, plan, retry);
+    }
     if (!res.ok()) {
         std::printf("run failed [%s]: %s\n",
                     RunError::kindName(res.error.kind),
@@ -233,7 +301,10 @@ main(int argc, char** argv)
         Tick pt = res.procTime(kind);
         if (!pt)
             continue;
-        t.addRow({procName(kind), std::to_string(wl.stepCount(kind)),
+        size_t nsteps = 0;
+        for (const auto& s : res.steps)
+            nsteps += s.kind == kind;
+        t.addRow({procName(kind), std::to_string(nsteps),
                   fmtF(ticksToSeconds(pt), 3),
                   fmtPct(static_cast<double>(pt) /
                              static_cast<double>(res.total.makespan),

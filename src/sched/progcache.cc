@@ -20,9 +20,10 @@ compileStep(const OpCostModel& cost, const NetworkModel& net,
 }
 
 std::string
-stepCacheKey(const PrototypeSpec& spec, const ClusterConfig& exec_cluster,
-             const ClusterConfig& net_cluster, size_t ring_n,
-             size_t log_slots, const Step& step, OptLevel level)
+machineCacheKey(const PrototypeSpec& spec,
+                const ClusterConfig& exec_cluster,
+                const ClusterConfig& net_cluster, size_t ring_n,
+                size_t log_slots, OptLevel level)
 {
     const FpgaParams& f = spec.fpga;
     const MappingConfig& m = spec.mapping;
@@ -49,15 +50,30 @@ stepCacheKey(const PrototypeSpec& spec, const ClusterConfig& exec_cluster,
     key += strf("|mc=%zu,%zu,%zu,%zu|ls=%zu|o=%s", m.maxChunksPerCard,
                 m.evalExpDegree, m.dafIters, m.dftLevels, log_slots,
                 optLevelName(level));
-    // Step half: content only — the name/index is deliberately
-    // excluded so repeated identical layers share one entry.
-    key += strf("|s=%d,%zu,%u,%u,%u,%u,%zu,%d,%zu,%.17g,%zu",
+    return key;
+}
+
+std::string
+stepContentKey(const Step& step)
+{
+    // Content only — the name/index is deliberately excluded so
+    // repeated identical layers share one entry.
+    return strf("|s=%d,%zu,%u,%u,%u,%u,%zu,%d,%zu,%.17g,%zu",
                 static_cast<int>(step.kind), step.parallelism,
                 step.perUnit.rotations, step.perUnit.cmults,
                 step.perUnit.pmults, step.perUnit.hadds, step.limbs,
                 static_cast<int>(step.agg), step.polyDegree,
                 step.unitScale, step.outputCts);
-    return key;
+}
+
+std::string
+stepCacheKey(const PrototypeSpec& spec, const ClusterConfig& exec_cluster,
+             const ClusterConfig& net_cluster, size_t ring_n,
+             size_t log_slots, const Step& step, OptLevel level)
+{
+    return machineCacheKey(spec, exec_cluster, net_cluster, ring_n,
+                           log_slots, level) +
+           stepContentKey(step);
 }
 
 ProgramCache&
@@ -76,7 +92,8 @@ ProgramCache::getOrCompile(const std::string& key,
         auto it = map_.find(key);
         if (it != map_.end()) {
             ++hits_;
-            return it->second;
+            lru_.splice(lru_.begin(), lru_, it->second.pos);
+            return it->second.compiled;
         }
         ++misses_;
     }
@@ -85,8 +102,16 @@ ProgramCache::getOrCompile(const std::string& key,
     // of the identical results is published).
     auto compiled = std::make_shared<const CompiledStep>(compile());
     std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = map_.emplace(key, compiled);
-    return it->second;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        // A concurrent compile won the publish race; adopt its result.
+        lru_.splice(lru_.begin(), lru_, it->second.pos);
+        return it->second.compiled;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{compiled, lru_.begin()});
+    trimLocked();
+    return compiled;
 }
 
 std::shared_ptr<const CompiledStep>
@@ -94,7 +119,7 @@ ProgramCache::lookup(const std::string& key) const
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
-    return it == map_.end() ? nullptr : it->second;
+    return it == map_.end() ? nullptr : it->second.compiled;
 }
 
 ProgramCache::Stats
@@ -105,6 +130,7 @@ ProgramCache::stats() const
     s.hits = hits_;
     s.misses = misses_;
     s.entries = map_.size();
+    s.evictions = evictions_;
     return s;
 }
 
@@ -114,6 +140,7 @@ ProgramCache::resetStats()
     std::lock_guard<std::mutex> lock(mu_);
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
 }
 
 void
@@ -121,6 +148,34 @@ ProgramCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
+    lru_.clear();
+}
+
+size_t
+ProgramCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+}
+
+void
+ProgramCache::setCapacity(size_t cap)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = cap;
+    trimLocked();
+}
+
+void
+ProgramCache::trimLocked()
+{
+    if (!capacity_)
+        return;
+    while (map_.size() > capacity_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+        ++evictions_;
+    }
 }
 
 } // namespace hydra

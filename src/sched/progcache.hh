@@ -24,6 +24,7 @@
 #define HYDRA_SCHED_PROGCACHE_HH
 
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -53,7 +54,10 @@ CompiledStep compileStep(const OpCostModel& cost, const NetworkModel& net,
                          OptLevel level = OptLevel::Safe);
 
 /**
- * Cache key for one step compilation.
+ * Machine half of a cache key: everything the cost/network models and
+ * the mapper read, except the step content.  The network-level
+ * compiler (sched/graph/netcompile.hh) appends one stepContentKey()
+ * per fused member to this to key multi-step units.
  *
  * @param spec machine description (name + card/network/mapping params)
  * @param exec_cluster topology of the executing (sub-)cluster — the
@@ -64,22 +68,44 @@ CompiledStep compileStep(const OpCostModel& cost, const NetworkModel& net,
  * @param ring_n CKKS ring dimension of the cost model
  * @param log_slots workload slot geometry (bootstrap DFT size)
  */
+std::string machineCacheKey(const PrototypeSpec& spec,
+                            const ClusterConfig& exec_cluster,
+                            const ClusterConfig& net_cluster,
+                            size_t ring_n, size_t log_slots,
+                            OptLevel level = OptLevel::Safe);
+
+/** Step half of a cache key: content only — the step's name/index is
+ *  deliberately excluded so identical layers share one entry. */
+std::string stepContentKey(const Step& step);
+
+/** Cache key for one step compilation (machine half + step half). */
 std::string stepCacheKey(const PrototypeSpec& spec,
                          const ClusterConfig& exec_cluster,
                          const ClusterConfig& net_cluster, size_t ring_n,
                          size_t log_slots, const Step& step,
                          OptLevel level = OptLevel::Safe);
 
-/** Process-wide compiled-program cache (BufferPool-style counters). */
+/**
+ * Process-wide compiled-program cache (BufferPool-style counters),
+ * bounded: at most `capacity()` entries are retained, trimmed in
+ * least-recently-used order — network-level unit keys multiply the
+ * entry population, so unbounded growth is no longer acceptable.
+ */
 class ProgramCache
 {
   public:
-    /** Counter snapshot; hits/misses are cumulative, entries current. */
+    /** Default entry cap: far above one machine's distinct steps, far
+     *  below a sweep over every (machine, model, level) combination. */
+    static constexpr size_t kDefaultCapacity = 4096;
+
+    /** Counter snapshot; hits/misses/evictions are cumulative, entries
+     *  current. */
     struct Stats
     {
         uint64_t hits = 0;   ///< lookups served from the cache
         uint64_t misses = 0; ///< lookups that compiled fresh
         uint64_t entries = 0;
+        uint64_t evictions = 0; ///< entries trimmed by the LRU bound
 
         double
         hitRate() const
@@ -113,18 +139,37 @@ class ProgramCache
 
     Stats stats() const;
 
-    /** Zero the cumulative hit/miss counters (entries stay). */
+    /** Zero the cumulative hit/miss/eviction counters (entries stay). */
     void resetStats();
 
     /** Drop every entry (counters stay). */
     void clear();
 
+    /** Current entry cap (0 = unbounded). */
+    size_t capacity() const;
+
+    /** Set the entry cap; 0 disables trimming.  Shrinking below the
+     *  current population evicts LRU entries immediately. */
+    void setCapacity(size_t cap);
+
   private:
+    struct Entry
+    {
+        std::shared_ptr<const CompiledStep> compiled;
+        /** Position in lru_ (front = most recently used). */
+        std::list<std::string>::iterator pos;
+    };
+
+    /** Evict past-capacity entries; mu_ must be held. */
+    void trimLocked();
+
     mutable std::mutex mu_;
-    std::unordered_map<std::string, std::shared_ptr<const CompiledStep>>
-        map_;
+    std::unordered_map<std::string, Entry> map_;
+    std::list<std::string> lru_;
+    size_t capacity_ = kDefaultCapacity;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 } // namespace hydra

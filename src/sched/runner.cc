@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "sched/graph/netcompile.hh"
 #include "sched/progcache.hh"
 
 namespace hydra {
@@ -154,6 +155,37 @@ InferenceRunner::run(const WorkloadModel& workload) const
         RunStats stats = executor.run(compiled->program);
         result.total.append(stats, net_->stepSyncLatency());
         result.steps.push_back(StepResult{step.name, step.kind, stats});
+        result.stepEnds.push_back(result.total.makespan);
+    }
+    return result;
+}
+
+InferenceResult
+InferenceRunner::runGraph(const NetworkGraph& graph, OptLevel level,
+                          NetOptReport* report) const
+{
+    InferenceResult result;
+    result.machine = spec_.name;
+    result.workload = graph.name;
+
+    SpecError err;
+    if (!graph.validate(err)) {
+        result.error.kind = RunError::Kind::InvalidProgram;
+        result.error.message = "runGraph: " + err.describe();
+        return result;
+    }
+
+    CompiledNetwork cn =
+        compileNetwork(spec_, cost_, *net_, graph, level);
+    if (report)
+        *report = cn.report;
+
+    ClusterExecutor executor(spec_.cluster, *net_);
+    for (size_t i = 0; i < cn.units.size(); ++i) {
+        const NetUnit& u = cn.units[i];
+        RunStats stats = executor.run(cn.programs[i]->program);
+        result.total.append(stats, net_->stepSyncLatency());
+        result.steps.push_back(StepResult{u.name, u.lead, stats});
         result.stepEnds.push_back(result.total.makespan);
     }
     return result;

@@ -14,10 +14,14 @@
 #include <vector>
 
 #include "sched/mapping.hh"
+#include "sched/passes.hh"
 #include "sync/executor.hh"
 #include "workloads/model.hh"
 
 namespace hydra {
+
+struct NetworkGraph;
+struct NetOptReport;
 
 /** A named machine configuration (Hydra-S/M/L, FAB-*, Poseidon). */
 struct PrototypeSpec
@@ -132,6 +136,21 @@ class InferenceRunner
                              size_t ring_n = size_t{1} << 16);
 
     InferenceResult run(const WorkloadModel& workload) const;
+
+    /**
+     * Graph-compiled execution (DESIGN.md §15): compile `graph`
+     * through the network compiler at `level` and execute the
+     * resulting units in order.  At OptLevel::Safe this is
+     * tick-identical to run(graph.toModel()) — one unit per layer,
+     * same cache keys, same per-step sync accounting; Aggressive
+     * enables the cross-step passes (boot-plan, fuse-linear,
+     * prefetch).  An invalid graph surfaces as a structured
+     * InferenceResult::error, never an abort.  When `report` is
+     * non-null it receives the pass statistics.
+     */
+    InferenceResult runGraph(const NetworkGraph& graph,
+                             OptLevel level = OptLevel::Safe,
+                             NetOptReport* report = nullptr) const;
 
     /**
      * Fault-aware execution (Procedure-2 robustness).  Runs each step

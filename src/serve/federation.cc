@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "sched/graph/modelspec.hh"
 #include "serve/cake.hh"
 #include "serve/jobcache.hh"
 #include "serve/workload_gen.hh"
@@ -167,8 +168,11 @@ struct Engine
           cardsPer(spec_.cluster.totalCards())
     {
         models.reserve(wlNames.size());
+        // Unified resolution: hand-built step registry first, then the
+        // declarative model registry — serving tenants can name a
+        // graph-compiled model ("mlp3") like any legacy workload.
         for (const auto& n : wlNames)
-            models.push_back(workloadByName(n));
+            models.push_back(resolveWorkloadModel(n));
         size_t n = serve.clusters ? serve.clusters : 1;
         clusters.reserve(n);
         for (size_t c = 0; c < n; ++c)
@@ -682,7 +686,13 @@ struct Engine
     armSlice(uint64_t id, Tick from)
     {
         JobRecord& jr = inflight[id];
-        Tick quantum = serve.waitBudgetTicks(0);
+        // Per-tier quantum: hog-prone low tiers can be sliced finer
+        // than latency-tier jobs (spec quanta; legacy = tier-0 wait
+        // budget for everyone).  The AQM-demoted tier is used, so a
+        // demoted hog inherits the deeper tier's (usually shorter)
+        // slice.
+        Tick quantum =
+            serve.quantumTicks(ledger->effectiveTier(jr.req.tenant));
         const auto& ends = jr.out.stepEnds;
         for (size_t k = 0; k + 1 < ends.size(); ++k) {
             if (ends[k] < from + quantum)

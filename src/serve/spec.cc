@@ -106,9 +106,6 @@ ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
                 parsed.sched = SchedPolicy::Fifo;
             } else if (f[0] == "cake") {
                 parsed.sched = SchedPolicy::Cake;
-                if (f.size() > 3)
-                    return fail("sched wants cake[:WAIT_S[:KICK_S]]",
-                                val);
                 if (f.size() > 1 &&
                     (!parseF64(f[1], parsed.waitBudgetSeconds) ||
                      parsed.waitBudgetSeconds <= 0))
@@ -119,6 +116,14 @@ ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
                      parsed.kickSeconds <= 0))
                     return fail("cake kick cap wants seconds > 0",
                                 f[2]);
+                for (size_t qi = 3; qi < f.size(); ++qi) {
+                    double q = 0.0;
+                    if (!parseF64(f[qi], q) || q <= 0)
+                        return fail(
+                            "cake tier quantum wants seconds > 0",
+                            f[qi]);
+                    parsed.quantumSeconds.push_back(q);
+                }
             } else {
                 return fail("sched policy must be fifo|cake", f[0]);
             }
@@ -281,10 +286,15 @@ ServeSpec::describe() const
                          durationSeconds, queueCapacity);
     if (clusters > 1)
         s += strf(" clusters=%zu", clusters);
-    if (sched != SchedPolicy::Fifo)
-        s += strf(" sched=%s(wait %.3gs kick %.3gs)",
+    if (sched != SchedPolicy::Fifo) {
+        s += strf(" sched=%s(wait %.3gs kick %.3gs",
                   schedPolicyName(sched), waitBudgetSeconds,
                   kickSeconds);
+        for (size_t i = 0; i < quantumSeconds.size(); ++i)
+            s += strf("%s%.3gs", i ? "/" : " quanta ",
+                      quantumSeconds[i]);
+        s += ")";
+    }
     if (tenants.size() > 12) {
         // Bulk specs (10k-tenant runs): summarize instead of listing.
         s += strf(" %zu tenant(s)", tenants.size());

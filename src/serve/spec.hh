@@ -121,6 +121,12 @@ struct ServeSpec
     /** Cake: starvation hard cap — any request queued this long is
      *  force-promoted ahead of every tier and deficit rank. */
     double kickSeconds = 10.0;
+    /** Cake: per-tier preemption quantum in virtual seconds — the
+     *  minimum slice a job owned by a tier-t tenant runs before a
+     *  step-boundary preemption check (tiers past the last entry use
+     *  the last entry).  Empty = legacy behaviour: every tier slices
+     *  at the tier-0 wait budget. */
+    std::vector<double> quantumSeconds;
     std::vector<TenantSpec> tenants;
     std::vector<TraceEntry> trace;
     /** Fleet partition plan; empty = split the machine evenly across
@@ -140,10 +146,27 @@ struct ServeSpec
     /** Cake starvation hard cap. */
     Tick kickTicks() const { return secondsToTicks(kickSeconds); }
 
+    /** Cake preemption quantum of (effective) priority tier `tier`:
+     *  quantumSeconds clamped to its last entry, or the tier-0 wait
+     *  budget when no quanta were spelled. */
+    Tick
+    quantumTicks(int tier) const
+    {
+        if (quantumSeconds.empty())
+            return waitBudgetTicks(0);
+        size_t i = tier < 0 ? 0 : static_cast<size_t>(tier);
+        if (i >= quantumSeconds.size())
+            i = quantumSeconds.size() - 1;
+        return secondsToTicks(quantumSeconds[i]);
+    }
+
     /**
      * Parse a CLI serve spec: comma-separated items.
      *   seed=N  clusters=N  duration=S  queue=N  requests=N
-     *   sched=fifo | sched=cake[:WAIT_S[:KICK_S]]
+     *   sched=fifo | sched=cake[:WAIT_S[:KICK_S[:Q0_S[:Q1_S...]]]]
+     *                                     (Qt_S: preemption quantum of
+     *                                      tier t; last entry covers
+     *                                      all deeper tiers)
      *   tenant=NAME:open:WL:RATE          (Poisson, RATE req/s)
      *   tenant=NAME:closed:WL:CLIENTS[:THINK_S]
      *   tenants=COUNT:PREFIX:MODE:WL:...  (bulk: COUNT tenants named

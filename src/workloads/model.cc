@@ -82,6 +82,77 @@ constexpr size_t kNonLinLimbs = 10;
  *  the per-unit op mix is already fixed by Table I). */
 constexpr size_t kReluDegree = 15;
 
+} // namespace
+
+Step
+makeConvStep(const std::string& name, size_t par, double scale,
+             size_t out_cts)
+{
+    return Step{ProcKind::ConvBN, name, par, convBnMix(), kMidLimbs,
+                AggKind::BroadcastEach, 0, scale, out_cts};
+}
+
+Step
+makeReluStep(const std::string& name, size_t par, size_t out_cts)
+{
+    return Step{ProcKind::NonLinear, name, par, nonLinearMix(),
+                kNonLinLimbs, AggKind::BroadcastEach, kReluDegree, 1.0,
+                out_cts};
+}
+
+Step
+makePoolStep(const std::string& name, size_t par, size_t out_cts)
+{
+    return Step{ProcKind::Pooling, name, par, poolingMix(), kMidLimbs,
+                AggKind::BroadcastEach, 0, 1.0, out_cts};
+}
+
+Step
+makeFcStep(const std::string& name, size_t par)
+{
+    return Step{ProcKind::FC, name, par, fcMix(), kMidLimbs,
+                AggKind::ReduceTree, 0, 1.0, 1};
+}
+
+Step
+makeBootStep(const std::string& name, size_t count)
+{
+    return Step{ProcKind::Bootstrap, name, count, OpMix{}, kBootLimbs,
+                AggKind::None, 0, 1.0, count};
+}
+
+Step
+makePcmmStep(const std::string& name, size_t par, double scale)
+{
+    return Step{ProcKind::PCMM, name, par, pcmmMix(), kFreshLimbs,
+                AggKind::ReduceTree, 0, scale, 1};
+}
+
+Step
+makeCcmmStep(const std::string& name, size_t par, double scale)
+{
+    return Step{ProcKind::CCMM, name, par, ccmmMix(), kMidLimbs,
+                AggKind::ReduceTree, 0, scale, 1};
+}
+
+Step
+makeNonLinStep(const std::string& name, size_t par, size_t out_cts)
+{
+    return Step{ProcKind::NonLinear, name, par, nonLinearMix(),
+                kNonLinLimbs, AggKind::BroadcastEach, kReluDegree, 1.0,
+                out_cts};
+}
+
+Step
+makeNormStep(const std::string& name, size_t par)
+{
+    return Step{ProcKind::Norm, name, par, normMix(), kMidLimbs,
+                AggKind::BroadcastEach, 0, 1.0, 2};
+}
+
+namespace {
+
+/** Thin sugar over the step factories for the hand-built models. */
 struct Builder
 {
     WorkloadModel model;
@@ -90,77 +161,55 @@ struct Builder
     conv(const std::string& name, size_t par, double scale = 1.0,
          size_t out_cts = 32)
     {
-        model.steps.push_back(Step{ProcKind::ConvBN, name, par,
-                                   convBnMix(), kMidLimbs,
-                                   AggKind::BroadcastEach, 0, scale,
-                                   out_cts});
+        model.steps.push_back(makeConvStep(name, par, scale, out_cts));
     }
 
     void
     relu(const std::string& name, size_t par, size_t out_cts = 32)
     {
-        model.steps.push_back(Step{ProcKind::NonLinear, name, par,
-                                   nonLinearMix(), kNonLinLimbs,
-                                   AggKind::BroadcastEach, kReluDegree,
-                                   1.0, out_cts});
+        model.steps.push_back(makeReluStep(name, par, out_cts));
     }
 
     void
     pool(const std::string& name, size_t par, size_t out_cts = 16)
     {
-        model.steps.push_back(Step{ProcKind::Pooling, name, par,
-                                   poolingMix(), kMidLimbs,
-                                   AggKind::BroadcastEach, 0, 1.0,
-                                   out_cts});
+        model.steps.push_back(makePoolStep(name, par, out_cts));
     }
 
     void
     fc(const std::string& name, size_t par)
     {
-        model.steps.push_back(Step{ProcKind::FC, name, par, fcMix(),
-                                   kMidLimbs, AggKind::ReduceTree, 0,
-                                   1.0, 1});
+        model.steps.push_back(makeFcStep(name, par));
     }
 
     void
     boot(const std::string& name, size_t count)
     {
-        model.steps.push_back(Step{ProcKind::Bootstrap, name, count,
-                                   OpMix{}, kBootLimbs, AggKind::None, 0,
-                                   1.0, count});
+        model.steps.push_back(makeBootStep(name, count));
     }
 
     void
     pcmm(const std::string& name, size_t par, double scale)
     {
-        model.steps.push_back(Step{ProcKind::PCMM, name, par, pcmmMix(),
-                                   kFreshLimbs, AggKind::ReduceTree, 0,
-                                   scale, 1});
+        model.steps.push_back(makePcmmStep(name, par, scale));
     }
 
     void
     ccmm(const std::string& name, size_t par, double scale)
     {
-        model.steps.push_back(Step{ProcKind::CCMM, name, par, ccmmMix(),
-                                   kMidLimbs, AggKind::ReduceTree, 0,
-                                   scale, 1});
+        model.steps.push_back(makeCcmmStep(name, par, scale));
     }
 
     void
     nonlin(const std::string& name, size_t par, size_t out_cts = 12)
     {
-        model.steps.push_back(Step{ProcKind::NonLinear, name, par,
-                                   nonLinearMix(), kNonLinLimbs,
-                                   AggKind::BroadcastEach, kReluDegree,
-                                   1.0, out_cts});
+        model.steps.push_back(makeNonLinStep(name, par, out_cts));
     }
 
     void
     norm(const std::string& name, size_t par)
     {
-        model.steps.push_back(Step{ProcKind::Norm, name, par, normMix(),
-                                   kMidLimbs, AggKind::BroadcastEach, 0,
-                                   1.0, 2});
+        model.steps.push_back(makeNormStep(name, par));
     }
 };
 

@@ -98,6 +98,28 @@ OpMix pcmmMix();
 OpMix ccmmMix();
 OpMix nonLinearMix();
 
+/// @name Step factories.
+/// The building vocabulary of every model: each factory fixes one
+/// procedure's op mix, working level, aggregation pattern and output
+/// packing.  The hand-built models below and the declarative frontend
+/// (sched/graph/modelspec.hh) both construct steps through these, so a
+/// parsed layer is field-identical to its hand-built counterpart.
+/// @{
+Step makeConvStep(const std::string& name, size_t par,
+                  double scale = 1.0, size_t out_cts = 32);
+Step makeReluStep(const std::string& name, size_t par,
+                  size_t out_cts = 32);
+Step makePoolStep(const std::string& name, size_t par,
+                  size_t out_cts = 16);
+Step makeFcStep(const std::string& name, size_t par);
+Step makeBootStep(const std::string& name, size_t count);
+Step makePcmmStep(const std::string& name, size_t par, double scale);
+Step makeCcmmStep(const std::string& name, size_t par, double scale);
+Step makeNonLinStep(const std::string& name, size_t par,
+                    size_t out_cts = 12);
+Step makeNormStep(const std::string& name, size_t par);
+/// @}
+
 /** A full model: ordered steps plus CKKS geometry. */
 struct WorkloadModel
 {

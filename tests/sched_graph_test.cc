@@ -1,0 +1,601 @@
+/**
+ * @file
+ * Graph-compiler tests (DESIGN.md §15): the NetworkGraph IR must
+ * round-trip losslessly with the flat step-list world, the declarative
+ * registry specs must reproduce the hand-built models field for field,
+ * malformed model specs must fail with a named SpecError (table + 4000
+ * fuzz iterations, never a crash), Safe-level graph execution must be
+ * tick-identical to the hand-built step lists (golden pins on two
+ * machines), and the Aggressive cross-step passes (boot-plan,
+ * fuse-linear, prefetch) must fire where modeled and strictly reduce
+ * the BERT makespan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/prototypes.hh"
+#include "sched/graph/modelspec.hh"
+#include "sched/graph/netcompile.hh"
+#include "sched/progcache.hh"
+#include "serve/sim.hh"
+
+namespace hydra {
+namespace {
+
+void
+expectStepEq(const Step& a, const Step& b, const std::string& ctx)
+{
+    EXPECT_EQ(a.kind, b.kind) << ctx;
+    EXPECT_EQ(a.name, b.name) << ctx;
+    EXPECT_EQ(a.parallelism, b.parallelism) << ctx;
+    EXPECT_EQ(a.perUnit.rotations, b.perUnit.rotations) << ctx;
+    EXPECT_EQ(a.perUnit.cmults, b.perUnit.cmults) << ctx;
+    EXPECT_EQ(a.perUnit.pmults, b.perUnit.pmults) << ctx;
+    EXPECT_EQ(a.perUnit.hadds, b.perUnit.hadds) << ctx;
+    EXPECT_EQ(a.limbs, b.limbs) << ctx;
+    EXPECT_EQ(a.agg, b.agg) << ctx;
+    EXPECT_EQ(a.polyDegree, b.polyDegree) << ctx;
+    EXPECT_EQ(a.unitScale, b.unitScale) << ctx; // bit-exact
+    EXPECT_EQ(a.outputCts, b.outputCts) << ctx;
+}
+
+// ---------------------------------------------------------------------------
+// The IR itself: round-trip, level annotation, structural validation.
+
+TEST(GraphIR, RoundTripsEveryRegistryWorkload)
+{
+    for (const std::string& name : workloadNames()) {
+        WorkloadModel wl = workloadByName(name);
+        NetworkGraph g = NetworkGraph::fromModel(wl);
+        SpecError err;
+        EXPECT_TRUE(g.validate(err)) << name << ": " << err.describe();
+        ASSERT_EQ(g.nodes.size(), wl.steps.size()) << name;
+        // A lifted chain has exactly one edge per adjacent step pair.
+        ASSERT_EQ(g.edges.size(), wl.steps.size() - 1) << name;
+        EXPECT_GT(g.totalEdgeCts(), 0u) << name;
+
+        WorkloadModel back = g.toModel();
+        EXPECT_EQ(back.name, wl.name);
+        EXPECT_EQ(back.logSlots, wl.logSlots);
+        EXPECT_EQ(back.maxLimbs, wl.maxLimbs);
+        ASSERT_EQ(back.steps.size(), wl.steps.size()) << name;
+        for (size_t i = 0; i < wl.steps.size(); ++i)
+            expectStepEq(back.steps[i], wl.steps[i],
+                         name + "/" + wl.steps[i].name);
+    }
+}
+
+TEST(GraphIR, AnnotateLevelsFollowsEquationOne)
+{
+    WorkloadModel m;
+    m.name = "tiny";
+    m.maxLimbs = 24;
+    m.steps = {makeConvStep("c", 8), makeReluStep("r", 8),
+               makeBootStep("b", 4), makeFcStep("f", 16)};
+    NetworkGraph g = NetworkGraph::fromModel(m);
+    ASSERT_EQ(g.nodes.size(), 4u);
+
+    // Linear layer: one level.  ReLU degree 15: ceil(log2(16)) = 4.
+    // Bootstrap: zero depth, resets the chain to maxLimbs.
+    EXPECT_EQ(g.nodes[0].levelIn, 24u);
+    EXPECT_EQ(g.nodes[0].depth, 1u);
+    EXPECT_EQ(g.nodes[1].levelIn, 23u);
+    EXPECT_EQ(g.nodes[1].depth, 4u);
+    EXPECT_EQ(g.nodes[2].levelIn, 19u);
+    EXPECT_EQ(g.nodes[2].depth, 0u);
+    EXPECT_EQ(g.nodes[3].levelIn, 24u);
+    EXPECT_EQ(g.nodes[3].depth, 1u);
+
+    // Rotation totals scale with the effective unit count.
+    const Step& c = m.steps[0];
+    EXPECT_EQ(g.nodes[0].rotations,
+              static_cast<uint64_t>(c.perUnit.rotations) *
+                  c.effectiveUnits());
+}
+
+TEST(GraphIR, ValidateRejectsStructuralBreakage)
+{
+    WorkloadModel m;
+    m.name = "tiny";
+    m.steps = {makeConvStep("c", 8), makeFcStep("f", 16)};
+    NetworkGraph good = NetworkGraph::fromModel(m);
+    SpecError err;
+    ASSERT_TRUE(good.validate(err)) << err.describe();
+
+    {
+        NetworkGraph g = good;
+        g.edges.push_back({0, 0, 32}); // self-loop
+        EXPECT_FALSE(g.validate(err));
+    }
+    {
+        NetworkGraph g = good;
+        g.edges.push_back({1, 7, 32}); // dangling dst
+        EXPECT_FALSE(g.validate(err));
+    }
+    {
+        NetworkGraph g = good;
+        g.edges.push_back({1, 0, 32}); // cycle with 0 -> 1
+        EXPECT_FALSE(g.validate(err));
+        std::vector<uint32_t> order;
+        EXPECT_FALSE(g.topoOrder(order, err));
+        EXPECT_FALSE(err.message.empty());
+    }
+    {
+        NetworkGraph g = good;
+        g.nodes[0].step.limbs = g.maxLimbs + 1;
+        EXPECT_FALSE(g.validate(err));
+    }
+    {
+        NetworkGraph g = good;
+        g.nodes[0].step.parallelism = 0;
+        EXPECT_FALSE(g.validate(err));
+    }
+    {
+        NetworkGraph g = good;
+        g.nodes[1].id = 5; // ids must stay dense
+        EXPECT_FALSE(g.validate(err));
+    }
+    {
+        NetworkGraph g = good;
+        g.name.clear();
+        EXPECT_FALSE(g.validate(err));
+    }
+}
+
+TEST(GraphIR, DescribeAndJsonCarryTheLayers)
+{
+    NetworkGraph g =
+        parseModelGraph("model=tiny,conv=alpha:8,relu=beta:8");
+    std::string text = g.describe();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta"), std::string::npos);
+
+    std::string json = g.toJson();
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"nodes\""), std::string::npos);
+    EXPECT_NE(json.find("\"edges\""), std::string::npos);
+    EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Declarative frontend: registry fidelity, grammar, structured errors.
+
+TEST(ModelSpec, RegistryReproducesHandBuiltModels)
+{
+    for (const char* name :
+         {"resnet18", "resnet50", "bert", "opt", "resnet20"}) {
+        ASSERT_TRUE(modelSpecExists(name)) << name;
+        WorkloadModel ref = workloadByName(name);
+        WorkloadModel got = modelGraphByName(name).toModel();
+        EXPECT_EQ(got.name, ref.name);
+        EXPECT_EQ(got.logSlots, ref.logSlots);
+        EXPECT_EQ(got.maxLimbs, ref.maxLimbs);
+        ASSERT_EQ(got.steps.size(), ref.steps.size()) << name;
+        for (size_t i = 0; i < ref.steps.size(); ++i)
+            expectStepEq(got.steps[i], ref.steps[i],
+                         std::string(name) + "/" + ref.steps[i].name);
+    }
+}
+
+TEST(ModelSpec, Mlp3IsDeclarativeOnly)
+{
+    EXPECT_TRUE(modelSpecExists("mlp3"));
+    EXPECT_FALSE(workloadExists("mlp3"));
+
+    // The unified resolver reaches it, so serving tenants can name it.
+    WorkloadModel m;
+    SpecError err;
+    ASSERT_TRUE(tryResolveWorkloadModel("mlp3", m, err))
+        << err.describe();
+    EXPECT_EQ(m.name, "MLP-3");
+    EXPECT_FALSE(m.steps.empty());
+
+    // Hand-built names keep resolving through the legacy registry.
+    WorkloadModel r18 = resolveWorkloadModel("resnet18");
+    EXPECT_EQ(r18.name, workloadByName("resnet18").name);
+}
+
+TEST(ModelSpec, UnknownNamesListTheRegistry)
+{
+    NetworkGraph g;
+    SpecError err;
+    EXPECT_FALSE(tryModelGraphByName("nope", g, err));
+    EXPECT_EQ(err.token, "nope");
+    EXPECT_NE(err.message.find("unknown model"), std::string::npos);
+    EXPECT_NE(err.message.find("mlp3"), std::string::npos);
+
+    WorkloadModel m;
+    EXPECT_FALSE(tryResolveWorkloadModel("nope", m, err));
+    EXPECT_NE(err.message.find("unknown workload or model"),
+              std::string::npos);
+    EXPECT_NE(err.message.find("resnet50"), std::string::npos);
+    EXPECT_NE(err.message.find("mlp3"), std::string::npos);
+}
+
+TEST(ModelSpec, ParseErrorsNameTheToken)
+{
+    struct Bad
+    {
+        const char* spec;
+        const char* message;
+        const char* token;
+    };
+    const Bad kBad[] = {
+        {"", "model spec wants a model=NAME item", "model"},
+        {"model=m", "model spec declares no layers", "m"},
+        {"bogus", "model spec item is not key=value", "bogus"},
+        {"model=m,model=n,conv=c:4", "duplicate model name", "n"},
+        {"model=m,conv=c1", "conv wants NAME:PAR[:SCALE[:CTS]]", "c1"},
+        {"model=m,conv=c1:0", "layer wants an integer count >= 1", "0"},
+        {"model=m,conv=c1:4:-2", "layer scale wants a number > 0",
+         "-2"},
+        {"model=m,relu=r*:4", "layer wants a name of [A-Za-z0-9_.-]",
+         "r*"},
+        {"model=m,boot=b", "boot wants NAME:CTS", "b"},
+        {"model=m,pcmm=q:4", "pcmm wants NAME:PAR:SCALE", "q:4"},
+        {"model=m,wat=1",
+         "unknown model spec key (want model/slots/limbs/conv/relu/"
+         "pool/fc/boot/pcmm/ccmm/nonlin/norm/block/end)",
+         "wat"},
+        {"model=m,slots=0", "slots wants 1 <= log2(slots) <= 20", "0"},
+        {"model=m,limbs=65", "limbs wants 1 <= limbs <= 64", "65"},
+        {"model=m,conv=c:4,end", "end without an open block", "end"},
+        {"model=m,block=b:2,conv=c:4", "block is missing its end",
+         "b:2"},
+        {"model=m,block=b:2,block=c:2,end", "blocks do not nest",
+         "block=c:2"},
+        {"model=m,block=b:0,end", "block count wants 1..1024", "0"},
+        {"model=m,block=b:2,slots=15,end",
+         "header key is not allowed inside a block", "slots"},
+        {"model=m,conv=c:4,conv=c:8", "duplicate layer name", "c"},
+    };
+    for (const Bad& b : kBad) {
+        NetworkGraph g;
+        SpecError err;
+        EXPECT_FALSE(tryParseModelGraph(b.spec, g, err)) << b.spec;
+        EXPECT_EQ(err.message, b.message) << b.spec;
+        EXPECT_EQ(err.token, b.token) << b.spec;
+        EXPECT_NE(err.describe().find(b.token), std::string::npos);
+    }
+}
+
+TEST(ModelSpec, BlockExpansionPrefixesNames)
+{
+    WorkloadModel m = parseModelGraph("model=m,conv=stem:8,"
+                                      "block=b:2:5,conv=_c:4,relu=_r:4,"
+                                      "end,fc=out:16")
+                          .toModel();
+    ASSERT_EQ(m.steps.size(), 6u);
+    EXPECT_EQ(m.steps[0].name, "stem");
+    EXPECT_EQ(m.steps[1].name, "b5_c");
+    EXPECT_EQ(m.steps[2].name, "b5_r");
+    EXPECT_EQ(m.steps[3].name, "b6_c");
+    EXPECT_EQ(m.steps[4].name, "b6_r");
+    EXPECT_EQ(m.steps[5].name, "out");
+    EXPECT_EQ(m.steps[3].kind, ProcKind::ConvBN);
+}
+
+/** splitmix64: deterministic fuzz stream, no <random> heft. */
+uint64_t
+nextRand(uint64_t& s)
+{
+    s += 0x9e3779b97f4a7c15ull;
+    uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::string
+mutateSpec(std::string s, uint64_t& rng)
+{
+    if (s.empty())
+        return s;
+    switch (nextRand(rng) % 5) {
+      case 0: // flip a byte to a random printable
+        s[nextRand(rng) % s.size()] =
+            static_cast<char>(' ' + nextRand(rng) % 95);
+        break;
+      case 1: // delete a byte
+        s.erase(nextRand(rng) % s.size(), 1);
+        break;
+      case 2: // insert a random printable
+        s.insert(nextRand(rng) % s.size(), 1,
+                 static_cast<char>(' ' + nextRand(rng) % 95));
+        break;
+      case 3: // truncate
+        s.resize(nextRand(rng) % s.size());
+        break;
+      default: { // duplicate a chunk
+        size_t at = nextRand(rng) % s.size();
+        size_t len = 1 + nextRand(rng) % 16;
+        s.insert(at, s.substr(at, len));
+        break;
+      }
+    }
+    return s;
+}
+
+TEST(ModelSpec, FuzzedSpecsFailStructurallyOrParseCoherently)
+{
+    const char* text = modelSpecText("resnet50");
+    ASSERT_NE(text, nullptr);
+    const std::string base = text;
+    uint64_t rng = 0x5eedc0ffee15ull;
+    size_t rejected = 0;
+    for (int i = 0; i < 4000; ++i) {
+        std::string s = mutateSpec(base, rng);
+        if (nextRand(rng) & 1)
+            s = mutateSpec(std::move(s), rng);
+        NetworkGraph g;
+        SpecError err;
+        if (!tryParseModelGraph(s, g, err)) {
+            // Rejection is always named: a message and an offending
+            // token, never an abort or an empty error.
+            EXPECT_FALSE(err.message.empty()) << s;
+            EXPECT_FALSE(err.describe().empty());
+            ++rejected;
+            continue;
+        }
+        // Accepted mutants must still be coherent graphs.
+        EXPECT_FALSE(g.nodes.empty());
+        SpecError verr;
+        EXPECT_TRUE(g.validate(verr)) << verr.describe();
+    }
+    // Byte-level mutation of a rich spec must trip the parser often.
+    EXPECT_GT(rejected, 500u);
+}
+
+// ---------------------------------------------------------------------------
+// The network compiler: Safe tick-identity, Aggressive passes.
+
+struct GraphGolden
+{
+    const char* machine;
+    const char* model;
+    uint64_t makespan; // == the hand-built pin in sched_compile_test
+};
+
+/** Safe-level graph runs must land on the step-list golden ticks. */
+const GraphGolden kGraphGoldens[] = {
+    {"hydra-m", "resnet50", 82584461339718ull},
+    {"hydra-m", "bert", 53122397900053ull},
+    {"hydra-m", "opt", 2214560898140687ull},
+    {"fab-m", "resnet50", 258872566044188ull},
+    {"fab-m", "bert", 159294942125964ull},
+    {"fab-m", "opt", 6640184078890908ull},
+};
+
+TEST(NetCompile, SafeLoweringIsTickIdenticalToStepLists)
+{
+    for (const GraphGolden& g : kGraphGoldens) {
+        InferenceRunner runner(machineByName(g.machine));
+        NetworkGraph graph = modelGraphByName(g.model);
+        InferenceResult viaGraph =
+            runner.runGraph(graph, OptLevel::Safe);
+        InferenceResult viaSteps = runner.run(workloadByName(g.model));
+        ASSERT_TRUE(viaGraph.ok()) << g.machine << "/" << g.model;
+        ASSERT_TRUE(viaSteps.ok());
+        EXPECT_EQ(viaGraph.total.makespan, g.makespan)
+            << g.machine << "/" << g.model;
+        EXPECT_EQ(viaGraph.total.fingerprint(),
+                  viaSteps.total.fingerprint())
+            << g.machine << "/" << g.model;
+        ASSERT_EQ(viaGraph.steps.size(), viaSteps.steps.size());
+    }
+}
+
+TEST(NetCompile, NoneLevelMatchesSafeTicks)
+{
+    InferenceRunner runner(machineByName("hydra-m"));
+    NetworkGraph graph = modelGraphByName("resnet50");
+    EXPECT_EQ(runner.runGraph(graph, OptLevel::None).total.makespan,
+              runner.runGraph(graph, OptLevel::Safe).total.makespan);
+}
+
+TEST(NetCompile, AggressiveElidesBertBootstrapsAndWins)
+{
+    InferenceRunner runner(machineByName("hydra-m"));
+    NetworkGraph graph = modelGraphByName("bert");
+    NetOptReport rep;
+    InferenceResult aggressive =
+        runner.runGraph(graph, OptLevel::Aggressive, &rep);
+    InferenceResult safe = runner.runGraph(graph, OptLevel::Safe);
+    ASSERT_TRUE(aggressive.ok());
+    ASSERT_TRUE(safe.ok());
+
+    // Eq. 1 walk: every per-layer boot1 is redundant (the chain reaches
+    // boot2 with headroom), boot2 is load-bearing and must survive.
+    EXPECT_GE(rep.bootsElided, 12u);
+    EXPECT_GT(rep.modeledBootSavings, 0u);
+    EXPECT_LT(aggressive.total.makespan, safe.total.makespan);
+    EXPECT_NE(rep.describe().find("elided"), std::string::npos);
+
+    size_t bootsLeft = 0;
+    for (const StepResult& s : aggressive.steps)
+        bootsLeft += s.kind == ProcKind::Bootstrap;
+    EXPECT_GT(bootsLeft, 0u);
+}
+
+/** Compiler rig over one machine for unit-level inspection. */
+struct NetRig
+{
+    PrototypeSpec spec;
+    OpCostModel cost;
+    std::unique_ptr<NetworkModel> net;
+
+    explicit NetRig(const char* machine)
+        : spec(machineByName(machine)),
+          cost(spec.fpga, size_t{1} << 16, spec.dnum),
+          net(spec.makeNetwork())
+    {
+    }
+
+    CompiledNetwork
+    compile(const NetworkGraph& g, OptLevel level)
+    {
+        return compileNetwork(spec, cost, *net, g, level);
+    }
+};
+
+TEST(NetCompile, AggressiveFusesLinearChains)
+{
+    // fab-m's host-mediated network cannot overlap transfers with
+    // compute, so prefetch stays off and fused units stay visible.
+    NetRig rig("fab-m");
+    CompiledNetwork cn =
+        rig.compile(modelGraphByName("resnet50"), OptLevel::Aggressive);
+    EXPECT_GT(cn.report.fusedSteps, 0u);
+    EXPECT_EQ(cn.report.prefetchedBoundaries, 0u);
+    ASSERT_EQ(cn.programs.size(), cn.units.size());
+
+    bool anyFused = false;
+    for (const NetUnit& u : cn.units)
+        if (u.kind == NetUnit::Kind::Fused) {
+            anyFused = true;
+            EXPECT_GE(u.nodes.size(), 2u);
+            EXPECT_NE(u.name.find(".."), std::string::npos);
+        }
+    EXPECT_TRUE(anyFused);
+}
+
+TEST(NetCompile, AggressivePrefetchesOnOverlappingNetworks)
+{
+    NetRig rig("hydra-m"); // switched: transfers overlap compute
+    CompiledNetwork cn =
+        rig.compile(modelGraphByName("resnet50"), OptLevel::Aggressive);
+    EXPECT_GT(cn.report.prefetchedBoundaries, 0u);
+    bool anyPrefetch = false;
+    for (const NetUnit& u : cn.units) {
+        anyPrefetch |= u.kind == NetUnit::Kind::Prefetch;
+        EXPECT_LE(u.nodes.size(), kPrefetchWindow * 4);
+    }
+    EXPECT_TRUE(anyPrefetch);
+}
+
+TEST(NetCompile, BootPlanMergesAdjacentAndElidesRedundant)
+{
+    // Two back-to-back refreshes right after a depth-1 layer: they
+    // merge into one combined refresh, which the level walk then
+    // elides outright (23 levels of headroom, 1 needed).
+    NetworkGraph g = parseModelGraph(
+        "model=m,limbs=24,pcmm=q:64:1,boot=b1:4,boot=b2:4,fc=out:64");
+    NetRig rig("hydra-m");
+    CompiledNetwork cn = rig.compile(g, OptLevel::Aggressive);
+    EXPECT_EQ(cn.report.bootsMerged, 1u);
+    EXPECT_EQ(cn.report.bootsElided, 1u);
+    for (const LayerNode& n : cn.graph.nodes)
+        EXPECT_NE(n.step.kind, ProcKind::Bootstrap) << n.step.name;
+}
+
+TEST(NetCompile, BootPlanKeepsLoadBearingRefreshAndRelevels)
+{
+    // 5 softmax layers burn 20 of 24 levels; the merged refresh in the
+    // middle is load-bearing (20 more levels follow) and must survive
+    // with the combined ciphertext count.  Layers that run past the
+    // tracked level get re-levelled instead of silently overdrawing.
+    NetworkGraph g = parseModelGraph(
+        "model=m,limbs=24,"
+        "nonlin=s1:8,nonlin=s2:8,nonlin=s3:8,nonlin=s4:8,nonlin=s5:8,"
+        "boot=b1:4,boot=b2:4,"
+        "nonlin=t1:8,nonlin=t2:8,nonlin=t3:8,nonlin=t4:8,nonlin=t5:8,"
+        "fc=out:16");
+    NetRig rig("hydra-m");
+    CompiledNetwork cn = rig.compile(g, OptLevel::Aggressive);
+    EXPECT_EQ(cn.report.bootsMerged, 1u);
+    EXPECT_EQ(cn.report.bootsElided, 0u);
+    EXPECT_GE(cn.report.relevelled, 2u);
+
+    size_t boots = 0;
+    for (const LayerNode& n : cn.graph.nodes)
+        if (n.step.kind == ProcKind::Bootstrap) {
+            ++boots;
+            EXPECT_EQ(n.step.parallelism, 8u); // 4 + 4 combined
+        }
+    EXPECT_EQ(boots, 1u);
+
+    // The rewritten graph still executes end to end.
+    InferenceRunner runner(machineByName("hydra-m"));
+    NetOptReport rep;
+    EXPECT_TRUE(runner.runGraph(g, OptLevel::Aggressive, &rep).ok());
+}
+
+TEST(NetCompile, InvalidGraphSurfacesStructuredError)
+{
+    WorkloadModel m;
+    m.name = "tiny";
+    m.steps = {makeConvStep("c", 8), makeFcStep("f", 16)};
+    NetworkGraph g = NetworkGraph::fromModel(m);
+    g.edges.push_back({1, 0, 32}); // cycle
+
+    InferenceRunner runner(machineByName("hydra-m"));
+    InferenceResult res = runner.runGraph(g);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.error.kind, RunError::Kind::InvalidProgram);
+    EXPECT_NE(res.error.message.find("runGraph:"), std::string::npos);
+}
+
+TEST(NetCompile, DeclarativeModelServesAsTenant)
+{
+    // Serving tenants resolve through resolveWorkloadModel, so a
+    // declarative-only registry model is a legal workload class.
+    ServeSim sim(machineByName("hydra-m"),
+                 ServeSpec::parse(
+                     "seed=3,duration=120,tenant=enc:open:mlp3:0.05"),
+                 FaultPlan::parse(""));
+    ServeStats st = sim.run();
+    EXPECT_GT(st.completed, 0u);
+    EXPECT_EQ(st.offered, st.completed + st.shed);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded ProgramCache: LRU order, eviction counter.
+
+TEST(ProgCache, BoundedCapacityEvictsLeastRecentlyUsed)
+{
+    NetRig rig("hydra-m");
+    WorkloadModel wl = workloadByName("resnet18");
+    ASSERT_GE(wl.steps.size(), 3u);
+
+    ProgramCache cache; // local: the global cache stays untouched
+    cache.setCapacity(2);
+    auto get = [&](size_t i) {
+        std::string key = stepCacheKey(rig.spec, rig.spec.cluster,
+                                       rig.spec.cluster, rig.cost.n(),
+                                       wl.logSlots, wl.steps[i]);
+        return cache.getOrCompile(key, [&] {
+            return compileStep(rig.cost, *rig.net,
+                               rig.spec.cluster.totalCards(),
+                               wl.logSlots, rig.spec.mapping,
+                               wl.steps[i]);
+        });
+    };
+
+    get(0);
+    get(1);
+    get(2); // evicts step 0 (capacity 2)
+    ProgramCache::Stats st = cache.stats();
+    EXPECT_EQ(st.misses, 3u);
+    EXPECT_EQ(st.evictions, 1u);
+    EXPECT_EQ(st.entries, 2u);
+
+    get(0); // miss again: it was the LRU victim; evicts step 1
+    get(2); // hit: still resident
+    st = cache.stats();
+    EXPECT_EQ(st.misses, 4u);
+    EXPECT_EQ(st.evictions, 2u);
+    EXPECT_EQ(st.hits, 1u);
+
+    cache.setCapacity(0); // unbounded again
+    get(1);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+} // namespace
+} // namespace hydra

@@ -85,11 +85,14 @@ TEST(ServeSpecParse, MalformedInputNamesTheOffendingToken)
         // sched= policy tokens
         {"sched=x", "x"},
         {"sched=fifo:1", "fifo:1"},
-        {"sched=cake:1:2:3", "cake:1:2:3"},
         {"sched=cake:0", "0"},
         {"sched=cake:-1", "-1"},
         {"sched=cake:nan", "nan"},
         {"sched=cake:1:0", "0"},
+        // per-tier quanta (4th field on) must each be seconds > 0
+        {"sched=cake:1:2:0", "0"},
+        {"sched=cake:1:2:0.5:-1", "-1"},
+        {"sched=cake:1:2:0.5:x", "x"},
         // kick cap below the wait budget (validated after parsing)
         {"duration=10,sched=cake:2:1", "1"},
         // bulk tenants= blocks
@@ -156,6 +159,33 @@ TEST(ServeSpecParse, SchedDefaultsToFifo)
     // Bare cake keeps the documented defaults (1 s budget, 10 s cap).
     EXPECT_DOUBLE_EQ(s.waitBudgetSeconds, 1.0);
     EXPECT_DOUBLE_EQ(s.kickSeconds, 10.0);
+}
+
+TEST(ServeSpecParse, CakeQuantaParseAndClamp)
+{
+    ServeSpec s;
+    SpecError err;
+    ASSERT_TRUE(ServeSpec::tryParse(
+        "duration=10,sched=cake:1:10:0.25:0.5,tenant=a:open:bert:1", s,
+        err))
+        << err.describe();
+    ASSERT_EQ(s.quantumSeconds.size(), 2u);
+    EXPECT_EQ(s.quantumTicks(0), secondsToTicks(0.25));
+    EXPECT_EQ(s.quantumTicks(1), secondsToTicks(0.5));
+    // Tiers past the last entry clamp to it; negatives clamp to 0.
+    EXPECT_EQ(s.quantumTicks(7), secondsToTicks(0.5));
+    EXPECT_EQ(s.quantumTicks(-2), secondsToTicks(0.25));
+    EXPECT_NE(s.describe().find("quanta"), std::string::npos);
+
+    // No quanta spelled: every tier slices at the tier-0 wait budget
+    // (the legacy one-quantum behaviour, so existing runs are
+    // bit-identical).
+    ServeSpec d;
+    ASSERT_TRUE(ServeSpec::tryParse(
+        "duration=10,sched=cake:2:20,tenant=a:open:bert:1", d, err));
+    EXPECT_TRUE(d.quantumSeconds.empty());
+    EXPECT_EQ(d.quantumTicks(0), d.waitBudgetTicks(0));
+    EXPECT_EQ(d.quantumTicks(3), d.waitBudgetTicks(0));
 }
 
 // ---------------------------------------------------------------------
