@@ -12,6 +12,10 @@
  *                             stream, ~1k completions so the latency
  *                             percentiles are a real distribution
  *   BM_ServeClosed            closed-loop client pool on Hydra-M
+ *   BM_ServeBertSafe/Aggressive  the §16 compile-level A/B: the same
+ *                             BERT-heavy cake mix served with Safe
+ *                             per-step plans vs opt=aggressive
+ *                             ExecPlans (fused, boot-elided units)
  *   BM_ServeFaulted           open-loop stream with a mid-stream card
  *                             kill (repartition + shed accounting)
  *   BM_ServeFederated         4-cluster federation losing one cluster
@@ -136,6 +140,18 @@ exportStats(benchmark::State& state, const ServeStats& st)
     state.counters["max_wait_s"] = ticksToSeconds(st.maxWaitTicks);
     state.counters["job_cache_hits"] =
         static_cast<double>(st.jobCacheHits);
+    state.counters["job_cache_misses"] =
+        static_cast<double>(st.jobCacheMisses);
+    // Per-run ProgramCache deltas (the serve_cluster --json "caches"
+    // block); the cross-iteration reuse rate is computed in serveCase.
+    state.counters["progcache_run_hits"] =
+        static_cast<double>(st.progCacheHits);
+    state.counters["progcache_run_misses"] =
+        static_cast<double>(st.progCacheMisses);
+    state.counters["progcache_evictions"] =
+        static_cast<double>(st.progCacheEvictions);
+    state.counters["progcache_entries"] =
+        static_cast<double>(st.progCacheEntries);
 }
 
 void
@@ -207,6 +223,35 @@ BM_ServeSloCake(benchmark::State& state)
 BENCHMARK(BM_ServeSloCake)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
+
+/**
+ * The compile-level A/B (DESIGN.md §16 acceptance): a BERT-heavy cake
+ * mix — two under-provisioned bert groups under sustained closed-loop
+ * pressure plus a trickle of open-loop arrivals — served once with the
+ * default Safe per-step plans and once with `opt=aggressive` ExecPlans
+ * (boot-elided, fused multi-layer units).  The aggressive leg must
+ * show the shorter service times as lower p99 latency and a smaller
+ * virtual makespan at identical offered traffic.
+ */
+const char* kBertHeavySpec =
+    "seed=11,duration=4000,sched=cake,queue=256,"
+    "group=bert:4,group=bert:4,"
+    "tenant=nlp:closed:bert:1:60,tenant=burst:open:bert:0.012";
+
+void
+BM_ServeBertSafe(benchmark::State& state)
+{
+    serveCase(state, hydraMSpec(), kBertHeavySpec, "");
+}
+BENCHMARK(BM_ServeBertSafe)->Unit(benchmark::kMillisecond);
+
+void
+BM_ServeBertAggressive(benchmark::State& state)
+{
+    serveCase(state, hydraMSpec(),
+              std::string("opt=aggressive,") + kBertHeavySpec, "");
+}
+BENCHMARK(BM_ServeBertAggressive)->Unit(benchmark::kMillisecond);
 
 void
 BM_ServeFaulted(benchmark::State& state)

@@ -23,8 +23,8 @@
  *                 [--max-attempts N]    (per-transfer retry budget)
  *                 [--json]              (one JSON object on stdout)
  *                 [--dump-program]      (print each fleet group's
- *                  compiled per-step Programs — queue depths, message
- *                  counts, bytes, pass deltas — and exit; no run)
+ *                  compiled ExecPlan unit Programs — queue depths,
+ *                  message counts, bytes, pass deltas — and exit)
  *                 [--list-machines] [--list-workloads]
  *
  * The serve SPEC is a comma list (defaults in parentheses):
@@ -40,6 +40,10 @@
  *                                       named PREFIX#0..PREFIX#COUNT-1
  *   prio=NAME:P                         priority tier (0 highest);
  *                                       a trailing '*' prefix-matches
+ *   opt=[NAME:]safe|aggressive          compile level: spec-wide
+ *                                       default or per-tenant (NAME*
+ *                                       prefix-matches); aggressive
+ *                                       runs the cross-step passes
  *   at=SEC:NAME:WL                      trace-replay arrival
  *   group=WL:CARDS[:MIN]                partition plan (else even split)
  *
@@ -55,6 +59,7 @@
  *   serve_cluster --machine hydra-m --serve-file slo2.spec --json
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -65,6 +70,7 @@
 
 #include "baselines/prototypes.hh"
 #include "common/logging.hh"
+#include "sched/execplan.hh"
 #include "sched/progcache.hh"
 #include "serve/partition.hh"
 #include "serve/sim.hh"
@@ -74,8 +80,11 @@ using namespace hydra;
 
 namespace {
 
-/** Compile and print every fleet group's per-step Programs — what the
- *  serving layer preloads and reuses across jobs (--dump-program). */
+/** Compile and print every fleet group's ExecPlan — the unit Programs
+ *  the serving layer preloads and reuses across jobs (--dump-program).
+ *  One plan is printed per distinct opt level the spec's tenants
+ *  request for the group's workload, so an `opt=aggressive` tenant's
+ *  fused multi-layer units show up next to the Safe per-step plan. */
 void
 dumpGroupPrograms(const PrototypeSpec& spec, const ServeSpec& serve)
 {
@@ -86,20 +95,31 @@ dumpGroupPrograms(const PrototypeSpec& spec, const ServeSpec& serve)
         PrototypeSpec sub = groupSubSpec(spec, g.cards);
         OpCostModel cost(sub.fpga, size_t{1} << 16, sub.dnum);
         std::unique_ptr<NetworkModel> net = sub.makeNetwork();
-        std::printf("group %zu: %s on %zu card(s) "
-                    "(%zu server(s) x %zu)\n",
-                    g.id, wl.name.c_str(), g.cards.size(),
-                    sub.cluster.servers, sub.cluster.cardsPerServer);
-        for (size_t si = 0; si < wl.steps.size(); ++si) {
-            const Step& step = wl.steps[si];
-            CompiledStep cs = compileStep(cost, *net,
-                                          sub.cluster.totalCards(),
-                                          wl.logSlots, sub.mapping,
-                                          step);
-            std::printf("  step %3zu %-24s [%s]\n", si,
-                        step.name.c_str(), procName(step.kind));
-            std::printf("%s\n", describeProgram(cs.program,
-                                                &cs.report).c_str());
+        std::vector<OptLevel> levels;
+        for (const auto& t : serve.tenants)
+            if (t.workload == wlNames[g.workload] &&
+                std::find(levels.begin(), levels.end(), t.opt) ==
+                    levels.end())
+                levels.push_back(t.opt);
+        if (levels.empty())
+            levels.push_back(OptLevel::Safe);
+        for (OptLevel lv : levels) {
+            ExecPlan plan = compilePlan(sub, cost, *net, wl, lv);
+            std::printf("group %zu: %s on %zu card(s) "
+                        "(%zu server(s) x %zu), opt=%s, %zu unit(s)\n",
+                        g.id, wl.name.c_str(), g.cards.size(),
+                        sub.cluster.servers, sub.cluster.cardsPerServer,
+                        optLevelName(lv), plan.size());
+            for (size_t ui = 0; ui < plan.units.size(); ++ui) {
+                const ExecUnit& u = plan.units[ui];
+                std::printf("  unit %3zu %-24s [%s, %zu step(s)]\n",
+                            ui, u.name.c_str(), procName(u.lead),
+                            u.steps.size());
+                std::printf("%s\n",
+                            describeProgram(u.compiled->program,
+                                            &u.compiled->report)
+                                .c_str());
+            }
         }
     }
 }

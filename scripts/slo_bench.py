@@ -17,6 +17,14 @@ properties the scheduler exists to provide:
      HYDRA_THREADS=1 vs 4 (virtual time never depends on host
      parallelism).
 
+It then runs the DESIGN.md 16 compile-level A/B: the BERT-heavy cake
+mix (two under-provisioned bert groups under closed-loop pressure)
+served once with the default Safe per-step plans and once with
+`opt=aggressive` ExecPlans, asserting that the aggressive leg's p99
+is no worse than safe's, that its deficit ledger still conserves
+exactly, and that the aggressive run is bit-identical across reruns
+and HYDRA_THREADS=1 vs 4.
+
 Usage: slo_bench.py PATH/TO/serve_cluster [--duration N]
                     [--per-block N] [--machine M] [--json OUT]
 
@@ -60,6 +68,61 @@ def check_accounting(st, label):
                             fed["shed_after_admit"]))
 
 
+def check_ledger(st, label):
+    k = st["cake"]
+    if k["charged_ticks"] != (k["refunded_ticks"] +
+                              k["executed_ticks"]) % (1 << 64):
+        raise SystemExit("%s: deficit ledger broken: charged %d != "
+                         "refunded %d + executed %d (mod 2^64)"
+                         % (label, k["charged_ticks"],
+                            k["refunded_ticks"], k["executed_ticks"]))
+
+
+def bert_spec(duration):
+    """The bench/serving.cc kBertHeavySpec shape, duration-scaled."""
+    return ("seed=11,duration=%d,sched=cake,queue=256,"
+            "group=bert:4,group=bert:4,"
+            "tenant=nlp:closed:bert:1:60,"
+            "tenant=burst:open:bert:0.012" % duration)
+
+
+def aggressive_ab(binary, machine, duration):
+    """Safe vs opt=aggressive over the BERT-heavy mix."""
+    base = bert_spec(duration)
+    safe = run_once(binary, machine, base)
+    aggr = run_once(binary, machine, "opt=aggressive," + base)
+    check_accounting(safe, "bert-safe")
+    check_accounting(aggr, "bert-aggressive")
+    check_ledger(safe, "bert-safe")
+    check_ledger(aggr, "bert-aggressive")
+
+    s99 = safe["latency_ms"]["p99"]
+    a99 = aggr["latency_ms"]["p99"]
+    if a99 > s99:
+        raise SystemExit("compile regression: aggressive p99 %.1f ms "
+                         "> safe p99 %.1f ms" % (a99, s99))
+
+    rerun = run_once(binary, machine, "opt=aggressive," + base)
+    if aggr["hash"] != rerun["hash"]:
+        raise SystemExit("aggressive rerun hash diverged: %s vs %s"
+                         % (aggr["hash"], rerun["hash"]))
+    serial = run_once(binary, machine, "opt=aggressive," + base,
+                      threads=1)
+    if aggr["hash"] != serial["hash"]:
+        raise SystemExit("aggressive HYDRA_THREADS=1 vs 4 hash "
+                         "diverged: %s vs %s"
+                         % (aggr["hash"], serial["hash"]))
+    return {
+        "safe": {"completed": safe["completed"],
+                 "p99_ms": s99,
+                 "hash": safe["hash"]},
+        "aggressive": {"completed": aggr["completed"],
+                       "p99_ms": a99,
+                       "hash": aggr["hash"]},
+        "p99_improvement": s99 / a99 if a99 > 0 else 0.0,
+    }
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("binary", help="path to the serve_cluster binary")
@@ -68,6 +131,9 @@ def main():
     ap.add_argument("--per-block", type=int, default=400)
     ap.add_argument("--json", default=None,
                     help="write the A/B summary to this path")
+    ap.add_argument("--bert-duration", type=int, default=4000,
+                    help="duration of the opt=aggressive BERT-heavy "
+                         "A/B legs (0 skips them)")
     args = ap.parse_args()
 
     base = make_spec(duration=args.duration,
@@ -87,13 +153,8 @@ def main():
                          % (cake["shed"]["total"],
                             fifo["shed"]["total"]))
 
+    check_ledger(cake, "cake")
     k = cake["cake"]
-    if k["charged_ticks"] != (k["refunded_ticks"] +
-                              k["executed_ticks"]) % (1 << 64):
-        raise SystemExit("deficit ledger broken: charged %d != "
-                         "refunded %d + executed %d (mod 2^64)"
-                         % (k["charged_ticks"], k["refunded_ticks"],
-                            k["executed_ticks"]))
 
     rerun = run_once(args.binary, args.machine, "sched=cake," + base)
     if cake["hash"] != rerun["hash"]:
@@ -125,14 +186,26 @@ def main():
                  "hash": cake["hash"]},
         "p99_improvement": f99 / c99 if c99 > 0 else 0.0,
     }
-    if args.json:
-        with open(args.json, "w") as out:
-            json.dump(summary, out, indent=1)
     print("slo bench ok: fifo p99 %.1f ms -> cake p99 %.1f ms "
           "(%.2fx), shed %d -> %d, cake hash %s stable"
           % (f99, c99, summary["p99_improvement"],
              fifo["shed"]["total"], cake["shed"]["total"],
              cake["hash"]))
+
+    if args.bert_duration > 0:
+        bert = aggressive_ab(args.binary, args.machine,
+                             args.bert_duration)
+        summary["bert_heavy"] = bert
+        print("aggressive ok: safe p99 %.1f ms -> aggressive p99 "
+              "%.1f ms (%.2fx), aggressive hash %s stable"
+              % (bert["safe"]["p99_ms"],
+                 bert["aggressive"]["p99_ms"],
+                 bert["p99_improvement"],
+                 bert["aggressive"]["hash"]))
+
+    if args.json:
+        with open(args.json, "w") as out:
+            json.dump(summary, out, indent=1)
 
 
 if __name__ == "__main__":

@@ -141,10 +141,10 @@ bootPlanPass(const std::vector<Step>& in, size_t max_limbs,
 
 } // namespace
 
-CompiledNetwork
-compileNetwork(const PrototypeSpec& spec, const OpCostModel& cost,
-               const NetworkModel& net, const NetworkGraph& graph,
-               OptLevel level)
+NetPartition
+partitionNetwork(const PrototypeSpec& spec, const OpCostModel& cost,
+                 const NetworkModel& net, const NetworkGraph& graph,
+                 OptLevel level)
 {
     std::vector<uint32_t> order;
     SpecError err;
@@ -157,7 +157,7 @@ compileNetwork(const PrototypeSpec& spec, const OpCostModel& cost,
     for (uint32_t id : order)
         steps.push_back(graph.nodes[id].step);
 
-    CompiledNetwork out;
+    NetPartition out;
     out.report.level = level;
     size_t cards = spec.cluster.totalCards();
     bool aggressive = level == OptLevel::Aggressive;
@@ -237,55 +237,76 @@ compileNetwork(const PrototypeSpec& spec, const OpCostModel& cost,
         units = std::move(merged);
     }
 
+    out.steps = std::move(steps);
+    out.units = std::move(units);
+    return out;
+}
+
+std::shared_ptr<const CompiledStep>
+compileNetUnit(const PrototypeSpec& spec,
+               const ClusterConfig& exec_cluster,
+               const ClusterConfig& net_cluster, const OpCostModel& cost,
+               const NetworkModel& net, size_t log_slots,
+               const std::vector<const Step*>& members,
+               NetUnit::Kind kind, OptLevel level)
+{
+    size_t cards = exec_cluster.totalCards();
+    std::string key;
+    if (members.size() == 1)
+        key = stepCacheKey(spec, exec_cluster, net_cluster, cost.n(),
+                           log_slots, *members[0], level);
+    else
+        key = unitCacheKey(spec, exec_cluster, net_cluster, cost.n(),
+                           log_slots, members, kind, level);
+    return ProgramCache::global().getOrCompile(key, [&] {
+        if (members.size() == 1)
+            return compileStep(cost, net, cards, log_slots,
+                               spec.mapping, *members[0], level);
+        StepMapper mapper(cost, net, cards, log_slots, spec.mapping);
+        PlanBuilder pb(cards);
+        pb.setLogSlots(log_slots);
+        for (const Step* s : members)
+            mapper.planStepInto(pb, *s);
+        CompiledStep cs;
+        Program prog = lowerPlan(pb.take(), cost, net, spec.mapping);
+        cs.program = optimizeProgram(std::move(prog), level,
+                                     net.overlapsCompute(),
+                                     &cs.report);
+        return cs;
+    });
+}
+
+CompiledNetwork
+compileNetwork(const PrototypeSpec& spec, const OpCostModel& cost,
+               const NetworkModel& net, const NetworkGraph& graph,
+               OptLevel level)
+{
+    NetPartition part = partitionNetwork(spec, cost, net, graph, level);
+
     // Rebuild the post-pass graph (chain in execution order) so dumps
     // and unit node ids reflect what actually compiles.
     WorkloadModel post;
     post.name = graph.name;
     post.logSlots = graph.logSlots;
     post.maxLimbs = graph.maxLimbs;
-    post.steps = steps;
+    post.steps = part.steps;
+    CompiledNetwork out;
     out.graph = NetworkGraph::fromModel(post);
-    out.units = std::move(units);
+    out.units = std::move(part.units);
+    out.report = part.report;
 
     // Compile every unit through the shared cache.  Single-layer units
     // use the step compiler's exact key, so the graph path shares
     // entries with InferenceRunner::run()/ServeSim.
-    ProgramCache& cache = ProgramCache::global();
     out.programs.reserve(out.units.size());
     for (const NetUnit& u : out.units) {
-        std::string key;
-        if (u.nodes.size() == 1) {
-            key = stepCacheKey(spec, spec.cluster, spec.cluster,
-                               cost.n(), graph.logSlots,
-                               steps[u.nodes[0]], level);
-        } else {
-            std::vector<const Step*> members;
-            members.reserve(u.nodes.size());
-            for (uint32_t id : u.nodes)
-                members.push_back(&steps[id]);
-            key = unitCacheKey(spec, spec.cluster, spec.cluster,
-                               cost.n(), graph.logSlots, members,
-                               u.kind, level);
-        }
-        out.programs.push_back(cache.getOrCompile(key, [&] {
-            if (u.nodes.size() == 1)
-                return compileStep(cost, net, cards, graph.logSlots,
-                                   spec.mapping, steps[u.nodes[0]],
-                                   level);
-            StepMapper mapper(cost, net, cards, graph.logSlots,
-                              spec.mapping);
-            PlanBuilder pb(cards);
-            pb.setLogSlots(graph.logSlots);
-            for (uint32_t id : u.nodes)
-                mapper.planStepInto(pb, steps[id]);
-            CompiledStep cs;
-            Program prog = lowerPlan(pb.take(), cost, net,
-                                     spec.mapping);
-            cs.program = optimizeProgram(std::move(prog), level,
-                                         net.overlapsCompute(),
-                                         &cs.report);
-            return cs;
-        }));
+        std::vector<const Step*> members;
+        members.reserve(u.nodes.size());
+        for (uint32_t id : u.nodes)
+            members.push_back(&part.steps[id]);
+        out.programs.push_back(
+            compileNetUnit(spec, spec.cluster, spec.cluster, cost, net,
+                           graph.logSlots, members, u.kind, level));
     }
     return out;
 }

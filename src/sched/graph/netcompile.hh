@@ -96,6 +96,50 @@ struct NetOptReport
     std::string describe() const;
 };
 
+/**
+ * The partition stage of network compilation, exposed separately so
+ * the ExecPlan layer (sched/execplan.hh) can compute a plan's unit
+ * boundaries without materializing any Program: the post-pass step
+ * list in execution order, its unit partition, and the pass report.
+ * The partition is a pure function of the graph content and the
+ * machine's network kind — it does NOT depend on the executing card
+ * count, so every card group of one machine sees the same unit
+ * boundaries for a given (workload, level) pair (the serving layer's
+ * resumable unit indices rely on this).
+ */
+struct NetPartition
+{
+    /** Post-pass steps, in execution order (boot-plan rewrites
+     *  applied); unit node ids index into this. */
+    std::vector<Step> steps;
+    std::vector<NetUnit> units;
+    NetOptReport report;
+};
+
+/** Run the cross-step passes and unit partition of compileNetwork
+ *  without compiling any Program.  The graph must topo-order (fatals
+ *  on a cycle, like compileNetwork). */
+NetPartition partitionNetwork(const PrototypeSpec& spec,
+                              const OpCostModel& cost,
+                              const NetworkModel& net,
+                              const NetworkGraph& graph,
+                              OptLevel level = OptLevel::Safe);
+
+/**
+ * Compile one unit of a partition through the shared ProgramCache for
+ * an executing (sub-)cluster: single-member units use the step
+ * compiler's exact stepCacheKey (shared with InferenceRunner::run());
+ * multi-member units use unitCacheKey.  `exec_cluster` may be smaller
+ * than `net_cluster` (the degraded re-dispatch path).
+ */
+std::shared_ptr<const CompiledStep>
+compileNetUnit(const PrototypeSpec& spec,
+               const ClusterConfig& exec_cluster,
+               const ClusterConfig& net_cluster, const OpCostModel& cost,
+               const NetworkModel& net, size_t log_slots,
+               const std::vector<const Step*>& members,
+               NetUnit::Kind kind, OptLevel level);
+
 /** A fully compiled network: the post-pass graph, its unit partition,
  *  and one shared compiled Program per unit. */
 struct CompiledNetwork

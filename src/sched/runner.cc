@@ -4,35 +4,11 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "sched/execplan.hh"
 #include "sched/graph/netcompile.hh"
 #include "sched/progcache.hh"
 
 namespace hydra {
-
-namespace {
-
-/**
- * The one program-construction path of the runner: fetch the step's
- * compiled Program from the shared ProgramCache, compiling
- * plan -> lower -> optimize(Safe) on a miss.  run(), the degraded
- * re-dispatch loops and runJob() all come through here, so identical
- * (machine, cluster, step) combinations compile exactly once per
- * process.
- */
-std::shared_ptr<const CompiledStep>
-compiledFor(const PrototypeSpec& spec, const ClusterConfig& exec_cluster,
-            const ClusterConfig& net_cluster, const OpCostModel& cost,
-            const NetworkModel& net, size_t log_slots, const Step& step)
-{
-    std::string key = stepCacheKey(spec, exec_cluster, net_cluster,
-                                   cost.n(), log_slots, step);
-    return ProgramCache::global().getOrCompile(key, [&] {
-        return compileStep(cost, net, exec_cluster.totalCards(),
-                           log_slots, spec.mapping, step);
-    });
-}
-
-} // namespace
 
 std::unique_ptr<NetworkModel>
 PrototypeSpec::makeNetwork() const
@@ -143,47 +119,77 @@ InferenceRunner::runFused(const WorkloadModel& workload) const
 InferenceResult
 InferenceRunner::run(const WorkloadModel& workload) const
 {
-    ClusterExecutor executor(spec_.cluster, *net_);
-
-    InferenceResult result;
-    result.machine = spec_.name;
-    result.workload = workload.name;
-    for (const auto& step : workload.steps) {
-        auto compiled =
-            compiledFor(spec_, spec_.cluster, spec_.cluster, cost_,
-                        *net_, workload.logSlots, step);
-        RunStats stats = executor.run(compiled->program);
-        result.total.append(stats, net_->stepSyncLatency());
-        result.steps.push_back(StepResult{step.name, step.kind, stats});
-        result.stepEnds.push_back(result.total.makespan);
-    }
-    return result;
+    return runPlan(compilePlan(spec_, cost_, *net_, workload));
 }
 
 InferenceResult
 InferenceRunner::runGraph(const NetworkGraph& graph, OptLevel level,
                           NetOptReport* report) const
 {
-    InferenceResult result;
-    result.machine = spec_.name;
-    result.workload = graph.name;
-
     SpecError err;
     if (!graph.validate(err)) {
+        InferenceResult result;
+        result.machine = spec_.name;
+        result.workload = graph.name;
         result.error.kind = RunError::Kind::InvalidProgram;
         result.error.message = "runGraph: " + err.describe();
         return result;
     }
 
-    CompiledNetwork cn =
-        compileNetwork(spec_, cost_, *net_, graph, level);
+    ExecPlan plan = compilePlan(spec_, cost_, *net_, graph, level);
     if (report)
-        *report = cn.report;
+        *report = plan.report;
+    return runPlan(plan);
+}
+
+std::shared_ptr<const ExecPlan>
+InferenceRunner::planFor(const WorkloadModel& workload,
+                         OptLevel level) const
+{
+    return std::make_shared<ExecPlan>(
+        compilePlan(spec_, cost_, *net_, workload, level));
+}
+
+std::shared_ptr<const ExecPlan>
+InferenceRunner::planForJob(const WorkloadModel& workload,
+                            const CardGroup& group, OptLevel level) const
+{
+    PrototypeSpec sub = groupSubSpec(spec_, group);
+    std::unique_ptr<NetworkModel> net = sub.makeNetwork();
+    return std::make_shared<ExecPlan>(compilePlan(
+        sub, cost_, *net, workload, level, PlanWindow::none()));
+}
+
+size_t
+InferenceRunner::planUnitCount(const WorkloadModel& workload,
+                               OptLevel level) const
+{
+    return hydra::planUnitCount(spec_, cost_, *net_, workload, level);
+}
+
+InferenceResult
+InferenceRunner::runPlan(const ExecPlan& plan, size_t first_unit,
+                         size_t num_units) const
+{
+    InferenceResult result;
+    result.machine = spec_.name;
+    result.workload = plan.workload;
+
+    size_t end = plan.units.size();
+    first_unit = std::min(first_unit, end);
+    if (num_units < end - first_unit)
+        end = first_unit + num_units;
 
     ClusterExecutor executor(spec_.cluster, *net_);
-    for (size_t i = 0; i < cn.units.size(); ++i) {
-        const NetUnit& u = cn.units[i];
-        RunStats stats = executor.run(cn.programs[i]->program);
+    for (size_t ui = first_unit; ui < end; ++ui) {
+        const ExecUnit& u = plan.units[ui];
+        auto compiled = u.compiled
+                            ? u.compiled
+                            : compilePlanUnit(spec_, spec_.cluster,
+                                              spec_.cluster, cost_,
+                                              *net_, plan.logSlots, u,
+                                              plan.level);
+        RunStats stats = executor.run(compiled->program);
         result.total.append(stats, net_->stepSyncLatency());
         result.steps.push_back(StepResult{u.name, u.lead, stats});
         result.stepEnds.push_back(result.total.makespan);
@@ -213,66 +219,75 @@ planForGroup(const FaultPlan& plan, const std::vector<size_t>& alive)
     return out;
 }
 
-/** Re-key per-card fault entries after card `dead` left the cluster. */
-FaultPlan
-remapPlanAfterDeath(const FaultPlan& plan, size_t dead)
-{
-    FaultPlan out = plan;
-    out.stragglers.clear();
-    out.cardFailAt.clear();
-    for (const auto& [card, f] : plan.stragglers)
-        if (card != dead)
-            out.stragglers[card > dead ? card - 1 : card] = f;
-    for (const auto& [card, t] : plan.cardFailAt)
-        if (card != dead)
-            out.cardFailAt[card > dead ? card - 1 : card] = t;
-    return out;
-}
-
 } // namespace
 
 InferenceResult
-InferenceRunner::run(const WorkloadModel& workload,
-                     const FaultPlan& faults,
-                     const RetryPolicy& retry) const
+InferenceRunner::execFaulted(const PrototypeSpec& sub,
+                             const NetworkModel& net,
+                             const ExecPlan& plan,
+                             const std::vector<size_t>& cards,
+                             Tick start_tick, bool absolute_clock,
+                             const FaultPlan& faults,
+                             const RetryPolicy& retry, size_t first_unit,
+                             size_t num_units) const
 {
     InferenceResult result;
     result.machine = spec_.name;
-    result.workload = workload.name;
+    result.workload = plan.workload;
 
-    // alive[i] = original index of the card currently mapped as i.
-    std::vector<size_t> alive(spec_.cluster.totalCards());
-    for (size_t i = 0; i < alive.size(); ++i)
-        alive[i] = i;
-
-    // cardFailAt ticks are interpreted as *global* inference time;
-    // each step's executor run restarts its clock, so the plan handed
-    // to a step is shifted by the time elapsed so far.
-    FaultPlan plan = faults;
-    ClusterConfig cluster = spec_.cluster;
-    auto executor = std::make_unique<ClusterExecutor>(cluster, *net_);
+    // alive[i] = original machine index of the card locally mapped
+    // as i.
+    std::vector<size_t> alive = cards;
+    ClusterConfig cluster = sub.cluster;
+    auto executor = std::make_unique<ClusterExecutor>(cluster, net);
     executor->setRetryPolicy(retry);
+    // Materialized programs are only valid while the executing cluster
+    // matches the plan's shape; after a death (or a shape mismatch)
+    // every attempt resolves through the ProgramCache.
+    bool planShape =
+        sub.cluster.servers == plan.cluster.servers &&
+        sub.cluster.cardsPerServer == plan.cluster.cardsPerServer;
+    bool degraded = false;
 
-    for (const auto& step : workload.steps) {
+    size_t end = plan.units.size();
+    first_unit = std::min(first_unit, end);
+    if (num_units < end - first_unit)
+        end = first_unit + num_units;
+
+    for (size_t ui = first_unit; ui < end; ++ui) {
+        const ExecUnit& u = plan.units[ui];
         for (;;) {
             Tick elapsed = result.total.makespan;
-            FaultPlan stepPlan = plan;
-            stepPlan.cardFailAt.clear();
-            for (const auto& [card, t] : plan.cardFailAt)
-                stepPlan.cardFailAt[card] = t > elapsed ? t - elapsed : 0;
-            executor->setFaultPlan(stepPlan);
+            FaultPlan fp = planForGroup(faults, alive);
+            if (absolute_clock) {
+                // The executor's clock IS the serve clock: each unit
+                // starts where the job has advanced to, and kill
+                // ticks need no shifting.
+                executor->setTimeOrigin(start_tick + elapsed);
+            } else {
+                // Legacy whole-machine semantics: cardFailAt ticks
+                // are global inference time, but each unit's executor
+                // run restarts its clock — shift the plan by the time
+                // elapsed so far.
+                for (auto& [card, t] : fp.cardFailAt)
+                    t = t > elapsed ? t - elapsed : 0;
+            }
+            executor->setFaultPlan(fp);
 
             // The compiled program is fault-independent: only the
             // executor's fault plan differs between attempts, so the
             // cache stays valid across retries and re-dispatches.
-            auto compiled = compiledFor(spec_, cluster, spec_.cluster,
-                                        cost_, *net_, workload.logSlots,
-                                        step);
+            auto compiled =
+                (!degraded && planShape && u.compiled)
+                    ? u.compiled
+                    : compilePlanUnit(sub, cluster, sub.cluster, cost_,
+                                      net, plan.logSlots, u,
+                                      plan.level);
             RunResult rr = executor->tryRun(compiled->program);
             if (rr.ok()) {
-                result.total.append(rr.stats, net_->stepSyncLatency());
+                result.total.append(rr.stats, net.stepSyncLatency());
                 result.steps.push_back(
-                    StepResult{step.name, step.kind, rr.stats});
+                    StepResult{u.name, u.lead, rr.stats});
                 result.stepEnds.push_back(result.total.makespan);
                 break;
             }
@@ -283,7 +298,7 @@ InferenceRunner::run(const WorkloadModel& workload,
             }
 
             // Permanent card failure: charge the aborted attempt,
-            // shrink the cluster, and re-dispatch this step onto the
+            // shrink the cluster, and re-dispatch this unit onto the
             // survivors (modelled as a flat single-switch cluster).
             size_t dead = rr.error.card;
             result.recoveryPenalty += rr.stats.makespan;
@@ -296,13 +311,28 @@ InferenceRunner::run(const WorkloadModel& workload,
                 result.error.message += " (no surviving cards left)";
                 return result;
             }
-            plan = remapPlanAfterDeath(plan, dead);
             cluster = ClusterConfig{1, alive.size()};
-            executor = std::make_unique<ClusterExecutor>(cluster, *net_);
+            degraded = true;
+            executor = std::make_unique<ClusterExecutor>(cluster, net);
             executor->setRetryPolicy(retry);
         }
     }
     return result;
+}
+
+InferenceResult
+InferenceRunner::run(const WorkloadModel& workload,
+                     const FaultPlan& faults,
+                     const RetryPolicy& retry) const
+{
+    ExecPlan plan = compilePlan(spec_, cost_, *net_, workload,
+                                OptLevel::Safe, PlanWindow::none());
+    std::vector<size_t> cards(spec_.cluster.totalCards());
+    for (size_t i = 0; i < cards.size(); ++i)
+        cards[i] = i;
+    return execFaulted(spec_, *net_, plan, cards, 0,
+                       /*absolute_clock=*/false, faults, retry, 0,
+                       static_cast<size_t>(-1));
 }
 
 InferenceResult
@@ -312,74 +342,42 @@ InferenceRunner::runJob(const WorkloadModel& workload,
                         const RetryPolicy& retry, size_t first_step,
                         size_t num_steps) const
 {
-    InferenceResult result;
-    result.machine = spec_.name;
-    result.workload = workload.name;
     if (group.cards.empty()) {
+        InferenceResult result;
+        result.machine = spec_.name;
+        result.workload = workload.name;
         result.error.kind = RunError::Kind::InvalidProgram;
         result.error.message = "runJob: empty card group";
         return result;
     }
-
-    // alive[i] = original machine index of the card locally mapped as i.
-    std::vector<size_t> alive = group.cards;
     PrototypeSpec sub = groupSubSpec(spec_, group);
     std::unique_ptr<NetworkModel> net = sub.makeNetwork();
-    ClusterConfig cluster = sub.cluster;
-    auto executor = std::make_unique<ClusterExecutor>(cluster, *net);
-    executor->setRetryPolicy(retry);
+    ExecPlan plan = compilePlan(sub, cost_, *net, workload,
+                                OptLevel::Safe, PlanWindow::none());
+    return execFaulted(sub, *net, plan, group.cards, start_tick,
+                       /*absolute_clock=*/true, faults, retry,
+                       first_step, num_steps);
+}
 
-    size_t end = workload.steps.size();
-    first_step = std::min(first_step, end);
-    if (num_steps < end - first_step)
-        end = first_step + num_steps;
-
-    for (size_t si = first_step; si < end; ++si) {
-        const Step& step = workload.steps[si];
-        for (;;) {
-            // The executor's clock IS the serve clock: each step
-            // starts where the job has advanced to, and kill ticks
-            // need no shifting.
-            executor->setTimeOrigin(start_tick + result.total.makespan);
-            executor->setFaultPlan(planForGroup(faults, alive));
-
-            // Identical (workload, group size, alignment) jobs share
-            // one compiled program — the serving layer's reuse.
-            auto compiled = compiledFor(sub, cluster, sub.cluster,
-                                        cost_, *net, workload.logSlots,
-                                        step);
-            RunResult rr = executor->tryRun(compiled->program);
-            if (rr.ok()) {
-                result.total.append(rr.stats, net->stepSyncLatency());
-                result.steps.push_back(
-                    StepResult{step.name, step.kind, rr.stats});
-                result.stepEnds.push_back(result.total.makespan);
-                break;
-            }
-            if (rr.error.kind != RunError::Kind::CardFailed) {
-                result.error = std::move(rr.error);
-                return result;
-            }
-
-            // Permanent card failure inside the group: charge the
-            // aborted attempt and re-dispatch on the survivors.
-            size_t dead = rr.error.card;
-            result.recoveryPenalty += rr.stats.makespan;
-            result.total.append(rr.stats, 0);
-            result.failedCards.push_back(alive[dead]);
-            ++result.redispatches;
-            alive.erase(alive.begin() + dead);
-            if (alive.empty()) {
-                result.error = std::move(rr.error);
-                result.error.message += " (no surviving cards left)";
-                return result;
-            }
-            cluster = ClusterConfig{1, alive.size()};
-            executor = std::make_unique<ClusterExecutor>(cluster, *net);
-            executor->setRetryPolicy(retry);
-        }
+InferenceResult
+InferenceRunner::runJob(const ExecPlan& plan, const CardGroup& group,
+                        Tick start_tick, const FaultPlan& faults,
+                        const RetryPolicy& retry, size_t first_unit,
+                        size_t num_units) const
+{
+    if (group.cards.empty()) {
+        InferenceResult result;
+        result.machine = spec_.name;
+        result.workload = plan.workload;
+        result.error.kind = RunError::Kind::InvalidProgram;
+        result.error.message = "runJob: empty card group";
+        return result;
     }
-    return result;
+    PrototypeSpec sub = groupSubSpec(spec_, group);
+    std::unique_ptr<NetworkModel> net = sub.makeNetwork();
+    return execFaulted(sub, *net, plan, group.cards, start_tick,
+                       /*absolute_clock=*/true, faults, retry,
+                       first_unit, num_units);
 }
 
 RunResult

@@ -22,6 +22,7 @@ namespace hydra {
 
 struct NetworkGraph;
 struct NetOptReport;
+struct ExecPlan;
 
 /** A named machine configuration (Hydra-S/M/L, FAB-*, Poseidon). */
 struct PrototypeSpec
@@ -124,7 +125,18 @@ struct InferenceResult
     double commFraction() const;
 };
 
-/** Runs workloads on one machine. */
+/**
+ * Runs workloads on one machine.
+ *
+ * Every execution path is a thin driver over an ExecPlan
+ * (sched/execplan.hh): run()/runGraph() compile a materialized
+ * machine plan and replay it unit by unit; the fault-aware overloads
+ * and runJob() feed a plan through one unified degraded-re-dispatch
+ * driver.  The legacy WorkloadModel entry points are kept as
+ * bit-identical wrappers; plan-first callers (the serving layer)
+ * compile once via planFor()/planForJob() and execute windows of the
+ * shared plan.
+ */
 class InferenceRunner
 {
   public:
@@ -136,6 +148,60 @@ class InferenceRunner
                              size_t ring_n = size_t{1} << 16);
 
     InferenceResult run(const WorkloadModel& workload) const;
+
+    /**
+     * Compile `workload` into a materialized machine-scoped ExecPlan
+     * (every unit's Program resolved through the shared ProgramCache
+     * at build time).  run()/runGraph() semantics over the plan come
+     * from runPlan().
+     */
+    std::shared_ptr<const ExecPlan>
+    planFor(const WorkloadModel& workload,
+            OptLevel level = OptLevel::Safe) const;
+
+    /**
+     * Compile `workload` into a skeleton ExecPlan for `group`'s
+     * sub-machine (unit boundaries and cache keys only; programs
+     * resolve on demand at execution, so repeated jobs over one shared
+     * plan hit the ProgramCache per executed unit — the serving
+     * layer's reuse).
+     */
+    std::shared_ptr<const ExecPlan>
+    planForJob(const WorkloadModel& workload, const CardGroup& group,
+               OptLevel level = OptLevel::Safe) const;
+
+    /**
+     * The number of units `workload` partitions into at `level` on
+     * this machine, without compiling any Program.  The Aggressive
+     * partition is shape-invariant (it does not depend on the
+     * executing card count), so this count also holds for every card
+     * group's plan — resumable unit indices (preemption slices,
+     * checkpointed failover) stay meaningful across groups.
+     */
+    size_t planUnitCount(const WorkloadModel& workload,
+                         OptLevel level = OptLevel::Safe) const;
+
+    /**
+     * Execute units [first_unit, first_unit + num_units) of a
+     * machine-scoped plan on the whole machine, fault-free.  Skeleton
+     * units resolve their Program through the ProgramCache.
+     */
+    InferenceResult
+    runPlan(const ExecPlan& plan, size_t first_unit = 0,
+            size_t num_units = static_cast<size_t>(-1)) const;
+
+    /**
+     * Job-scoped, resumable plan execution: the plan-first form of
+     * runJob() below, with windows indexing plan *units* instead of
+     * workload steps.  `plan` should come from planForJob() with the
+     * same group (any plan whose cluster shape differs from the
+     * group's sub-machine is recompiled per unit via the cache).
+     */
+    InferenceResult
+    runJob(const ExecPlan& plan, const CardGroup& group, Tick start_tick,
+           const FaultPlan& faults = {}, const RetryPolicy& retry = {},
+           size_t first_unit = 0,
+           size_t num_units = static_cast<size_t>(-1)) const;
 
     /**
      * Graph-compiled execution (DESIGN.md §15): compile `graph`
@@ -212,6 +278,24 @@ class InferenceRunner
     const PrototypeSpec& spec() const { return spec_; }
 
   private:
+    /**
+     * The one fault-aware execution driver: run plan units
+     * [first_unit, first_unit + num_units) on the cards in `alive`
+     * (original machine indices) under `sub`'s topology, re-dispatching
+     * onto survivors after permanent card failures.  With
+     * `absolute_clock` the executor's origin tracks
+     * start_tick + elapsed and kill ticks are absolute serve-clock
+     * times (runJob semantics); without it the origin stays 0 and kill
+     * ticks are shifted by the elapsed makespan per attempt (legacy
+     * whole-machine run(faults) semantics).
+     */
+    InferenceResult
+    execFaulted(const PrototypeSpec& sub, const NetworkModel& net,
+                const ExecPlan& plan, const std::vector<size_t>& cards,
+                Tick start_tick, bool absolute_clock,
+                const FaultPlan& faults, const RetryPolicy& retry,
+                size_t first_unit, size_t num_units) const;
+
     PrototypeSpec spec_;
     OpCostModel cost_;
     std::unique_ptr<NetworkModel> net_;

@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "sched/execplan.hh"
 #include "sched/graph/modelspec.hh"
+#include "sched/progcache.hh"
 #include "serve/cake.hh"
 #include "serve/jobcache.hh"
 #include "serve/workload_gen.hh"
@@ -146,6 +148,23 @@ struct Engine
     std::unique_ptr<DeficitLedger> ledger;
     std::unique_ptr<CakeQueue> crq;
     JobCache jobCache;
+
+    // Unified ExecPlan dispatch: every tenant's jobs execute a
+    // compiled plan at the tenant's `opt=` level.  Plans are skeletons
+    // shared per (workload, level, group shape) — their Programs
+    // resolve through the process-wide ProgramCache per executed unit,
+    // so identical jobs keep the serving layer's compile reuse.
+    std::vector<OptLevel> tenantOpt;
+    std::map<std::tuple<size_t, uint8_t, size_t, size_t>,
+             std::shared_ptr<const ExecPlan>>
+        planTable;
+    /** Memoized machine-scoped unit counts per (workload, level); the
+     *  Aggressive partition is shape-invariant, so these also hold for
+     *  every card group's plan. */
+    std::map<std::pair<size_t, uint8_t>, size_t> unitTotals;
+    /** ProgramCache snapshot at construction: go() reports this run's
+     *  deltas (the cache is process-wide and outlives the run). */
+    ProgramCache::Stats progBase;
     /** Ticks actually executed, weighted like the ledger's charges:
      *  chargedTicks == refundedTicks + executedTicks, mod 2^64. */
     uint64_t executedTicks = 0;
@@ -182,6 +201,10 @@ struct Engine
         stats.tenants.resize(serve.tenants.size());
         for (size_t i = 0; i < serve.tenants.size(); ++i)
             stats.tenants[i].name = serve.tenants[i].name;
+        tenantOpt.reserve(serve.tenants.size());
+        for (const auto& t : serve.tenants)
+            tenantOpt.push_back(t.opt);
+        progBase = ProgramCache::global().stats();
         if (serve.sched == SchedPolicy::Cake) {
             cakeOn = true;
             stats.sched = schedPolicyName(serve.sched);
@@ -193,6 +216,42 @@ struct Engine
     }
 
     TenantStats& tenant(const Request& r) { return stats.tenants[r.tenant]; }
+
+    /** The shared ExecPlan `wl` executes at `lv` on a group shaped
+     *  like `g`.  Shape-keyed: every group with the same sub-machine
+     *  topology shares one skeleton plan (plan content only depends
+     *  on the shape, never on which cards compose the group). */
+    const ExecPlan&
+    planOf(size_t wl, OptLevel lv, const CardGroup& g)
+    {
+        ClusterConfig shape = groupSubSpec(spec, g).cluster;
+        auto key = std::make_tuple(wl, static_cast<uint8_t>(lv),
+                                   shape.servers, shape.cardsPerServer);
+        auto it = planTable.find(key);
+        if (it == planTable.end())
+            it = planTable
+                     .emplace(key,
+                              runner.planForJob(models[wl], g, lv))
+                     .first;
+        return *it->second;
+    }
+
+    /** Total unit count of `wl` at `lv` — the bound for resumable
+     *  firstStep indices (which count plan units). */
+    size_t
+    unitTotal(size_t wl, OptLevel lv)
+    {
+        if (lv != OptLevel::Aggressive)
+            return models[wl].steps.size();
+        auto key = std::make_pair(wl, static_cast<uint8_t>(lv));
+        auto it = unitTotals.find(key);
+        if (it == unitTotals.end())
+            it = unitTotals
+                     .emplace(key,
+                              runner.planUnitCount(models[wl], lv))
+                     .first;
+        return it->second;
+    }
 
     /** Queued-request count under the active policy. */
     size_t qdepth() const { return cakeOn ? crq->depth() : queue.depth(); }
@@ -575,15 +634,17 @@ struct Engine
         if (r.spilled)
             ++stats.spilled;
         g.busy = true;
-        const WorkloadModel& m = models[g.workload];
-        size_t total = m.steps.size();
+        const ExecPlan& plan =
+            planOf(g.workload, tenantOpt[r.tenant], g.cards);
+        size_t total = plan.size();
         size_t first = std::min(r.firstStep, total);
         // Every job executes for real on the shared clock — reuse
-        // comes from the compiled-program cache inside runJob, not
-        // from memoized service times, so absolute-tick faults always
-        // land where they should.
-        InferenceResult res = runner.runJob(m, g.cards, now, cl.faults,
-                                            retry, first, total - first);
+        // comes from the compiled-program cache behind the plan's
+        // units, not from memoized service times, so absolute-tick
+        // faults always land where they should.
+        InferenceResult res = runner.runJob(plan, g.cards, now,
+                                            cl.faults, retry, first,
+                                            total - first);
         uint64_t id = nextToken++;
         JobRecord& jr = inflight[id];
         jr.req = r;
@@ -624,8 +685,9 @@ struct Engine
         if (r.spilled)
             ++stats.spilled;
         g.busy = true;
-        const WorkloadModel& m = models[r.workload];
-        size_t total = m.steps.size();
+        const ExecPlan& plan =
+            planOf(r.workload, tenantOpt[r.tenant], g.cards);
+        size_t total = plan.size();
         size_t first = std::min(r.firstStep, total);
         uint64_t weight = r.spilled ? 2 : 1;
 
@@ -641,10 +703,10 @@ struct Engine
         // start-invariant there, see serve/jobcache.hh); any cluster
         // with local fault injection always executes for real.
         const bool faultFree = cl.faults.empty();
-        std::vector<Tick> rel; // window-relative step ends
+        std::vector<Tick> rel; // window-relative unit ends
         const CachedJob* hit =
-            faultFree ? jobCache.lookup(r.workload, g.cards.cards,
-                                        first, total - first)
+            faultFree ? jobCache.lookup(plan.key, g.cards.cards, first,
+                                        total - first)
                       : nullptr;
         if (hit) {
             jr.out.ok = hit->ok;
@@ -652,8 +714,8 @@ struct Engine
             rel = hit->stepEnds;
         } else {
             InferenceResult res =
-                runner.runJob(m, g.cards, now, cl.faults, retry, first,
-                              total - first);
+                runner.runJob(plan, g.cards, now, cl.faults, retry,
+                              first, total - first);
             jr.out.ok = res.ok();
             jr.out.span = res.total.makespan;
             jr.out.failedCards = res.failedCards;
@@ -662,7 +724,7 @@ struct Engine
             jr.out.timedOut = res.total.timedOutTransfers;
             rel = res.stepEnds;
             if (faultFree)
-                jobCache.insert(r.workload, g.cards.cards, first,
+                jobCache.insert(plan.key, g.cards.cards, first,
                                 total - first, res);
         }
         jr.out.stepEnds.reserve(rel.size());
@@ -735,7 +797,7 @@ struct Engine
 
         Request r = jr.req;
         r.executed += ran;
-        size_t total = models[r.workload].steps.size();
+        size_t total = unitTotal(r.workload, tenantOpt[r.tenant]);
         r.firstStep = std::min(r.firstStep + jr.sliceSteps, total);
         noteDepth();
         requeueAdmitted(r);
@@ -757,7 +819,7 @@ struct Engine
     failoverOrShed(const Request& req, size_t done)
     {
         Request r = req;
-        size_t total = models[r.workload].steps.size();
+        size_t total = unitTotal(r.workload, tenantOpt[r.tenant]);
         r.firstStep = std::min(r.firstStep + done, total);
         if (r.failovers >= kFailoverBudget ||
             !servable(r.workload)) {
@@ -1087,6 +1149,11 @@ struct Engine
                 ? depthAcc / static_cast<double>(stats.horizon)
                 : 0.0;
         stats.healthTransitions = health.transitions();
+        ProgramCache::Stats pc = ProgramCache::global().stats();
+        stats.progCacheHits = pc.hits - progBase.hits;
+        stats.progCacheMisses = pc.misses - progBase.misses;
+        stats.progCacheEvictions = pc.evictions - progBase.evictions;
+        stats.progCacheEntries = pc.entries;
         if (cakeOn) {
             stats.demotions = ledger->demotions();
             stats.promotions = ledger->promotions();

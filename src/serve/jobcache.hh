@@ -19,6 +19,7 @@
 #define HYDRA_SERVE_JOBCACHE_HH
 
 #include <map>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -31,21 +32,25 @@ struct CachedJob
 {
     bool ok = true;
     Tick span = 0;
-    /** Step-boundary offsets from the job's start (runJob semantics). */
+    /** Unit-boundary offsets from the job's start (runJob semantics). */
     std::vector<Tick> stepEnds;
 };
 
-/** Per-run cache of fault-free job windows. */
+/** Per-run cache of fault-free job windows, keyed on the ExecPlan's
+ *  window-independent identity + the executed unit window + the card
+ *  set: sliced tails and memoized replays work identically for Safe
+ *  step units and Aggressive multi-layer units. */
 class JobCache
 {
   public:
-    /** Cached result for (workload, cards, window), or nullptr. */
+    /** Cached result for (plan, cards, unit window), or nullptr. */
     const CachedJob*
-    lookup(size_t workload, const std::vector<size_t>& cards,
-           size_t first_step, size_t num_steps) const
+    lookup(const std::string& plan_key,
+           const std::vector<size_t>& cards, size_t first_unit,
+           size_t num_units) const
     {
-        auto it = map_.find(keyOf(workload, cards, first_step,
-                                  num_steps));
+        auto it =
+            map_.find(keyOf(plan_key, cards, first_unit, num_units));
         if (it == map_.end()) {
             ++misses_;
             return nullptr;
@@ -55,14 +60,15 @@ class JobCache
     }
 
     void
-    insert(size_t workload, const std::vector<size_t>& cards,
-           size_t first_step, size_t num_steps, const InferenceResult& r)
+    insert(const std::string& plan_key,
+           const std::vector<size_t>& cards, size_t first_unit,
+           size_t num_units, const InferenceResult& r)
     {
         CachedJob c;
         c.ok = r.ok();
         c.span = r.total.makespan;
         c.stepEnds = r.stepEnds;
-        map_.emplace(keyOf(workload, cards, first_step, num_steps),
+        map_.emplace(keyOf(plan_key, cards, first_unit, num_units),
                      std::move(c));
     }
 
@@ -70,26 +76,32 @@ class JobCache
     uint64_t misses() const { return misses_; }
 
   private:
-    /** (workload, first, count, FNV-1a card signature).  The card set
-     *  is folded by content, so shrunken groups never alias their
-     *  pre-repair selves. */
-    using Key = std::tuple<size_t, size_t, size_t, uint64_t>;
+    /** (FNV-1a plan key, first, count, FNV-1a card signature).  The
+     *  plan key folds the machine shape, workload content and opt
+     *  level; the card set is folded by content, so shrunken groups
+     *  never alias their pre-repair selves. */
+    using Key = std::tuple<uint64_t, size_t, size_t, uint64_t>;
 
     static Key
-    keyOf(size_t workload, const std::vector<size_t>& cards,
-          size_t first_step, size_t num_steps)
+    keyOf(const std::string& plan_key, const std::vector<size_t>& cards,
+          size_t first_unit, size_t num_units)
     {
-        uint64_t h = 0xcbf29ce484222325ULL;
-        auto fold = [&h](uint64_t v) {
+        auto fold = [](uint64_t& h, uint64_t v) {
             for (size_t i = 0; i < sizeof(v); ++i) {
                 h ^= (v >> (i * 8)) & 0xff;
                 h *= 0x100000001b3ULL;
             }
         };
-        fold(cards.size());
+        uint64_t hp = 0xcbf29ce484222325ULL;
+        for (char ch : plan_key) {
+            hp ^= static_cast<unsigned char>(ch);
+            hp *= 0x100000001b3ULL;
+        }
+        uint64_t hc = 0xcbf29ce484222325ULL;
+        fold(hc, cards.size());
         for (size_t c : cards)
-            fold(c);
-        return {workload, first_step, num_steps, h};
+            fold(hc, c);
+        return {hp, first_unit, num_units, hc};
     }
 
     std::map<Key, CachedJob> map_;

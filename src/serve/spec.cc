@@ -64,6 +64,13 @@ ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
                     SpecError& err)
 {
     ServeSpec parsed;
+    // Per-tenant `opt=` assignments win over a spec-wide `opt=` default
+    // regardless of item order; the default is applied at the end to
+    // every tenant without an explicit level (including trace-implied
+    // ones).  Index-parallel with parsed.tenants.
+    std::vector<char> explicitOpt;
+    bool optDefaultSet = false;
+    OptLevel optDefault = OptLevel::Safe;
     std::string item;
     auto fail = [&](std::string msg, std::string token) {
         err.message = std::move(msg);
@@ -174,6 +181,7 @@ ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
                 if (findTenant(parsed.tenants, t.name))
                     return fail("duplicate tenant", t.name);
                 parsed.tenants.push_back(std::move(t));
+                explicitOpt.push_back(0);
             } else {
                 // Bulk expansion: COUNT clones named PREFIX#i, all
                 // sharing the template's mode/workload/rate.
@@ -183,6 +191,7 @@ ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
                     if (findTenant(parsed.tenants, ti.name))
                         return fail("duplicate tenant", ti.name);
                     parsed.tenants.push_back(std::move(ti));
+                    explicitOpt.push_back(0);
                 }
             }
         } else if (key == "prio") {
@@ -209,6 +218,60 @@ ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
                 return fail("prio names an undeclared tenant "
                             "(declare it first)",
                             f[0]);
+        } else if (key == "opt") {
+            auto parseLevel = [](const std::string& s, OptLevel& lv) {
+                if (s == "safe")
+                    lv = OptLevel::Safe;
+                else if (s == "aggressive")
+                    lv = OptLevel::Aggressive;
+                else
+                    return false;
+                return true;
+            };
+            auto f = splitOn(val, ':');
+            if (f.size() == 1) {
+                // Spec-wide default, applied after parsing to every
+                // tenant without an explicit per-tenant level.
+                if (optDefaultSet)
+                    return fail("duplicate opt default (one spec-wide "
+                                "opt= allowed)",
+                                val);
+                if (!parseLevel(f[0], optDefault))
+                    return fail("opt level must be safe|aggressive",
+                                f[0]);
+                optDefaultSet = true;
+            } else if (f.size() == 2) {
+                OptLevel lv = OptLevel::Safe;
+                if (!parseLevel(f[1], lv))
+                    return fail("opt level must be safe|aggressive",
+                                f[1]);
+                // A trailing '*' prefix-matches, like prio=.
+                size_t matched = 0;
+                if (!f[0].empty() && f[0].back() == '*') {
+                    std::string prefix =
+                        f[0].substr(0, f[0].size() - 1);
+                    for (size_t i = 0; i < parsed.tenants.size(); ++i)
+                        if (parsed.tenants[i].name.compare(
+                                0, prefix.size(), prefix) == 0) {
+                            parsed.tenants[i].opt = lv;
+                            explicitOpt[i] = 1;
+                            ++matched;
+                        }
+                } else {
+                    for (size_t i = 0; i < parsed.tenants.size(); ++i)
+                        if (parsed.tenants[i].name == f[0]) {
+                            parsed.tenants[i].opt = lv;
+                            explicitOpt[i] = 1;
+                            ++matched;
+                        }
+                }
+                if (!matched)
+                    return fail("opt names an undeclared tenant "
+                                "(declare it first)",
+                                f[0]);
+            } else {
+                return fail("opt wants LEVEL or NAME:LEVEL", val);
+            }
         } else if (key == "at") {
             auto f = splitOn(val, ':');
             if (f.size() != 3)
@@ -240,7 +303,7 @@ ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
         } else {
             return fail("unknown serve spec key (want seed/clusters/"
                         "duration/queue/requests/sched/tenant/tenants/"
-                        "prio/at/group)",
+                        "prio/opt/at/group)",
                         key);
         }
     }
@@ -253,6 +316,13 @@ ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
         return fail("cake kick cap must be >= the wait budget",
                     strf("%g", parsed.kickSeconds));
 
+    // The spec-wide opt default covers every tenant that did not get
+    // an explicit per-tenant level.
+    if (optDefaultSet)
+        for (size_t i = 0; i < parsed.tenants.size(); ++i)
+            if (!explicitOpt[i])
+                parsed.tenants[i].opt = optDefault;
+
     // Trace entries for undeclared tenants implicitly declare a
     // trace-only tenant (replay convenience).
     for (const auto& e : parsed.trace) {
@@ -261,6 +331,7 @@ ServeSpec::tryParse(const std::string& spec, ServeSpec& out,
             t.name = e.tenant;
             t.mode = ArrivalMode::Trace;
             t.workload = e.workload;
+            t.opt = optDefault;
             parsed.tenants.push_back(std::move(t));
         }
     }
@@ -298,6 +369,12 @@ ServeSpec::describe() const
     if (tenants.size() > 12) {
         // Bulk specs (10k-tenant runs): summarize instead of listing.
         s += strf(" %zu tenant(s)", tenants.size());
+        size_t aggressive = 0;
+        for (const auto& t : tenants)
+            if (t.opt != OptLevel::Safe)
+                ++aggressive;
+        if (aggressive)
+            s += strf(" (%zu aggressive)", aggressive);
     } else {
         for (const auto& t : tenants) {
             s += strf(" %s[%s %s", t.name.c_str(),
@@ -309,6 +386,8 @@ ServeSpec::describe() const
                           t.thinkSeconds);
             if (t.priority != 1)
                 s += strf(" prio %d", t.priority);
+            if (t.opt != OptLevel::Safe)
+                s += strf(" opt %s", optLevelName(t.opt));
             s += "]";
         }
     }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/parse.hh"
+#include "sched/passes.hh"
 #include "sim/eventq.hh"
 
 namespace hydra {
@@ -72,6 +73,10 @@ struct TenantSpec
     double thinkSeconds = 0.0;
     /** Priority tier; 0 is the highest, larger numbers yield. */
     int priority = 1;
+    /** Compilation level of this tenant's ExecPlans (`opt=`): Safe
+     *  runs the legacy one-unit-per-layer path; Aggressive enables
+     *  the cross-step passes (boot-plan, fuse-linear, prefetch). */
+    OptLevel opt = OptLevel::Safe;
 };
 
 /** One explicit trace-replay arrival. */
@@ -174,6 +179,11 @@ struct ServeSpec
      *                                      tail syntax as tenant=)
      *   prio=NAME:P                       (priority tier; 0 highest;
      *                                      NAME* prefix-matches)
+     *   opt=safe|aggressive               (spec-wide compile-level
+     *                                      default; once per spec)
+     *   opt=NAME:safe|aggressive          (per-tenant level; NAME*
+     *                                      prefix-matches; overrides
+     *                                      the spec default)
      *   at=SEC:NAME:WL                    (trace entry; repeatable)
      *   group=WL:CARDS[:MIN]              (partition plan; repeatable)
      * Calls fatal() on malformed input (CLI-facing helper).

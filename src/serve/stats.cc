@@ -263,6 +263,19 @@ ServeStats::toJson(const std::string& machine,
                   ticksToSeconds(maxWaitTicks),
                   static_cast<unsigned long long>(jobCacheHits),
                   static_cast<unsigned long long>(jobCacheMisses));
+    // Cache observability under the unified ExecPlan path.  The job
+    // cache repeats the cake-block values so fifo runs (no cake block)
+    // still export them; none of this enters the hash.
+    s += strf("\"caches\": {\"program\": {\"hits\": %llu, "
+              "\"misses\": %llu, \"evictions\": %llu, "
+              "\"entries\": %llu}, "
+              "\"job\": {\"hits\": %llu, \"misses\": %llu}}, ",
+              static_cast<unsigned long long>(progCacheHits),
+              static_cast<unsigned long long>(progCacheMisses),
+              static_cast<unsigned long long>(progCacheEvictions),
+              static_cast<unsigned long long>(progCacheEntries),
+              static_cast<unsigned long long>(jobCacheHits),
+              static_cast<unsigned long long>(jobCacheMisses));
     s += "\"faults\": {\"failed_cards\": [";
     for (size_t i = 0; i < failedCards.size(); ++i)
         s += strf("%s%zu", i ? ", " : "", failedCards[i]);
@@ -415,6 +428,13 @@ ServeStats::describe() const
                   static_cast<unsigned long long>(jobCacheHits),
                   static_cast<unsigned long long>(jobCacheMisses));
     }
+    if (progCacheHits || progCacheMisses)
+        s += strf("program cache: %llu hit(s) / %llu miss(es), %llu "
+                  "eviction(s), %llu entrie(s)\n",
+                  static_cast<unsigned long long>(progCacheHits),
+                  static_cast<unsigned long long>(progCacheMisses),
+                  static_cast<unsigned long long>(progCacheEvictions),
+                  static_cast<unsigned long long>(progCacheEntries));
     if (stalled)
         s += stallReport;
     for (const auto& c : clusters)

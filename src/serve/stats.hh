@@ -147,6 +147,17 @@ struct ServeStats
     uint64_t jobCacheHits = 0;
     uint64_t jobCacheMisses = 0;
 
+    /** Process-wide ProgramCache activity attributed to this run
+     *  (hit/miss/eviction deltas over the run; entries is the
+     *  end-of-run population).  Observability only — deliberately
+     *  NEVER folded into hash(): the compiled-program cache is shared
+     *  across runs in one process, so its deltas depend on what ran
+     *  before, while the serving outcome does not. */
+    uint64_t progCacheHits = 0;
+    uint64_t progCacheMisses = 0;
+    uint64_t progCacheEvictions = 0;
+    uint64_t progCacheEntries = 0;
+
     uint64_t offered = 0;
     uint64_t admitted = 0;
     uint64_t completed = 0;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "baselines/prototypes.hh"
+#include "sched/execplan.hh"
 #include "sched/graph/modelspec.hh"
 #include "sched/graph/netcompile.hh"
 #include "sched/progcache.hh"
@@ -551,6 +552,171 @@ TEST(NetCompile, DeclarativeModelServesAsTenant)
     ServeStats st = sim.run();
     EXPECT_GT(st.completed, 0u);
     EXPECT_EQ(st.offered, st.completed + st.shed);
+}
+
+// ---------------------------------------------------------------------------
+// DAG-shaped graphs and the unified ExecPlan path (DESIGN.md §16).
+
+/** A branch-and-join diamond built through the IR API: one stem
+ *  feeding two parallel branches that merge in a single head. */
+NetworkGraph
+diamondGraph()
+{
+    WorkloadModel m;
+    m.name = "diamond";
+    m.maxLimbs = 24;
+    m.steps = {makeConvStep("stem", 8), makeConvStep("left", 8),
+               makeReluStep("right", 8), makeFcStep("join", 16)};
+    NetworkGraph g = NetworkGraph::fromModel(m);
+    g.edges.clear();
+    auto link = [&](uint32_t src, uint32_t dst) {
+        g.edges.push_back(
+            GraphEdge{src, dst, g.nodes[src].step.outputCts});
+    };
+    link(0, 1); // stem -> left
+    link(0, 2); // stem -> right
+    link(1, 3); // left -> join
+    link(2, 3); // right -> join
+    g.annotateLevels();
+    return g;
+}
+
+TEST(GraphIR, BranchAndJoinValidatesAndOrdersDeterministically)
+{
+    NetworkGraph g = diamondGraph();
+    SpecError err;
+    ASSERT_TRUE(g.validate(err)) << err.describe();
+
+    // Kahn with a smallest-id-first scan: the order is a function of
+    // the graph alone, identical on every call.
+    std::vector<uint32_t> order, again;
+    ASSERT_TRUE(g.topoOrder(order, err));
+    ASSERT_TRUE(g.topoOrder(again, err));
+    EXPECT_EQ(order, again);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 0u);
+    EXPECT_EQ(order[3], 3u);
+
+    // The join's entry level is the minimum across its predecessors:
+    // the conv branch leaves 22, the degree-15 ReLU branch 19.
+    EXPECT_EQ(g.nodes[1].levelIn, 23u);
+    EXPECT_EQ(g.nodes[2].levelIn, 23u);
+    EXPECT_EQ(g.nodes[3].levelIn, 19u);
+
+    // Lowering follows the topological order losslessly.
+    WorkloadModel back = g.toModel();
+    ASSERT_EQ(back.steps.size(), 4u);
+    EXPECT_EQ(back.steps[0].name, "stem");
+    EXPECT_EQ(back.steps[3].name, "join");
+}
+
+TEST(ExecPlanPath, DagSafePlansAreTickIdenticalAcrossReruns)
+{
+    NetworkGraph g = diamondGraph();
+    NetRig rig("hydra-m");
+    ExecPlan a = compilePlan(rig.spec, rig.cost, *rig.net, g);
+    ExecPlan b = compilePlan(rig.spec, rig.cost, *rig.net, g);
+    ASSERT_EQ(a.size(), 4u); // Safe: one Single unit per layer
+    ASSERT_EQ(b.size(), a.size());
+    EXPECT_EQ(a.key, b.key);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.units[i].kind, NetUnit::Kind::Single);
+        EXPECT_EQ(a.units[i].key, b.units[i].key);
+        ASSERT_NE(a.units[i].compiled, nullptr);
+    }
+
+    InferenceRunner runner(machineByName("hydra-m"));
+    InferenceResult ra = runner.runPlan(a);
+    InferenceResult rb = runner.runPlan(b);
+    ASSERT_TRUE(ra.ok()) << ra.error.message;
+    EXPECT_EQ(ra.total.makespan, rb.total.makespan);
+    EXPECT_EQ(ra.total.fingerprint(), rb.total.fingerprint());
+    EXPECT_EQ(ra.stepEnds, rb.stepEnds);
+
+    // The runGraph driver lands on the same ticks through the same
+    // plan — DAG inputs flow through the one unified path.
+    EXPECT_EQ(runner.runGraph(g).total.makespan, ra.total.makespan);
+}
+
+TEST(ExecPlanPath, SafePlanRunsBitIdenticalToLegacyRun)
+{
+    InferenceRunner runner(machineByName("hydra-m"));
+    WorkloadModel wl = workloadByName("resnet18");
+    std::shared_ptr<const ExecPlan> plan = runner.planFor(wl);
+    ASSERT_EQ(plan->size(), wl.steps.size());
+    EXPECT_EQ(plan->level, OptLevel::Safe);
+
+    // Safe units carry the legacy per-step cache keys, so the plan
+    // populates the exact ProgramCache entries the old path did.
+    NetRig rig("hydra-m");
+    for (size_t i = 0; i < wl.steps.size(); ++i)
+        EXPECT_EQ(plan->units[i].key,
+                  stepCacheKey(rig.spec, rig.spec.cluster,
+                               rig.spec.cluster, rig.cost.n(),
+                               wl.logSlots, wl.steps[i]))
+            << i;
+
+    InferenceResult viaPlan = runner.runPlan(*plan);
+    InferenceResult legacy = runner.run(wl);
+    ASSERT_TRUE(viaPlan.ok());
+    EXPECT_EQ(viaPlan.total.makespan, legacy.total.makespan);
+    EXPECT_EQ(viaPlan.total.fingerprint(), legacy.total.fingerprint());
+    EXPECT_EQ(viaPlan.stepEnds, legacy.stepEnds);
+}
+
+TEST(ExecPlanPath, AggressivePlanMatchesRunGraphAndFusesUnits)
+{
+    InferenceRunner runner(machineByName("hydra-m"));
+    WorkloadModel wl = workloadByName("bert");
+    std::shared_ptr<const ExecPlan> plan =
+        runner.planFor(wl, OptLevel::Aggressive);
+
+    // The cross-step passes compress the unit sequence: fewer units
+    // than layers, at least one unit spanning several member steps.
+    EXPECT_LT(plan->size(), wl.steps.size());
+    size_t multi = 0;
+    for (const ExecUnit& u : plan->units)
+        multi += u.steps.size() > 1;
+    EXPECT_GT(multi, 0u);
+    EXPECT_EQ(runner.planUnitCount(wl, OptLevel::Aggressive),
+              plan->size());
+
+    InferenceResult viaPlan = runner.runPlan(*plan);
+    InferenceResult viaGraph =
+        runner.runGraph(NetworkGraph::fromModel(wl),
+                        OptLevel::Aggressive);
+    ASSERT_TRUE(viaPlan.ok());
+    EXPECT_EQ(viaPlan.total.makespan, viaGraph.total.makespan);
+    EXPECT_EQ(viaPlan.stepEnds.size(), plan->size());
+}
+
+TEST(ExecPlanPath, SkeletonJobPlanMatchesLegacyRunJob)
+{
+    PrototypeSpec spec = machineByName("hydra-m");
+    InferenceRunner runner(spec);
+    WorkloadModel wl = workloadByName("resnet18");
+    CardGroup group =
+        CardGroup::contiguous(0, spec.cluster.cardsPerServer);
+    std::shared_ptr<const ExecPlan> plan = runner.planForJob(wl, group);
+    for (const ExecUnit& u : plan->units)
+        EXPECT_EQ(u.compiled, nullptr); // skeleton: keys only
+
+    const Tick start = secondsToTicks(3.0);
+    InferenceResult viaPlan = runner.runJob(*plan, group, start);
+    InferenceResult legacy = runner.runJob(wl, group, start);
+    ASSERT_TRUE(viaPlan.ok()) << viaPlan.error.message;
+    EXPECT_EQ(viaPlan.total.makespan, legacy.total.makespan);
+    EXPECT_EQ(viaPlan.stepEnds, legacy.stepEnds);
+
+    // Resumable windows index plan units; a mid-plan window matches
+    // the legacy first_step/num_steps slicing.
+    InferenceResult planWin = runner.runJob(*plan, group, start, {}, {},
+                                            2, 3);
+    InferenceResult legacyWin = runner.runJob(wl, group, start, {}, {},
+                                              2, 3);
+    EXPECT_EQ(planWin.total.makespan, legacyWin.total.makespan);
+    EXPECT_EQ(planWin.stepEnds, legacyWin.stepEnds);
+    ASSERT_EQ(planWin.steps.size(), 3u);
 }
 
 // ---------------------------------------------------------------------------

@@ -137,6 +137,32 @@ TEST(CakeScheduler, RunsAreBitIdentical)
     EXPECT_NE(a.hash(), fifo.hash());
 }
 
+TEST(CakeScheduler, AggressiveTenantsSliceAtUnitBoundaries)
+{
+    // opt=aggressive tenants run multi-layer ExecPlan units (fused +
+    // boot-elided), so preemption slices and the deficit ledger now
+    // index *unit* boundaries — every scheduler invariant must hold
+    // unchanged, and the runs must stay bit-identical.
+    std::string spec =
+        std::string("sched=cake,opt=aggressive,") + kCakePool;
+    ServeStats st = runServe(spec);
+    expectAccounted(st);
+    ASSERT_GT(st.completed, 0u);
+
+    // Saturating closed loops still force slicing mid-plan, and every
+    // preempted job resumes from its unit checkpoint.
+    EXPECT_GT(st.preemptions, 0u);
+    EXPECT_EQ(st.preemptions, st.preemptResumes);
+    EXPECT_EQ(st.chargedTicks, st.refundedTicks + st.executedTicks);
+    EXPECT_GT(st.refundedTicks, 0u);
+
+    // Bit-identical rerun; and the aggressive plans really execute —
+    // the fingerprint differs from the same mix compiled Safe.
+    EXPECT_EQ(st.hash(), runServe(spec).hash());
+    ServeStats safe = runServe(std::string("sched=cake,") + kCakePool);
+    EXPECT_NE(st.hash(), safe.hash());
+}
+
 TEST(CakeScheduler, FifoAndCakeAgreeOnOfferedTraffic)
 {
     // Same seed, same arrival process: the two schedulers may admit

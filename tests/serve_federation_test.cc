@@ -10,6 +10,7 @@
 
 #include "baselines/prototypes.hh"
 #include "common/parallel.hh"
+#include "sched/execplan.hh"
 #include "serve/federation.hh"
 #include "serve/sim.hh"
 #include "workloads/model.hh"
@@ -157,6 +158,66 @@ TEST(Federation, CheckpointResumeIsExact)
               full.total.makespan);
     EXPECT_EQ(head.stepEnds.size() + tail.stepEnds.size(),
               full.stepEnds.size());
+}
+
+TEST(Federation, CheckpointResumeIsExactOnAggressivePlans)
+{
+    // The same recovery contract over an Aggressive ExecPlan: windows
+    // index multi-layer units, and a job split at any *unit* boundary
+    // replays to exactly the clock of the uninterrupted run.
+    PrototypeSpec spec = machineByName("hydra-m");
+    InferenceRunner runner(spec);
+    WorkloadModel m = workloadByName("bert");
+    CardGroup g = CardGroup::contiguous(0, 8);
+    std::shared_ptr<const ExecPlan> plan =
+        runner.planForJob(m, g, OptLevel::Aggressive);
+    ASSERT_LT(plan->size(), m.steps.size()); // passes really fused
+    size_t multi = 0;
+    for (const ExecUnit& u : plan->units)
+        multi += u.steps.size() > 1;
+    ASSERT_GT(multi, 0u);
+
+    InferenceResult full = runner.runJob(*plan, g, 0);
+    ASSERT_TRUE(full.ok());
+    ASSERT_EQ(full.stepEnds.size(), plan->size());
+
+    size_t k = plan->size() / 2;
+    ASSERT_GT(k, 0u);
+    InferenceResult head =
+        runner.runJob(*plan, g, 0, FaultPlan{}, RetryPolicy{}, 0, k);
+    ASSERT_TRUE(head.ok());
+    ASSERT_EQ(head.stepEnds.size(), k);
+    EXPECT_EQ(head.stepEnds.back(), full.stepEnds[k - 1]);
+    InferenceResult tail = runner.runJob(*plan, g, head.total.makespan,
+                                         FaultPlan{}, RetryPolicy{}, k);
+    ASSERT_TRUE(tail.ok());
+    EXPECT_EQ(head.total.makespan + tail.total.makespan,
+              full.total.makespan);
+    EXPECT_EQ(head.stepEnds.size() + tail.stepEnds.size(),
+              full.stepEnds.size());
+}
+
+TEST(Federation, AggressiveClusterKillFailsOverAtUnitBoundaries)
+{
+    // A mid-run cluster kill against opt=aggressive tenants: in-flight
+    // jobs fail over with their completed *unit* boundaries conserved,
+    // at most the one partially-executed unit replays, and the chaos
+    // runs stay bit-identical.
+    std::string spec = std::string(kFedPool) + ",opt=aggressive";
+    ServeStats st = runFed("hydra-m", spec, "ckill=1@30");
+    EXPECT_EQ(st.clusterKills, 1u);
+    EXPECT_GE(st.failovers, 1u);
+    EXPECT_GE(st.recoveredSteps, 1u);
+    EXPECT_LE(st.replayedSteps, st.failovers);
+    EXPECT_GE(st.spilled, 1u);
+    EXPECT_EQ(st.shedAfterAdmit, 0u);
+    EXPECT_GT(st.completed, 0u);
+    EXPECT_FALSE(st.stalled);
+    expectAccounted(st);
+
+    EXPECT_EQ(st.hash(), runFed("hydra-m", spec, "ckill=1@30").hash());
+    // Different plans, different fingerprint than the Safe chaos run.
+    EXPECT_NE(st.hash(), runFed("hydra-m", kFedPool, "ckill=1@30").hash());
 }
 
 TEST(Federation, PartitionHealsViaCanaryProbe)

@@ -107,6 +107,14 @@ TEST(ServeSpecParse, MalformedInputNamesTheOffendingToken)
         {"prio=zz*:1", "zz*"},
         {"tenant=a:open:bert:1,prio=a*:1.5", "1.5"},
         {"tenants=2:a:open:bert:1,prio=b*:1", "b*"},
+        // per-tenant / spec-default opt= levels
+        {"opt=fast", "fast"},
+        {"opt=", "opt="},
+        {"tenant=a:open:bert:1,opt=a:fast", "fast"},
+        {"opt=safe,opt=aggressive", "aggressive"},
+        {"opt=b:safe", "b"}, // undeclared tenant
+        {"tenants=2:a:open:bert:1,opt=b*:safe", "b*"},
+        {"tenant=a:open:bert:1,opt=a:safe:x", "a:safe:x"},
     };
     for (const auto& c : cases) {
         ServeSpec s;
@@ -186,6 +194,51 @@ TEST(ServeSpecParse, CakeQuantaParseAndClamp)
     EXPECT_TRUE(d.quantumSeconds.empty());
     EXPECT_EQ(d.quantumTicks(0), d.waitBudgetTicks(0));
     EXPECT_EQ(d.quantumTicks(3), d.waitBudgetTicks(0));
+}
+
+TEST(ServeSpecParse, OptLevelsParseAndDefault)
+{
+    // A spec-wide default with per-tenant overrides: explicit levels
+    // win, everyone else (including trace-implied tenants) gets the
+    // default.
+    ServeSpec s;
+    SpecError err;
+    ASSERT_TRUE(ServeSpec::tryParse(
+        "duration=10,opt=aggressive,"
+        "tenant=vision:open:resnet18:0.5,"
+        "tenant=nlp:open:bert:0.1,opt=nlp:safe,"
+        "tenants=3:sp:closed:resnet20:1:5,opt=sp*:aggressive,"
+        "at=2:replay:resnet18",
+        s, err))
+        << err.describe();
+    ASSERT_EQ(s.tenants.size(), 6u); // replay implicitly declared
+    EXPECT_EQ(s.tenants[0].opt, OptLevel::Aggressive); // default
+    EXPECT_EQ(s.tenants[1].opt, OptLevel::Safe);       // explicit wins
+    for (size_t i = 2; i < 5; ++i)
+        EXPECT_EQ(s.tenants[i].opt, OptLevel::Aggressive) << i;
+    EXPECT_EQ(s.tenants[5].opt, OptLevel::Aggressive); // trace-implied
+    EXPECT_NE(s.describe().find("opt aggressive"), std::string::npos);
+
+    // Order independence: a per-tenant level spelled before the
+    // spec-wide default still wins, and tenants declared after the
+    // default still inherit it.
+    ServeSpec t;
+    ASSERT_TRUE(ServeSpec::tryParse(
+        "duration=10,tenant=a:open:bert:1,opt=a:safe,opt=aggressive,"
+        "tenant=b:open:bert:1",
+        t, err))
+        << err.describe();
+    ASSERT_EQ(t.tenants.size(), 2u);
+    EXPECT_EQ(t.tenants[0].opt, OptLevel::Safe);
+    EXPECT_EQ(t.tenants[1].opt, OptLevel::Aggressive);
+
+    // No opt= at all: everyone compiles Safe (the legacy behaviour,
+    // keeping pre-existing serving hashes bit-identical).
+    ServeSpec d;
+    ASSERT_TRUE(ServeSpec::tryParse(
+        "duration=10,tenant=a:open:bert:1", d, err));
+    EXPECT_EQ(d.tenants[0].opt, OptLevel::Safe);
+    EXPECT_EQ(d.describe().find("opt "), std::string::npos);
 }
 
 // ---------------------------------------------------------------------
@@ -315,7 +368,8 @@ TEST(ServeSpecParse, FuzzedSpecsNeverCrashAndAlwaysDiagnose)
         "seed=7,clusters=2,duration=30,queue=16,sched=cake:2:20,"
         "tenant=vision:open:resnet18:0.5,tenant=pool:closed:bert:3:0.25,"
         "tenants=4:sp:closed:resnet20:1:5,prio=sp*:1,"
-        "prio=vision:0,at=2.5:replay:resnet18,group=resnet18:4:2";
+        "prio=vision:0,opt=aggressive,opt=sp*:safe,"
+        "at=2.5:replay:resnet18,group=resnet18:4:2";
     uint64_t rng = 0xfeedface;
     size_t rejected = 0;
     for (int i = 0; i < 4000; ++i) {
